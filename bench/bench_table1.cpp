@@ -1,0 +1,62 @@
+// Reproduction of Table 1: "The MFS result for six examples" — the FU mix
+// MFS settles on for each example at each time constraint, including the
+// chaining (C), functional-pipelining (F) and structural-pipelining (S)
+// variants, plus per-run CPU time (the paper reports < 0.2 s per example on
+// a SPARC-SLC). The sweep itself lives in workloads::runTable1 so the tests
+// can assert its shape.
+#include <cstdio>
+
+#include "util/strings.h"
+#include "util/table.h"
+#include "workloads/table_runner.h"
+
+namespace {
+
+std::string fuString(const std::map<mframe::dfg::FuType, int>& fus) {
+  // The paper's notation: one symbol per unit, e.g. "**,+,-,>" for two
+  // multipliers and one each of the rest.
+  std::vector<std::string> parts;
+  for (const auto& [t, n] : fus) {
+    if (t == mframe::dfg::FuType::LoopUnit) continue;
+    std::string p;
+    for (int i = 0; i < n; ++i) p += std::string(mframe::dfg::fuTypeSymbol(t));
+    parts.push_back(p);
+  }
+  return mframe::util::join(parts, ",");
+}
+
+}  // namespace
+
+int main() {
+  using namespace mframe;
+  std::printf(
+      "Table 1 reproduction — MFS FU allocation per example and time "
+      "constraint.\nFeature column: 1 = unit-cycle ops, 2 = 2-cycle "
+      "multiplies, C = chaining,\nF = functional pipelining (latency), S = "
+      "structural pipelining.\n\n");
+
+  const auto suite = workloads::paperSuite();
+  std::map<std::string, std::string> featureOf;
+  for (const auto& bc : suite) featureOf[bc.id] = bc.feature;
+
+  util::Table t("MFS results (paper Table 1)");
+  t.setHeader({"ex", "design", "feature", "variant", "T", "FU mix", "ms"});
+  double totalMs = 0.0;
+  std::string lastId;
+  for (const auto& row : workloads::runTable1(suite)) {
+    if (!lastId.empty() && row.exampleId != lastId) t.addSeparator();
+    lastId = row.exampleId;
+    totalMs += row.milliseconds;
+    std::string cell = row.feasible ? fuString(row.fuCount) : "infeasible";
+    if (row.feasible && !row.verified) cell += " [INVALID]";
+    t.addRow({row.exampleId, row.design, featureOf[row.exampleId], row.variant,
+              std::to_string(row.timeSteps), cell,
+              util::format("%.2f", row.milliseconds)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nTotal MFS CPU time over the whole sweep: %.1f ms (paper: < 200 ms "
+      "per example on a 1992 SPARC-SLC).\n",
+      totalMs);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The complete behavioral flow on one page: a design written in the input
+// language with a conditional and a folded loop, compiled to a DFG,
+// synthesized by MFSA, checked for testability, simulated against the
+// behavioral reference, and dumped as a microcode ROM + VCD waveform.
+#include <cstdio>
+
+#include "celllib/ncr_like.h"
+#include "core/mfs.h"
+#include "core/mfsa.h"
+#include "lang/lower.h"
+#include "rtl/controller.h"
+#include "rtl/microcode.h"
+#include "rtl/testability.h"
+#include "rtl/verify.h"
+#include "sim/dfg_eval.h"
+#include "sim/rtl_sim.h"
+
+int main() {
+  using namespace mframe;
+
+  constexpr const char* kSource = R"(
+design sensor_filter;
+input raw, gain, offset, limit;
+output scaled, alarm;
+
+g1 = raw * gain [cycles=1];
+adj = g1 + offset;
+if (adj > limit) {
+  clipped = limit + 0;
+}
+scaled = adj - 1;
+alarm = adj > limit;
+)";
+
+  std::printf("compiling behavioral source...\n");
+  const dfg::Dfg g = lang::compileFlat(kSource);
+  std::printf("  -> DFG '%s': %zu operations\n\n", g.name().c_str(),
+              g.operations().size());
+
+  const celllib::CellLibrary lib = celllib::ncrLike();
+  core::MfsaOptions o;
+  o.constraints.timeSteps = 4;
+  o.style = rtl::DesignStyle::NoSelfLoop;  // self-testable structure
+  const auto r = core::runMfsa(g, lib, o);
+  if (!r.feasible) {
+    std::printf("synthesis failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("MFSA (style 2): ALUs %s\n%s\n",
+              r.datapath.aluSummary().c_str(), r.cost.toString().c_str());
+  std::printf("testability: %s\n",
+              rtl::analyzeTestability(r.datapath).toString().c_str());
+  const auto bad =
+      rtl::verifyDatapath(r.datapath, o.constraints, o.style);
+  std::printf("RTL verification: %s\n\n",
+              bad.empty() ? "clean" : bad.front().c_str());
+
+  const auto fsm = rtl::buildController(r.datapath);
+  std::printf("%s\n", rtl::buildMicrocode(r.datapath, fsm).toString().c_str());
+
+  const std::map<std::string, sim::Word> inputs{
+      {"raw", 12}, {"gain", 3}, {"offset", 5}, {"limit", 30}};
+  sim::SimTrace trace;
+  const auto rtlOut = sim::simulateRtl(r.datapath, fsm, inputs, 16, &trace);
+  const auto ref = sim::evalDfg(g, inputs);
+  if (!rtlOut.ok || !ref.ok) {
+    std::printf("simulation failed: %s%s\n", rtlOut.error.c_str(),
+                ref.error.c_str());
+    return 1;
+  }
+  std::printf("simulation (RTL vs behavioral):\n");
+  for (const auto& [name, value] : ref.outputs)
+    std::printf("  %-8s = %-6llu %s\n", name.c_str(),
+                static_cast<unsigned long long>(rtlOut.outputs.at(name)),
+                rtlOut.outputs.at(name) == value ? "(matches reference)"
+                                                 : "(MISMATCH!)");
+
+  const std::string vcd = sim::toVcd(trace, 16, g.name());
+  std::printf("\nVCD waveform: %zu bytes (pipe to a file and open in any "
+              "viewer)\n", vcd.size());
+  return 0;
+}

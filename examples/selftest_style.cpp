@@ -1,0 +1,59 @@
+// Design-style comparison (Section 4.2): style 1 (unrestricted datapath) vs
+// style 2 (no self-loop around ALUs, the self-testable structure of
+// SYNTEST). Style 2 forbids an operation from sharing an ALU with its
+// predecessors/successors, which costs some area — the paper reports a
+// 2-11% overhead; this example prints the comparison over the whole suite.
+#include <cstdio>
+
+#include "celllib/ncr_like.h"
+#include "core/mfsa.h"
+#include "rtl/verify.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workloads/benchmarks.h"
+
+int main() {
+  using namespace mframe;
+  const celllib::CellLibrary lib = celllib::ncrLike();
+
+  util::Table table("MFSA design styles (NCR-like library)");
+  table.setHeader({"design", "T", "style-1 ALUs", "style-1 cost", "style-2 ALUs",
+                   "style-2 cost", "overhead"});
+
+  for (const auto& bc : workloads::paperSuite()) {
+    const int cs = bc.timeSweep.front();
+    double cost[2] = {0, 0};
+    std::string alus[2];
+    bool ok = true;
+    for (int sidx = 0; sidx < 2; ++sidx) {
+      core::MfsaOptions ao;
+      ao.constraints = bc.constraints;
+      ao.constraints.timeSteps = cs;
+      ao.style = sidx == 0 ? rtl::DesignStyle::Unrestricted
+                           : rtl::DesignStyle::NoSelfLoop;
+      const auto r = core::runMfsa(bc.graph, lib, ao);
+      if (!r.feasible) {
+        std::printf("%s style %d failed: %s\n", bc.graph.name().c_str(),
+                    sidx + 1, r.error.c_str());
+        ok = false;
+        break;
+      }
+      const auto bad = rtl::verifyDatapath(r.datapath, ao.constraints, ao.style);
+      if (!bad.empty()) {
+        std::printf("%s style %d RTL violation: %s\n", bc.graph.name().c_str(),
+                    sidx + 1, bad.front().c_str());
+        ok = false;
+        break;
+      }
+      cost[sidx] = r.cost.total;
+      alus[sidx] = r.datapath.aluSummary();
+    }
+    if (!ok) continue;
+    table.addRow({bc.graph.name(), std::to_string(cs), alus[0],
+                  util::format("%.0f", cost[0]), alus[1],
+                  util::format("%.0f", cost[1]),
+                  util::format("%+.1f%%", 100.0 * (cost[1] / cost[0] - 1.0))});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "alloc/interconnect.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace mframe::alloc {
+
+std::string Source::toString(const dfg::Dfg& g) const {
+  switch (kind) {
+    case Kind::Register: return util::format("R%d", index);
+    case Kind::AluOut: return util::format("ALU%d.out", index);
+    case Kind::PrimaryInput: return "in:" + g.node(node).name;
+    case Kind::Constant: return util::format("const:%ld", g.node(node).constValue);
+  }
+  return "?";
+}
+
+SourceResolver::SourceResolver(const dfg::Dfg& g, const sched::Schedule& s,
+                               const std::vector<Lifetime>& lifetimes,
+                               const RegAllocation& regs,
+                               const std::map<dfg::NodeId, int>& aluOf)
+    : g_(&g), s_(&s), aluOf_(&aluOf) {
+  for (std::size_t r = 0; r < regs.registers.size(); ++r)
+    for (std::size_t i : regs.registers[r])
+      regOfSignal_[lifetimes[i].producer] = static_cast<int>(r);
+}
+
+Source SourceResolver::resolve(dfg::NodeId reader, dfg::NodeId signal) const {
+  const dfg::Node& sig = g_->node(signal);
+  if (sig.kind == dfg::OpKind::Const)
+    return {Source::Kind::Constant, 0, signal};
+
+  auto reg = regOfSignal_.find(signal);
+  if (sig.kind == dfg::OpKind::Input) {
+    if (reg != regOfSignal_.end())
+      return {Source::Kind::Register, reg->second, dfg::kNoNode};
+    return {Source::Kind::PrimaryInput, 0, signal};  // unconsumed input port
+  }
+
+  // Chained read: the reader starts in the step where the producer finishes.
+  const int producerEnd = s_->stepOf(signal) + sig.cycles - 1;
+  if (s_->isPlaced(reader) && s_->stepOf(reader) == producerEnd) {
+    auto alu = aluOf_->find(signal);
+    if (alu != aluOf_->end())
+      return {Source::Kind::AluOut, alu->second, dfg::kNoNode};
+  }
+  if (reg != regOfSignal_.end())
+    return {Source::Kind::Register, reg->second, dfg::kNoNode};
+  // No register and not chained: fall back to the producer's ALU output
+  // (only reachable on partial designs).
+  auto alu = aluOf_->find(signal);
+  return {Source::Kind::AluOut, alu == aluOf_->end() ? -1 : alu->second,
+          dfg::kNoNode};
+}
+
+PortWiring wirePort(const SourceResolver& resolver,
+                    const std::vector<std::pair<dfg::NodeId, dfg::NodeId>>& reads) {
+  PortWiring w;
+  for (const auto& [reader, signal] : reads) {
+    const Source src = resolver.resolve(reader, signal);
+    auto it = std::find(w.sources.begin(), w.sources.end(), src);
+    std::size_t idx;
+    if (it == w.sources.end()) {
+      idx = w.sources.size();
+      w.sources.push_back(src);
+    } else {
+      idx = static_cast<std::size_t>(it - w.sources.begin());
+    }
+    w.selectOf[{reader, signal}] = idx;
+  }
+  return w;
+}
+
+}  // namespace mframe::alloc

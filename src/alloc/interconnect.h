@@ -1,0 +1,64 @@
+// Interconnect optimization (Section 5.7): multiplexer data inputs are
+// physical wires, and several operand *signals* can ride one wire — all the
+// values stored in one register arrive on that register's output line, and a
+// chained value arrives on its producer ALU's output line. Mapping the
+// port-level signal lists onto distinct physical sources and deduplicating
+// is exactly the paper's "line sharing ... has a secondary effect on
+// Cost(MUX) before the Liapunov function makes its final decision".
+#pragma once
+
+#include <compare>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alloc/lifetimes.h"
+#include "alloc/regalloc.h"
+#include "sched/schedule.h"
+
+namespace mframe::alloc {
+
+/// A physical driver of a mux data input.
+struct Source {
+  enum class Kind { Register, AluOut, PrimaryInput, Constant };
+  Kind kind = Kind::Register;
+  int index = 0;                    ///< register index or ALU instance index
+  dfg::NodeId node = dfg::kNoNode;  ///< the node for PrimaryInput/Constant
+
+  auto operator<=>(const Source&) const = default;
+  std::string toString(const dfg::Dfg& g) const;
+};
+
+/// Resolves which physical source carries a signal into a given reader.
+class SourceResolver {
+ public:
+  SourceResolver(const dfg::Dfg& g, const sched::Schedule& s,
+                 const std::vector<Lifetime>& lifetimes,
+                 const RegAllocation& regs,
+                 const std::map<dfg::NodeId, int>& aluOf);
+
+  /// The source driving `signal` when consumed by operation `reader`.
+  /// A consumer starting in the step where the producer finishes reads the
+  /// producer's ALU output combinationally (chaining); every other consumer
+  /// reads the register holding the signal.
+  Source resolve(dfg::NodeId reader, dfg::NodeId signal) const;
+
+ private:
+  const dfg::Dfg* g_;
+  const sched::Schedule* s_;
+  std::map<dfg::NodeId, int> regOfSignal_;
+  const std::map<dfg::NodeId, int>* aluOf_;
+};
+
+/// The wiring of one ALU input port after interconnect sharing.
+struct PortWiring {
+  std::vector<Source> sources;  ///< distinct wires into the mux, in first-use order
+  /// (reader op, signal) -> index into `sources` (the mux select value).
+  std::map<std::pair<dfg::NodeId, dfg::NodeId>, std::size_t> selectOf;
+};
+
+/// Collapse per-operation reads into shared wires.
+PortWiring wirePort(const SourceResolver& resolver,
+                    const std::vector<std::pair<dfg::NodeId, dfg::NodeId>>& reads);
+
+}  // namespace mframe::alloc

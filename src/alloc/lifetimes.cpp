@@ -1,0 +1,39 @@
+#include "alloc/lifetimes.h"
+
+#include <algorithm>
+
+namespace mframe::alloc {
+
+std::vector<Lifetime> computeLifetimes(const dfg::Dfg& g,
+                                       const sched::Schedule& s) {
+  std::vector<Lifetime> out;
+  for (const dfg::Node& n : g.nodes()) {
+    if (n.kind == dfg::OpKind::Const) continue;
+
+    Lifetime lt;
+    lt.producer = n.id;
+    if (n.kind == dfg::OpKind::Input) {
+      lt.birth = 0;
+    } else {
+      if (!s.isPlaced(n.id)) continue;  // partial schedules: skip unplaced
+      lt.birth = s.stepOf(n.id) + n.cycles - 1;
+    }
+
+    lt.death = lt.birth;
+    for (dfg::NodeId c : g.opSuccs(n.id)) {
+      if (!s.isPlaced(c)) continue;
+      const int use = s.stepOf(c);
+      // A same-step consumer (use == birth) is a chained, combinational
+      // read; only later consumers need the value stored.
+      if (use > lt.birth) lt.death = std::max(lt.death, use);
+    }
+    for (const auto& [id, ext] : g.outputs())
+      if (id == n.id) lt.death = std::max(lt.death, s.numSteps() + 1);
+
+    lt.needsRegister = lt.death > lt.birth;
+    out.push_back(lt);
+  }
+  return out;
+}
+
+}  // namespace mframe::alloc

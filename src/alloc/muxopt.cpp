@@ -1,0 +1,53 @@
+#include "alloc/muxopt.h"
+
+#include <algorithm>
+
+namespace mframe::alloc {
+
+namespace {
+
+bool contains(const std::vector<dfg::NodeId>& v, dfg::NodeId x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+void addUnique(std::vector<dfg::NodeId>& v, dfg::NodeId x) {
+  if (!contains(v, x)) v.push_back(x);
+}
+
+}  // namespace
+
+MuxArrangement arrangeInputs(const dfg::Dfg& g,
+                             const std::vector<dfg::NodeId>& ops) {
+  MuxArrangement a;
+
+  // Pass 1: fixed-order operations pin their signals to their ports.
+  for (dfg::NodeId id : ops) {
+    const dfg::Node& n = g.node(id);
+    if (dfg::isCommutative(n.kind) && n.inputs.size() == 2) continue;
+    if (n.inputs.size() >= 1) addUnique(a.left, n.inputs[0]);
+    if (n.inputs.size() >= 2) addUnique(a.right, n.inputs[1]);
+    a.swapped[id] = false;
+  }
+  // Pass 2: each commutative operation picks the orientation that adds the
+  // fewest new signals (ties keep the natural order).
+  for (dfg::NodeId id : ops) {
+    const dfg::Node& n = g.node(id);
+    if (!dfg::isCommutative(n.kind) || n.inputs.size() != 2) continue;
+    const dfg::NodeId x = n.inputs[0];
+    const dfg::NodeId y = n.inputs[1];
+    const int costNatural = (contains(a.left, x) ? 0 : 1) + (contains(a.right, y) ? 0 : 1);
+    const int costSwapped = (contains(a.left, y) ? 0 : 1) + (contains(a.right, x) ? 0 : 1);
+    const bool swap = costSwapped < costNatural;
+    addUnique(a.left, swap ? y : x);
+    addUnique(a.right, swap ? x : y);
+    a.swapped[id] = swap;
+  }
+  return a;
+}
+
+double muxCostOf(const celllib::CellLibrary& lib, const MuxArrangement& a) {
+  return lib.muxCost(static_cast<int>(a.left.size())) +
+         lib.muxCost(static_cast<int>(a.right.size()));
+}
+
+}  // namespace mframe::alloc

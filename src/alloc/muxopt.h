@@ -1,0 +1,36 @@
+// Multiplexer optimization (Section 5.6): each ALU is fed by two
+// multiplexers (MUX1 for the left port, MUX2 for the right); the operand
+// signals of the operations bound to the ALU must be arranged into the two
+// port lists L1/L2 so that |L1| + |L2| is minimal. The paper's constructive
+// algorithm "first assigns the non-commutative operations to the appropriate
+// MUXes and then checks two possibilities for arranging input signals for
+// each commutative operation".
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "celllib/cell_library.h"
+#include "dfg/dfg.h"
+
+namespace mframe::alloc {
+
+struct MuxArrangement {
+  std::vector<dfg::NodeId> left;   ///< distinct signals feeding port 1 (L1)
+  std::vector<dfg::NodeId> right;  ///< distinct signals feeding port 2 (L2)
+  std::map<dfg::NodeId, bool> swapped;  ///< op -> operands were swapped
+
+  std::size_t totalInputs() const { return left.size() + right.size(); }
+};
+
+/// Arrange the operand signals of `ops` (all bound to one ALU) across the
+/// two ports. Unary operations use the left port only. Deterministic in the
+/// order of `ops`.
+MuxArrangement arrangeInputs(const dfg::Dfg& g,
+                             const std::vector<dfg::NodeId>& ops);
+
+/// Cost(MUX1) + Cost(MUX2) under the library's nonlinear mux table. A port
+/// with zero or one source costs nothing (a wire).
+double muxCostOf(const celllib::CellLibrary& lib, const MuxArrangement& a);
+
+}  // namespace mframe::alloc

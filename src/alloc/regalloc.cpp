@@ -1,0 +1,50 @@
+#include "alloc/regalloc.h"
+
+#include <algorithm>
+
+namespace mframe::alloc {
+
+int RegAllocation::registerOf(std::size_t lifetimeIndex) const {
+  for (std::size_t r = 0; r < registers.size(); ++r)
+    for (std::size_t i : registers[r])
+      if (i == lifetimeIndex) return static_cast<int>(r);
+  return -1;
+}
+
+RegAllocation allocateRegisters(const std::vector<Lifetime>& lifetimes) {
+  // Classic left-edge: sort by left edge (birth), tie-break on death, then
+  // first-fit each signal into the first register whose current occupant
+  // dies no later than the signal's birth. For interval conflict graphs this
+  // greedy is exactly optimal (register count == maximum overlap depth).
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < lifetimes.size(); ++i)
+    if (lifetimes[i].needsRegister) todo.push_back(i);
+  std::sort(todo.begin(), todo.end(), [&](std::size_t a, std::size_t b) {
+    if (lifetimes[a].birth != lifetimes[b].birth)
+      return lifetimes[a].birth < lifetimes[b].birth;
+    if (lifetimes[a].death != lifetimes[b].death)
+      return lifetimes[a].death < lifetimes[b].death;
+    return a < b;
+  });
+
+  RegAllocation out;
+  std::vector<int> lastDeath;  // per register
+  for (std::size_t i : todo) {
+    bool placed = false;
+    for (std::size_t r = 0; r < out.registers.size(); ++r) {
+      if (lifetimes[i].birth >= lastDeath[r]) {  // (birth, death] intervals
+        out.registers[r].push_back(i);
+        lastDeath[r] = lifetimes[i].death;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      out.registers.push_back({i});
+      lastDeath.push_back(lifetimes[i].death);
+    }
+  }
+  return out;
+}
+
+}  // namespace mframe::alloc

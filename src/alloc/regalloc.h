@@ -1,0 +1,30 @@
+// Register allocation (Section 5.8): the paper's "expanded activity
+// selection" greedy — a variant of the left-edge algorithm of REAL — packing
+// compatible signal lifetimes into the minimum number of registers. For
+// interval conflicts this greedy is exactly optimal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "alloc/lifetimes.h"
+
+namespace mframe::alloc {
+
+struct RegAllocation {
+  /// registers[r] = indices into the lifetime vector handed to allocate().
+  std::vector<std::vector<std::size_t>> registers;
+
+  std::size_t count() const { return registers.size(); }
+
+  /// Register index holding lifetime `i`, or -1 when `i` needed no register.
+  int registerOf(std::size_t lifetimeIndex) const;
+};
+
+/// Pack all lifetimes with needsRegister into registers using the left-edge
+/// greedy of REAL [19] (the algorithm the paper's "expanded activity
+/// selection" extends): signals sorted by birth, first-fit into the first
+/// compatible register. Optimal for interval conflicts.
+RegAllocation allocateRegisters(const std::vector<Lifetime>& lifetimes);
+
+}  // namespace mframe::alloc

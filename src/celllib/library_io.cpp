@@ -1,0 +1,123 @@
+#include "celllib/library_io.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace mframe::celllib {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw LibraryError(util::format("library parse error at line %d: %s", line,
+                                  msg.c_str()));
+}
+
+}  // namespace
+
+CellLibrary parseLibrary(std::string_view text) {
+  CellLibrary lib;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int lineNo = 0;
+  bool sawHeader = false;
+  bool sawReg = false;
+  bool sawMux = false;
+
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const auto tok = util::splitWs(raw);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "library") {
+      if (tok.size() != 2) fail(lineNo, "expected: library <name>");
+      sawHeader = true;
+    } else if (tok[0] == "reg") {
+      if (tok.size() != 2) fail(lineNo, "expected: reg <areaUm2>");
+      lib.setRegCost(std::strtod(tok[1].c_str(), nullptr));
+      sawReg = true;
+    } else if (tok[0] == "mux") {
+      std::vector<double> costs;
+      for (std::size_t i = 1; i < tok.size(); ++i)
+        costs.push_back(std::strtod(tok[i].c_str(), nullptr));
+      if (costs.size() < 3) fail(lineNo, "mux table needs at least 3 entries");
+      if (costs[0] != 0.0 || costs[1] != 0.0)
+        fail(lineNo, "mux costs for 0 and 1 inputs must be 0");
+      lib.setMuxCosts(std::move(costs));
+      sawMux = true;
+    } else if (tok[0] == "module") {
+      if (tok.size() < 2) fail(lineNo, "expected: module <name> <attrs>");
+      Module m;
+      m.name = tok[1];
+      bool sawArea = false, sawCaps = false;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        const auto eq = tok[i].find('=');
+        if (eq == std::string::npos)
+          fail(lineNo, "expected key=value, got '" + tok[i] + "'");
+        const std::string key = tok[i].substr(0, eq);
+        const std::string val = tok[i].substr(eq + 1);
+        if (key == "area") {
+          m.areaUm2 = std::strtod(val.c_str(), nullptr);
+          sawArea = true;
+        } else if (key == "delay") {
+          m.delayNs = std::strtod(val.c_str(), nullptr);
+        } else if (key == "stages") {
+          const long s = util::parseLong(val);
+          if (s < 1) fail(lineNo, "stages must be >= 1");
+          m.stages = static_cast<int>(s);
+        } else if (key == "caps") {
+          for (const auto& cap : util::split(val, ',')) {
+            dfg::FuType t;
+            if (!dfg::parseFuType(cap, t))
+              fail(lineNo, "unknown capability '" + cap + "'");
+            m.caps.insert(t);
+          }
+          sawCaps = true;
+        } else {
+          fail(lineNo, "unknown attribute '" + key + "'");
+        }
+      }
+      if (!sawArea) fail(lineNo, "module '" + m.name + "' needs area=");
+      if (!sawCaps || m.caps.empty())
+        fail(lineNo, "module '" + m.name + "' needs caps=");
+      lib.addModule(std::move(m));
+    } else {
+      fail(lineNo, "unknown statement '" + tok[0] + "'");
+    }
+  }
+  if (!sawHeader) throw LibraryError("library parse error: missing 'library <name>'");
+  if (!sawReg) throw LibraryError("library '" + std::string("?") + "': missing 'reg'");
+  if (!sawMux) throw LibraryError("library: missing 'mux' cost table");
+  if (lib.modules().empty()) throw LibraryError("library has no modules");
+  return lib;
+}
+
+std::string serializeLibrary(const CellLibrary& lib, const std::string& name) {
+  std::string out = "library " + name + "\n";
+  out += util::format("reg %g\n", lib.regCost());
+  out += "mux 0 0";
+  // Emit until increments become the flat extrapolation tail.
+  int last = 2;
+  for (int r = 3; r <= 32; ++r) {
+    const double incPrev = lib.muxCost(r) - lib.muxCost(r - 1);
+    const double incNext = lib.muxCost(r + 1) - lib.muxCost(r);
+    last = r;
+    if (incPrev == incNext && r > 4) break;
+  }
+  for (int r = 2; r <= last; ++r) out += util::format(" %g", lib.muxCost(r));
+  out += "\n";
+  for (const Module& m : lib.modules()) {
+    out += util::format("module %s area=%g delay=%g caps=", m.name.c_str(),
+                        m.areaUm2, m.delayNs);
+    std::vector<std::string> caps;
+    for (dfg::FuType t : m.caps) caps.push_back(std::string(dfg::fuTypeName(t)));
+    out += util::join(caps, ",");
+    if (m.stages != 1) out += util::format(" stages=%d", m.stages);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mframe::celllib

@@ -1,0 +1,34 @@
+// Textual cell-library format, so MFSA can be driven with a customer's own
+// module set instead of the built-in NCR-like library. Grammar (one
+// statement per line, '#' comments):
+//
+//   library <name>
+//   reg <areaUm2>
+//   mux <cost0> <cost1> <cost2> ...     # area by data-input count (0,1 = 0)
+//   module <name> area=<um2> delay=<ns> caps=<t1,t2,...> [stages=<k>]
+//
+// Capability tokens accept FU-type names ("adder"), symbols ("+") or short
+// aliases ("add", "cmp", ...).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "celllib/cell_library.h"
+
+namespace mframe::celllib {
+
+class LibraryError : public std::runtime_error {
+ public:
+  explicit LibraryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parse the textual format; throws LibraryError with a line number.
+CellLibrary parseLibrary(std::string_view text);
+
+/// Serialize (round-trips through parseLibrary; mux table emitted up to the
+/// last explicit entry).
+std::string serializeLibrary(const CellLibrary& lib, const std::string& name);
+
+}  // namespace mframe::celllib

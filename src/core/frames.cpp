@@ -1,0 +1,77 @@
+#include "core/frames.h"
+
+#include <algorithm>
+
+namespace mframe::core {
+
+FrameCalculator::DepCheck FrameCalculator::depOk(const sched::Schedule& s,
+                                                 dfg::NodeId n, int step) const {
+  const dfg::Node& node = g_->node(n);
+  DepCheck out;
+  double off = 0.0;
+  for (dfg::NodeId p : g_->opPreds(n)) {
+    if (!s.isPlaced(p)) continue;  // scheduled later; ASAP already bounds us
+    const dfg::Node& pn = g_->node(p);
+    const int pEnd = s.stepOf(p) + pn.cycles - 1;
+    if (pEnd < step) continue;
+    if (pEnd > step) return {};  // predecessor still busy after our start
+    // Predecessor finishes exactly in our step: only a chain can save this.
+    if (!c_->allowChaining || pn.cycles > 1 || node.cycles > 1) return {};
+    off = std::max(off, chainOffsetOf(p));
+  }
+  if (c_->allowChaining && node.cycles == 1) {
+    if (off + node.effectiveDelayNs() > c_->clockNs) return {};
+  } else if (off > 0.0) {
+    return {};  // multicycle ops start on step boundaries
+  }
+  out.ok = true;
+  out.startOffsetNs = off;
+  return out;
+}
+
+void FrameCalculator::recordPlacement(const sched::Schedule& s, dfg::NodeId n,
+                                      int step) {
+  const dfg::Node& node = g_->node(n);
+  const DepCheck d = depOk(s, n, step);
+  if (c_->allowChaining && node.cycles == 1)
+    chainOff_[n] = d.startOffsetNs + node.effectiveDelayNs();
+  else
+    chainOff_[n] = 0.0;  // result lands on a step boundary
+}
+
+double FrameCalculator::chainOffsetOf(dfg::NodeId n) const {
+  auto it = chainOff_.find(n);
+  return it == chainOff_.end() ? 0.0 : it->second;
+}
+
+FrameCalculator::Frames FrameCalculator::compute(const sched::Schedule& s,
+                                                 const ColumnOccupancy& occ,
+                                                 dfg::NodeId n, int currentCols,
+                                                 int maxCols) const {
+  Frames f;
+  f.pfStepLo = tf_->asap(n);
+  f.pfStepHi = tf_->alap(n);
+  f.pfColLo = 1;
+  f.pfColHi = maxCols;
+  f.rfColLo = currentCols + 1;
+
+  // FF lower bound from placed predecessors, before the chaining relaxation:
+  // "exclude those positions whose control steps are less than or equal to
+  // the predecessors' control step".
+  int below = f.pfStepLo;
+  for (dfg::NodeId p : g_->opPreds(n))
+    if (s.isPlaced(p))
+      below = std::max(below, s.stepOf(p) + g_->node(p).cycles - 1 +
+                                  (c_->allowChaining ? 0 : 1));
+  f.ffBelowStep = below;
+
+  const int colHi = std::min(currentCols, maxCols);
+  for (int step = f.pfStepLo; step <= f.pfStepHi; ++step) {
+    if (!depOk(s, n, step).ok) continue;
+    for (int col = 1; col <= colHi; ++col)
+      if (occ.canPlace(n, col, step)) f.moveFrame.push_back({step, col});
+  }
+  return f;
+}
+
+}  // namespace mframe::core

@@ -1,0 +1,67 @@
+// The move-frame machinery of Section 3.2 (step 4): for each operation a
+// Primary Frame (PF), Redundant Frame (RF) and Forbidden Frame (FF) are
+// derived, and the Move Frame is MF = PF - (RF + FF) minus occupied cells.
+//
+// FrameCalculator also owns the chaining bookkeeping (Section 5.4): it keeps
+// the intra-step combinational offset at which every placed operation's
+// result becomes ready, so the forbidden frame can be "changed to allow
+// chaining" — a predecessor's own step stays legal when the accumulated
+// delay still fits the clock period.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/grid.h"
+#include "sched/schedule.h"
+#include "sched/timeframes.h"
+
+namespace mframe::core {
+
+class FrameCalculator {
+ public:
+  FrameCalculator(const dfg::Dfg& g, const sched::Constraints& c,
+                  const sched::TimeFrames& tf)
+      : g_(&g), c_(&c), tf_(&tf) {}
+
+  /// Outcome of the dependency test for starting `n` at `step`.
+  struct DepCheck {
+    bool ok = false;
+    double startOffsetNs = 0.0;  ///< chained start offset within the step
+  };
+
+  /// Data-dependency legality of starting `n` at `step` against the placed
+  /// predecessors in `s`. Handles the chaining relaxation.
+  DepCheck depOk(const sched::Schedule& s, dfg::NodeId n, int step) const;
+
+  /// Record that `n` was placed at `step` (predecessors must already be
+  /// recorded); maintains the chain-offset map.
+  void recordPlacement(const sched::Schedule& s, dfg::NodeId n, int step);
+  void reset() { chainOff_.clear(); }
+
+  double chainOffsetOf(dfg::NodeId n) const;
+
+  /// The frames of one operation at one scheduling iteration.
+  struct Frames {
+    int pfStepLo = 0, pfStepHi = 0;  ///< PF vertical extent: [ASAP, ALAP]
+    int pfColLo = 1, pfColHi = 0;    ///< PF horizontal extent: [1, max_j]
+    int rfColLo = 0;                 ///< RF: columns >= rfColLo (current_j + 1)
+    int ffBelowStep = 0;  ///< FF: steps < ffBelowStep blocked by placed preds
+                          ///< (before the chaining relaxation)
+    std::vector<sched::Placement> moveFrame;  ///< the valid cells, MF
+  };
+
+  /// Compute PF/RF/FF/MF for `n` given the partial schedule, the occupancy
+  /// table of its FU type, the current number of in-use columns (current_j)
+  /// and the column bound (max_j).
+  Frames compute(const sched::Schedule& s, const ColumnOccupancy& occ,
+                 dfg::NodeId n, int currentCols, int maxCols) const;
+
+ private:
+  const dfg::Dfg* g_;
+  const sched::Constraints* c_;
+  const sched::TimeFrames* tf_;
+  std::map<dfg::NodeId, double> chainOff_;
+};
+
+}  // namespace mframe::core

@@ -1,0 +1,107 @@
+#include "core/grid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mframe::core {
+
+void ColumnOccupancy::setPipelined(int col, bool pipelined) {
+  if (pipelined)
+    pipelined_.insert(col);
+  else
+    pipelined_.erase(col);
+}
+
+std::vector<std::pair<int, int>> ColumnOccupancy::cellsFor(dfg::NodeId n,
+                                                           int col,
+                                                           int step) const {
+  std::vector<std::pair<int, int>> cells;
+  if (isPipelined(col)) {
+    // One initiation per (folded) step; later stages overlap freely.
+    cells.emplace_back(col, fold(step));
+  } else {
+    const int cycles = g_->node(n).cycles;
+    for (int s = step; s < step + cycles; ++s) cells.emplace_back(col, fold(s));
+  }
+  // Folding can alias several steps of one multicycle op onto one cell.
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+bool ColumnOccupancy::canPlace(dfg::NodeId n, int col, int step) const {
+  for (const auto& key : cellsFor(n, col, step)) {
+    auto it = cell_.find(key);
+    if (it == cell_.end()) continue;
+    for (dfg::NodeId other : it->second) {
+      if (other == n) continue;
+      if (!g_->mutuallyExclusive(n, other)) return false;
+    }
+  }
+  // A multicycle op folded tighter than its own duration would overlap its
+  // next initiation (functional pipelining): reject when cycles > latency.
+  if (latency_ > 0 && !isPipelined(col) && g_->node(n).cycles > latency_)
+    return false;
+  return true;
+}
+
+void ColumnOccupancy::place(dfg::NodeId n, int col, int step) {
+  assert(!isPlaced(n));
+  for (const auto& key : cellsFor(n, col, step)) cell_[key].push_back(n);
+  where_[n] = {col, step};
+}
+
+void ColumnOccupancy::remove(dfg::NodeId n) {
+  auto it = where_.find(n);
+  if (it == where_.end()) return;
+  const auto [col, step] = it->second;
+  for (const auto& key : cellsFor(n, col, step)) {
+    auto& v = cell_[key];
+    v.erase(std::remove(v.begin(), v.end(), n), v.end());
+    if (v.empty()) cell_.erase(key);
+  }
+  where_.erase(it);
+}
+
+void ColumnOccupancy::clear() {
+  cell_.clear();
+  where_.clear();
+}
+
+int ColumnOccupancy::maxColumnUsed() const {
+  int mx = 0;
+  for (const auto& [key, ops] : cell_)
+    if (!ops.empty()) mx = std::max(mx, key.first);
+  return mx;
+}
+
+std::vector<dfg::NodeId> ColumnOccupancy::at(int col, int step) const {
+  auto it = cell_.find({col, fold(step)});
+  return it == cell_.end() ? std::vector<dfg::NodeId>{} : it->second;
+}
+
+Grid::Grid(const dfg::Dfg& g, const sched::Constraints& c) : g_(&g) {
+  tables_.reserve(dfg::kNumFuTypes);
+  for (std::size_t t = 0; t < dfg::kNumFuTypes; ++t) {
+    tables_.emplace_back(g, c);
+    if (c.pipelinedFus.count(static_cast<dfg::FuType>(t))) {
+      // All columns of a pipelined type behave pipelined; flag generously.
+      for (int col = 1; col <= static_cast<int>(g.size()) + 1; ++col)
+        tables_.back().setPipelined(col, true);
+    }
+  }
+}
+
+bool Grid::canPlace(dfg::NodeId n, int col, int step) const {
+  return table(dfg::fuTypeOf(g_->node(n).kind)).canPlace(n, col, step);
+}
+
+void Grid::place(dfg::NodeId n, int col, int step) {
+  table(dfg::fuTypeOf(g_->node(n).kind)).place(n, col, step);
+}
+
+void Grid::clear() {
+  for (auto& t : tables_) t.clear();
+}
+
+}  // namespace mframe::core

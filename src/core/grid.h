@@ -1,0 +1,84 @@
+// The 2-D placement tables of Section 2.3: one (FU instance x control step)
+// table per FU type ("the complete space will be a 3-dimensional space where
+// the third dimension represents the type").
+//
+// ColumnOccupancy tracks which operations sit where in one column space and
+// encapsulates every co-location rule the paper defines:
+//  * mutually exclusive operations may share a cell (Section 5.1);
+//  * multicycle operations hold their column for `cycles` consecutive steps
+//    (Section 5.3);
+//  * on a structurally pipelined column, operations conflict only when they
+//    start in the same step (Section 5.5.1);
+//  * with functional-pipelining latency L, steps are folded mod L, because
+//    "operations scheduled into control step t + k*L run concurrently"
+//    (Section 5.5.2).
+//
+// MFS composes one ColumnOccupancy per FU type (class Grid); MFSA reuses
+// ColumnOccupancy with one column per allocated ALU instance.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dfg/dfg.h"
+#include "sched/schedule.h"
+
+namespace mframe::core {
+
+class ColumnOccupancy {
+ public:
+  ColumnOccupancy(const dfg::Dfg& g, const sched::Constraints& c)
+      : g_(&g), latency_(c.latency) {}
+
+  /// Mark a column as structurally pipelined (start-step conflicts only).
+  void setPipelined(int col, bool pipelined);
+  bool isPipelined(int col) const { return pipelined_.count(col) > 0; }
+
+  /// Can `n` start at `step` on `col` without an occupancy conflict?
+  bool canPlace(dfg::NodeId n, int col, int step) const;
+
+  void place(dfg::NodeId n, int col, int step);
+  void remove(dfg::NodeId n);
+  void clear();
+
+  bool isPlaced(dfg::NodeId n) const { return where_.count(n) > 0; }
+
+  /// Highest column holding at least one operation (0 when empty).
+  int maxColumnUsed() const;
+
+  /// Operations occupying (col, step) — after latency folding.
+  std::vector<dfg::NodeId> at(int col, int step) const;
+
+ private:
+  /// Cell keys this op occupies if started at `step` on `col`.
+  std::vector<std::pair<int, int>> cellsFor(dfg::NodeId n, int col, int step) const;
+  int fold(int step) const { return latency_ > 0 ? (step - 1) % latency_ : step; }
+
+  const dfg::Dfg* g_;
+  int latency_;
+  std::set<int> pipelined_;
+  std::map<std::pair<int, int>, std::vector<dfg::NodeId>> cell_;
+  std::map<dfg::NodeId, std::pair<int, int>> where_;  ///< node -> (col, start step)
+};
+
+/// MFS's 3-D space: one column table per FU type.
+class Grid {
+ public:
+  Grid(const dfg::Dfg& g, const sched::Constraints& c);
+
+  ColumnOccupancy& table(dfg::FuType t) { return tables_[static_cast<std::size_t>(t)]; }
+  const ColumnOccupancy& table(dfg::FuType t) const {
+    return tables_[static_cast<std::size_t>(t)];
+  }
+
+  bool canPlace(dfg::NodeId n, int col, int step) const;
+  void place(dfg::NodeId n, int col, int step);
+  void clear();
+
+ private:
+  const dfg::Dfg* g_;
+  std::vector<ColumnOccupancy> tables_;
+};
+
+}  // namespace mframe::core

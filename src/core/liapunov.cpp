@@ -1,0 +1,14 @@
+#include "core/liapunov.h"
+
+namespace mframe::core {
+
+double mfsaTimeConstant(const celllib::CellLibrary& lib, const MfsaWeights& w) {
+  const double fAluMax = lib.maxModuleArea();
+  const double fMuxMax = lib.maxMuxIncrement();  // already 2 * max increment
+  const double fRegMax = 2.0 * lib.regCost();
+  const double dominated = w.alu * fAluMax + w.mux * fMuxMax + w.reg * fRegMax;
+  const double wt = std::max(w.time, 1e-9);
+  return dominated / wt + 1.0;
+}
+
+}  // namespace mframe::core

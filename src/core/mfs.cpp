@@ -1,0 +1,217 @@
+#include "core/mfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/frames.h"
+#include "core/grid.h"
+#include "sched/timeframes.h"
+#include "util/strings.h"
+
+namespace mframe::core {
+
+namespace {
+
+using dfg::FuType;
+using dfg::NodeId;
+
+struct TypeState {
+  int maxCols = 1;      ///< max_j
+  int current = 1;      ///< current_j
+  bool userLimited = false;
+};
+
+}  // namespace
+
+std::vector<NodeId> topoConsistentOrder(const dfg::Dfg& g,
+                                        const std::vector<NodeId>& priority) {
+  std::vector<NodeId> out;
+  out.reserve(priority.size());
+  std::vector<bool> emitted(g.size(), false);
+  std::vector<bool> taken(g.size(), false);
+  while (out.size() < priority.size()) {
+    bool progress = false;
+    for (NodeId id : priority) {
+      if (taken[id]) continue;
+      bool ready = true;
+      for (NodeId p : g.opPreds(id))
+        if (!emitted[p]) {
+          ready = false;
+          break;
+        }
+      if (!ready) continue;
+      out.push_back(id);
+      emitted[id] = taken[id] = true;
+      progress = true;
+    }
+    assert(progress && "DFG must be acyclic");
+    if (!progress) break;
+  }
+  return out;
+}
+
+MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
+  MfsResult res;
+  if (auto err = g.validate()) {
+    res.error = "invalid DFG: " + *err;
+    return res;
+  }
+  const auto ops = g.operations();
+  if (ops.empty()) {
+    res.feasible = true;
+    res.schedule = sched::Schedule(g);
+    res.steps = 0;
+    return res;
+  }
+
+  const bool timeMode = opt.mode == MfsLiapunov::Mode::TimeConstrained;
+  sched::Constraints c = opt.constraints;
+
+  // Resource mode: start at the critical path and stretch cs until feasible.
+  // Time mode: cs is fixed by the user.
+  std::string tfError;
+  sched::Constraints probe;  // unconstrained probe to find the critical path
+  probe.allowChaining = c.allowChaining;
+  probe.clockNs = c.clockNs;
+  auto tf0 = computeTimeFrames(g, probe, &tfError);
+  if (!tf0) {
+    res.error = tfError;
+    return res;
+  }
+  int cs = timeMode ? c.timeSteps : std::max(tf0->criticalSteps(), c.timeSteps);
+  if (timeMode && cs < tf0->criticalSteps()) {
+    res.error = util::format("time constraint %d below critical path %d", cs,
+                             tf0->criticalSteps());
+    return res;
+  }
+  if (cs <= 0) {
+    res.error = "time-constrained MFS needs constraints.timeSteps > 0";
+    return res;
+  }
+
+  for (; cs <= opt.maxStepsCap; ++cs) {
+    c.timeSteps = cs;
+    auto tf = computeTimeFrames(g, c, &tfError);
+    if (!tf) {
+      res.error = tfError;
+      return res;
+    }
+
+    // Step 2: per-type column bounds and initial current_j.
+    std::vector<TypeState> types(dfg::kNumFuTypes);
+    for (std::size_t t = 0; t < dfg::kNumFuTypes; ++t) {
+      const auto ft = static_cast<FuType>(t);
+      auto lim = c.fuLimit.find(ft);
+      if (lim != c.fuLimit.end()) {
+        types[t].maxCols = lim->second;
+        types[t].userLimited = true;
+      } else {
+        types[t].maxCols = std::max(1, tf->upperBound(ft));
+      }
+      if (timeMode) {
+        const auto nOps = static_cast<int>(g.countOfType(ft));
+        types[t].current = std::clamp(
+            static_cast<int>(std::ceil(static_cast<double>(nOps) / cs)), 1,
+            types[t].maxCols);
+      } else {
+        // Resource mode: all allowed units are immediately usable; the
+        // redundant frame is empty and V = cs*x + y discourages new columns.
+        types[t].current = types[t].maxCols;
+      }
+    }
+
+    const auto order = topoConsistentOrder(
+        g, sched::priorityOrder(g, *tf, opt.priorityRule));
+
+    bool csInfeasible = false;
+    while (!csInfeasible) {  // placement attempts at this cs
+      // n = Max{max_j} in the time-constrained function; recomputed per
+      // attempt because an empty move frame may have grown a bound.
+      int columnBound = 1;
+      for (const auto& ts : types) columnBound = std::max(columnBound, ts.maxCols);
+      const MfsLiapunov energy(opt.mode, columnBound, cs);
+
+      sched::Schedule s(g);
+      s.setNumSteps(cs);
+      Grid grid(g, c);
+      FrameCalculator fc(g, c, *tf);
+      res.liapunovTrace.clear();
+
+      double v = 0.0;
+      std::vector<double> worstOf(g.size(), 0.0);
+      for (NodeId id : order) {
+        const auto t = static_cast<std::size_t>(dfg::fuTypeOf(g.node(id).kind));
+        worstOf[id] = energy.worstValue(types[t].maxCols, cs);
+        v += worstOf[id];
+      }
+      if (opt.traceLiapunov) res.liapunovTrace.push_back(v);
+
+      bool restart = false;
+      for (NodeId id : order) {
+        const auto t = static_cast<std::size_t>(dfg::fuTypeOf(g.node(id).kind));
+        const auto& occ = grid.table(static_cast<FuType>(t));
+        const auto frames =
+            fc.compute(s, occ, id, types[t].current, types[t].maxCols);
+
+        const sched::Placement* best = nullptr;
+        double bestV = 0.0;
+        for (const auto& cell : frames.moveFrame) {
+          const double cv = energy.value(cell.column, cell.step);
+          if (!best || cv < bestV) {
+            best = &cell;
+            bestV = cv;
+          }
+        }
+        if (!best) {
+          // Empty/occupied move frame: widen current_j and locally
+          // reschedule (Section 3.2 step 4).
+          if (types[t].current < types[t].maxCols) {
+            ++types[t].current;
+          } else if (timeMode && !types[t].userLimited) {
+            // The presumed ASAP/ALAP upper bound was too tight for this
+            // priority order; the paper allows a "presummed big number", so
+            // grow the bound.
+            ++types[t].maxCols;
+            ++types[t].current;
+          } else if (!timeMode) {
+            csInfeasible = true;  // try a longer schedule
+            break;
+          } else {
+            res.error = util::format(
+                "no feasible position for '%s' within %d %s units",
+                g.node(id).name.c_str(), types[t].maxCols,
+                std::string(dfg::fuTypeName(static_cast<FuType>(t))).c_str());
+            return res;
+          }
+          ++res.restarts;
+          if (res.restarts > opt.maxRestarts) {
+            res.error = "restart budget exhausted";
+            return res;
+          }
+          restart = true;
+          break;
+        }
+
+        grid.place(id, best->column, best->step);
+        s.place(id, best->step, best->column);
+        fc.recordPlacement(s, id, best->step);
+        v -= worstOf[id] - bestV;  // each move strictly decreases the energy
+        if (opt.traceLiapunov) res.liapunovTrace.push_back(v);
+      }
+      if (restart) continue;
+      if (csInfeasible) break;
+
+      res.feasible = true;
+      res.schedule = std::move(s);
+      res.steps = cs;
+      res.fuCount = res.schedule.fuCount();
+      return res;
+    }
+    if (timeMode) break;  // fixed cs in time mode; csInfeasible can't happen
+  }
+  res.error = util::format("no feasible schedule within %d steps", opt.maxStepsCap);
+  return res;
+}
+
+}  // namespace mframe::core

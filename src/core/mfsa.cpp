@@ -1,0 +1,374 @@
+#include "core/mfsa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <optional>
+#include <set>
+
+#include "alloc/muxopt.h"
+#include "core/frames.h"
+#include "rtl/controller.h"
+#include "core/grid.h"
+#include "core/mfs.h"
+#include "sched/timeframes.h"
+#include "util/strings.h"
+
+namespace mframe::core {
+
+namespace {
+
+using dfg::FuType;
+using dfg::NodeId;
+
+/// One allocated ALU during the search. Its module can be *upgraded* to a
+/// multifunction superset when a later operation of another type is merged
+/// into it ("an addition may be assigned to single or multifunction ALUs
+/// such as (+), (+-), (+>) or (+->), based on the cell library").
+struct AluState {
+  celllib::ModuleId module = 0;
+  int index = 0;  ///< 0-based instance index == occupancy column - 1
+  std::vector<NodeId> ops;
+  alloc::MuxArrangement arrangement;
+  double muxCost = 0.0;
+};
+
+/// Cheapest library module covering `caps` with the given stage count;
+/// nullopt when the library has none.
+std::optional<celllib::ModuleId> cheapestCovering(const celllib::CellLibrary& lib,
+                                                  const std::set<FuType>& caps,
+                                                  int stages) {
+  std::optional<celllib::ModuleId> best;
+  for (std::size_t i = 0; i < lib.modules().size(); ++i) {
+    const celllib::Module& m = lib.modules()[i];
+    if (m.stages != stages) continue;
+    if (!std::includes(m.caps.begin(), m.caps.end(), caps.begin(), caps.end()))
+      continue;
+    if (!best || m.areaUm2 < lib.module(*best).areaUm2)
+      best = static_cast<celllib::ModuleId>(i);
+  }
+  return best;
+}
+
+}  // namespace
+
+MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
+                   const MfsaOptions& opt) {
+  MfsaResult res;
+  if (auto err = g.validate()) {
+    res.error = "invalid DFG: " + *err;
+    return res;
+  }
+
+  std::set<FuType> neededTypes;
+  for (NodeId id : g.operations()) neededTypes.insert(dfg::fuTypeOf(g.node(id).kind));
+  if (auto err = lib.checkCoverage(neededTypes)) {
+    res.error = *err;
+    return res;
+  }
+
+  sched::Constraints c = opt.constraints;
+  if (c.timeSteps <= 0) {
+    res.error = "MFSA needs constraints.timeSteps > 0";
+    return res;
+  }
+  std::string tfError;
+  const auto tf = computeTimeFrames(g, c, &tfError);
+  if (!tf) {
+    res.error = tfError;
+    return res;
+  }
+  const int cs = c.timeSteps;
+
+  // Worst per-operation interconnect contribution: the mux table's largest
+  // two increments, or (bus mode) two new bus wires plus two taps.
+  const double fMuxMax =
+      opt.interconnect == InterconnectStyle::Mux
+          ? lib.maxMuxIncrement()
+          : 2.0 * (opt.busModel.busWireUm2 + opt.busModel.receiverUm2);
+  const double C = mfsaTimeConstant(lib, opt.weights) +
+                   opt.weights.mux * fMuxMax / std::max(opt.weights.time, 1e-9);
+  const double worstContribution =
+      opt.weights.time * C * cs + opt.weights.alu * lib.maxModuleArea() +
+      opt.weights.mux * fMuxMax + opt.weights.reg * 2.0 * lib.regCost();
+
+  const auto order =
+      topoConsistentOrder(g, sched::priorityOrder(g, *tf, opt.priorityRule));
+
+  // Steps 2-3 of MFS, shared by MFSA: per-type column budgets. current_j
+  // starts at the balanced minimum ceil(N_j / cs) and grows only when a move
+  // frame comes up empty (local rescheduling).
+  std::vector<int> maxCols(dfg::kNumFuTypes, 1);
+  std::vector<int> current(dfg::kNumFuTypes, 1);
+  std::vector<bool> userLimited(dfg::kNumFuTypes, false);
+  for (std::size_t t = 0; t < dfg::kNumFuTypes; ++t) {
+    const auto ft = static_cast<FuType>(t);
+    auto lim = c.fuLimit.find(ft);
+    if (lim != c.fuLimit.end()) {
+      maxCols[t] = lim->second;
+      userLimited[t] = true;
+    } else {
+      maxCols[t] = std::max(1, tf->upperBound(ft));
+    }
+    const auto nOps = static_cast<int>(g.countOfType(ft));
+    current[t] = std::clamp(
+        static_cast<int>(std::ceil(static_cast<double>(nOps) / cs)), 1,
+        maxCols[t]);
+  }
+
+  const int maxRestarts =
+      static_cast<int>(g.size()) * static_cast<int>(dfg::kNumFuTypes) * 8 + 64;
+  int restarts = 0;
+
+  while (true) {  // local-rescheduling loop
+    sched::Schedule s(g);
+    s.setNumSteps(cs);
+    ColumnOccupancy occ(g, c);
+    FrameCalculator fc(g, c, *tf);
+    std::vector<AluState> alus;
+    res.termsOf.clear();
+    res.liapunovTrace.clear();
+
+    // f_REG bookkeeping: latest cross-step consumer seen per signal.
+    std::map<NodeId, int> maxUse;
+    auto producerEnd = [&](NodeId sig) {
+      const dfg::Node& n = g.node(sig);
+      if (!dfg::isSchedulable(n.kind)) return 0;  // inputs: before step 1
+      return s.isPlaced(sig) ? s.stepOf(sig) + n.cycles - 1 : 0;
+    };
+    auto newRegsFor = [&](NodeId op, int step) {
+      int count = 0;
+      for (NodeId in : g.node(op).inputs) {
+        if (g.node(in).kind == dfg::OpKind::Const) continue;  // hardwired
+        const int pe = producerEnd(in);
+        if (step <= pe) continue;  // chained / same step: no storage yet
+        auto it = maxUse.find(in);
+        const int used = it == maxUse.end() ? pe : it->second;
+        if (used <= pe) ++count;  // first cross-step consumer: new register
+      }
+      return count;
+    };
+    auto supportCount = [&](FuType t) {
+      int n = 0;
+      for (const AluState& a : alus)
+        if (lib.module(a.module).supports(t)) ++n;
+      return n;
+    };
+
+    // Bus-mode interconnect bookkeeping: transfers per step and their peak
+    // (== bus count). An operand transfers when it is not a hardwired
+    // constant; chained reads ride bus wires from the producer ALU too.
+    std::vector<int> busTransfers(static_cast<std::size_t>(cs) + 1, 0);
+    int busPeak = 0;
+    auto busedOperands = [&](NodeId op) {
+      int k = 0;
+      for (NodeId in : g.node(op).inputs)
+        if (g.node(in).kind != dfg::OpKind::Const) ++k;
+      return k;
+    };
+    auto busDelta = [&](NodeId op, int step) {
+      const int k = busedOperands(op);
+      const int after =
+          std::max(busPeak, busTransfers[static_cast<std::size_t>(step)] + k);
+      return opt.busModel.busWireUm2 * (after - busPeak) +
+             opt.busModel.receiverUm2 * k;
+    };
+
+    double v = worstContribution * static_cast<double>(order.size());
+    if (opt.traceLiapunov) res.liapunovTrace.push_back(v);
+
+    bool restart = false;
+    for (NodeId id : order) {
+      const dfg::Node& n = g.node(id);
+      const FuType type = dfg::fuTypeOf(n.kind);
+      const auto ti = static_cast<std::size_t>(type);
+
+      struct Candidate {
+        int alu = -1;                 ///< existing ALU index, or -1 = fresh
+        celllib::ModuleId module = 0; ///< module after placement (upgrades!)
+        int step = 0;
+        MfsaTerms terms;
+        double f = 0.0;
+      };
+      std::vector<Candidate> cands;
+
+      auto pushSteps = [&](int aluIdx, celllib::ModuleId module, double fAlu,
+                           double muxBefore, const std::vector<NodeId>& baseOps) {
+        // Interconnect term: mux-cost delta under the best arrangement, or
+        // the bus-cost delta when building a bus architecture. The mux delta
+        // is step-independent; the bus delta depends on the chosen step.
+        double fMux = 0.0;
+        if (opt.interconnect == InterconnectStyle::Mux) {
+          std::vector<NodeId> after = baseOps;
+          after.push_back(id);
+          const auto arrAfter = alloc::arrangeInputs(g, after);
+          fMux = alloc::muxCostOf(lib, arrAfter) - muxBefore;
+        }
+        for (int step = tf->asap(id); step <= tf->alap(id); ++step) {
+          if (!fc.depOk(s, id, step).ok) continue;
+          if (aluIdx >= 0 && !occ.canPlace(id, aluIdx + 1, step)) continue;
+          Candidate cd;
+          cd.alu = aluIdx;
+          cd.module = module;
+          cd.step = step;
+          cd.terms.fTime = C * step;
+          cd.terms.fAlu = fAlu;
+          cd.terms.fMux = opt.interconnect == InterconnectStyle::Mux
+                              ? fMux
+                              : busDelta(id, step);
+          cd.terms.fReg = lib.regCost() * newRegsFor(id, step);
+          cd.f = cd.terms.weighted(opt.weights);
+          cands.push_back(cd);
+        }
+      };
+
+      const bool budgetOpen = supportCount(type) < current[ti];
+      for (const AluState& a : alus) {
+        const celllib::Module& m = lib.module(a.module);
+        if (opt.style == rtl::DesignStyle::NoSelfLoop) {
+          // Section 4.2 style 2: an operation may not share an ALU with a
+          // predecessor or successor.
+          bool clash = false;
+          for (NodeId p : g.opPreds(id))
+            if (std::find(a.ops.begin(), a.ops.end(), p) != a.ops.end())
+              clash = true;
+          for (NodeId sc : g.opSuccs(id))
+            if (std::find(a.ops.begin(), a.ops.end(), sc) != a.ops.end())
+              clash = true;
+          if (clash) continue;
+        }
+        if (m.supports(type)) {
+          pushSteps(a.index, a.module, /*fAlu=*/0.0, a.muxCost, a.ops);
+        } else if (budgetOpen) {
+          // Merge by upgrading the ALU to a multifunction superset:
+          // f_ALU = the area increment of the richer module.
+          std::set<FuType> caps = m.caps;
+          caps.insert(type);
+          if (auto up = cheapestCovering(lib, caps, m.stages)) {
+            const double delta = lib.module(*up).areaUm2 - m.areaUm2;
+            pushSteps(a.index, *up, delta, a.muxCost, a.ops);
+          }
+        }
+      }
+      if (budgetOpen) {
+        for (celllib::ModuleId m : lib.capableModules(type))
+          pushSteps(-1, m, lib.module(m).areaUm2, 0.0, {});
+      }
+
+      const Candidate* chosen = nullptr;
+      for (const Candidate& cd : cands)
+        if (!chosen || cd.f < chosen->f ||
+            (cd.f == chosen->f &&
+             std::tie(cd.step, cd.alu) < std::tie(chosen->step, chosen->alu)))
+          chosen = &cd;
+
+      if (!chosen) {
+        // Empty move frame: widen the type's column budget and reschedule
+        // locally (Section 3.2 step 4 / Section 4.2).
+        if (current[ti] < maxCols[ti]) {
+          ++current[ti];
+        } else if (!userLimited[ti]) {
+          ++maxCols[ti];
+          ++current[ti];
+        } else {
+          res.error = util::format(
+              "no feasible MFSA position for '%s' within %d %s ALUs",
+              n.name.c_str(), maxCols[ti],
+              std::string(dfg::fuTypeName(type)).c_str());
+          return res;
+        }
+        if (++restarts > maxRestarts) {
+          res.error = "MFSA restart budget exhausted";
+          return res;
+        }
+        restart = true;
+        break;
+      }
+
+      // Commit the move.
+      int aluIdx = chosen->alu;
+      if (aluIdx < 0) {
+        AluState a;
+        a.index = static_cast<int>(alus.size());
+        alus.push_back(std::move(a));
+        aluIdx = alus.back().index;
+        if (lib.module(chosen->module).stages > 1)
+          occ.setPipelined(aluIdx + 1, true);
+      }
+      AluState& a = alus[static_cast<std::size_t>(aluIdx)];
+      a.module = chosen->module;  // fresh assignment or upgrade
+      a.ops.push_back(id);
+      a.arrangement = alloc::arrangeInputs(g, a.ops);
+      a.muxCost = alloc::muxCostOf(lib, a.arrangement);
+
+      occ.place(id, aluIdx + 1, chosen->step);
+      s.place(id, chosen->step, aluIdx + 1);
+      fc.recordPlacement(s, id, chosen->step);
+      if (opt.interconnect == InterconnectStyle::Bus) {
+        busTransfers[static_cast<std::size_t>(chosen->step)] += busedOperands(id);
+        busPeak = std::max(busPeak,
+                           busTransfers[static_cast<std::size_t>(chosen->step)]);
+      }
+      for (NodeId in : n.inputs) {
+        if (g.node(in).kind == dfg::OpKind::Const) continue;
+        if (chosen->step > producerEnd(in)) {
+          auto it = maxUse.find(in);
+          maxUse[in] = it == maxUse.end()
+                           ? chosen->step
+                           : std::max(it->second, chosen->step);
+        }
+      }
+
+      res.termsOf[id] = chosen->terms;
+      v -= worstContribution - chosen->f;
+      if (opt.traceLiapunov) res.liapunovTrace.push_back(v);
+    }
+    if (restart) continue;
+
+    // Assemble the RTL structure and its cost.
+    std::vector<rtl::AluInstance> insts;
+    insts.reserve(alus.size());
+    for (const AluState& a : alus) insts.push_back({a.module, a.index, a.ops});
+    res.datapath = rtl::buildDatapath(g, lib, s, std::move(insts));
+    res.cost = rtl::evaluateCost(res.datapath);
+    if (opt.interconnect == InterconnectStyle::Bus) {
+      // Replace the mux interconnect area by the final shared-bus plan.
+      const auto fsm = rtl::buildController(res.datapath);
+      res.busPlan = rtl::planBuses(res.datapath, fsm, opt.busModel);
+      res.cost.muxArea = res.busPlan->totalCost;
+      res.cost.total = res.cost.aluArea + res.cost.regArea + res.cost.muxArea;
+    }
+    res.steps = cs;
+    res.restarts = restarts;
+    res.feasible = true;
+    return res;
+  }
+}
+
+MfsaResult runMfsaResourceConstrained(const dfg::Dfg& g,
+                                      const celllib::CellLibrary& lib,
+                                      MfsaOptions opt, int maxStepsCap) {
+  MfsaResult last;
+  std::string tfError;
+  sched::Constraints probe = opt.constraints;
+  probe.timeSteps = 0;
+  const auto tf = computeTimeFrames(g, probe, &tfError);
+  if (!tf) {
+    last.error = tfError;
+    return last;
+  }
+  int cs = std::max(opt.constraints.timeSteps, tf->criticalSteps());
+  for (; cs <= maxStepsCap; ++cs) {
+    opt.constraints.timeSteps = cs;
+    last = runMfsa(g, lib, opt);
+    if (last.feasible) return last;
+    // Infeasibility under hard budgets surfaces as an exhausted column
+    // budget; any other error will not improve with more steps.
+    if (last.error.find("no feasible MFSA position") == std::string::npos)
+      return last;
+  }
+  last.error = util::format("no feasible design within %d steps", maxStepsCap);
+  return last;
+}
+
+}  // namespace mframe::core

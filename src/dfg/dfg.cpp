@@ -1,0 +1,152 @@
+#include "dfg/dfg.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace mframe::dfg {
+
+NodeId Dfg::addNode(Node n) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  n.id = id;
+  nodes_.push_back(std::move(n));
+  succValid_ = false;
+  return id;
+}
+
+void Dfg::markOutput(NodeId id, std::string externalName) {
+  outputs_.emplace_back(id, std::move(externalName));
+}
+
+void Dfg::ensureSuccs() const {
+  if (succValid_) return;
+  succCache_.assign(nodes_.size(), {});
+  for (const Node& n : nodes_)
+    for (NodeId in : n.inputs)
+      if (in < nodes_.size()) succCache_[in].push_back(n.id);
+  succValid_ = true;
+}
+
+const std::vector<NodeId>& Dfg::succs(NodeId id) const {
+  ensureSuccs();
+  return succCache_[id];
+}
+
+std::vector<NodeId> Dfg::opPreds(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId p : nodes_[id].inputs)
+    if (isSchedulable(nodes_[p].kind)) out.push_back(p);
+  return out;
+}
+
+std::vector<NodeId> Dfg::opSuccs(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId s : succs(id))
+    if (isSchedulable(nodes_[s].kind)) out.push_back(s);
+  return out;
+}
+
+std::vector<NodeId> Dfg::operations() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_)
+    if (isSchedulable(n.kind)) out.push_back(n.id);
+  return out;
+}
+
+std::size_t Dfg::countOfType(FuType t) const {
+  std::size_t c = 0;
+  for (const Node& n : nodes_)
+    if (isSchedulable(n.kind) && fuTypeOf(n.kind) == t) ++c;
+  return c;
+}
+
+std::optional<std::vector<NodeId>> Dfg::topoOrder() const {
+  std::vector<int> indeg(nodes_.size(), 0);
+  for (const Node& n : nodes_)
+    for (NodeId in : n.inputs) {
+      (void)in;
+      ++indeg[n.id];
+    }
+  std::vector<NodeId> ready;
+  for (const Node& n : nodes_)
+    if (indeg[n.id] == 0) ready.push_back(n.id);
+
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    NodeId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (NodeId s : succs(id))
+      if (--indeg[s] == 0) ready.push_back(s);
+  }
+  if (order.size() != nodes_.size()) return std::nullopt;  // cycle
+  return order;
+}
+
+bool pathsMutuallyExclusive(std::string_view a, std::string_view b) {
+  const auto pa = util::split(a, '.');
+  const auto pb = util::split(b, '.');
+  if (a.empty() || b.empty()) return false;
+  // Components alternate: cond-id at even index, arm-id at odd index.
+  const std::size_t n = std::min(pa.size(), pb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pa[i] == pb[i]) continue;
+    // First divergence. Exclusive only when it happens at an arm component
+    // (odd index) — i.e. same conditional, different arms. Divergence at a
+    // conditional component means unrelated conditionals, which can both
+    // execute.
+    return (i % 2) == 1;
+  }
+  return false;  // one path prefixes the other: nested, can co-execute
+}
+
+bool Dfg::mutuallyExclusive(NodeId a, NodeId b) const {
+  return pathsMutuallyExclusive(nodes_[a].branchPath, nodes_[b].branchPath);
+}
+
+NodeId Dfg::findByName(std::string_view name) const {
+  for (const Node& n : nodes_)
+    if (n.name == name) return n.id;
+  return kNoNode;
+}
+
+std::optional<std::string> Dfg::validate() const {
+  std::unordered_set<std::string> names;
+  for (const Node& n : nodes_) {
+    if (n.id >= nodes_.size() || &nodes_[n.id] != &n)
+      return util::format("node '%s': inconsistent id", n.name.c_str());
+    if (n.name.empty()) return util::format("node %u has an empty name", n.id);
+    if (!names.insert(n.name).second)
+      return util::format("duplicate signal name '%s'", n.name.c_str());
+    if (n.kind != OpKind::LoopSuper &&
+        static_cast<int>(n.inputs.size()) != arity(n.kind))
+      return util::format("node '%s' (%s): expects %d inputs, has %zu",
+                          n.name.c_str(), std::string(kindName(n.kind)).c_str(),
+                          arity(n.kind), n.inputs.size());
+    for (NodeId in : n.inputs) {
+      if (in >= nodes_.size())
+        return util::format("node '%s': input id %u out of range", n.name.c_str(), in);
+      if (in >= n.id)
+        return util::format("node '%s': input '%s' is not older than the node "
+                            "(graph must be built in topological order)",
+                            n.name.c_str(), nodes_[in].name.c_str());
+    }
+    if (n.cycles < 1)
+      return util::format("node '%s': cycles=%d must be >= 1", n.name.c_str(), n.cycles);
+    // A conditional path must have an even number of components (pairs).
+    if (!n.branchPath.empty() && util::split(n.branchPath, '.').size() % 2 != 0)
+      return util::format("node '%s': malformed branch path '%s'",
+                          n.name.c_str(), n.branchPath.c_str());
+  }
+  for (const auto& [id, ext] : outputs_) {
+    if (id >= nodes_.size())
+      return util::format("output '%s': node id %u out of range", ext.c_str(), id);
+  }
+  if (!topoOrder()) return "graph contains a cycle";
+  return std::nullopt;
+}
+
+}  // namespace mframe::dfg

@@ -1,0 +1,119 @@
+// The data-flow graph (DFG) intermediate representation.
+//
+// A Dfg is a DAG of operations. Each node produces one named signal; data
+// edges are the `inputs` lists. Input and Const nodes anchor primary inputs
+// and literals; any node can be marked a primary output. Nodes carry the
+// attributes the Section-5 extensions need: a cycle count (multicycle
+// operations), an optional combinational delay override (chaining) and a
+// branch path encoding conditional nesting (mutual exclusion).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfg/op.h"
+
+namespace mframe::dfg {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// One DFG node. Plain data; invariants are maintained by Dfg/Builder.
+struct Node {
+  NodeId id = kNoNode;
+  OpKind kind = OpKind::Input;
+  std::string name;             ///< name of the produced signal (unique)
+  std::vector<NodeId> inputs;   ///< data predecessors, in operand order
+
+  int cycles = 1;               ///< execution time in control steps (>= 1)
+  double delayNs = -1.0;        ///< combinational delay; < 0 => defaultDelayNs(kind)
+
+  /// Conditional-nesting path, e.g. "" (unconditional), "c1.t", "c1.e.c2.t".
+  /// Elements alternate conditional-id and arm-id separated by '.'; two nodes
+  /// are mutually exclusive iff their paths first differ at an arm element
+  /// under the same conditional (see Dfg::mutuallyExclusive).
+  std::string branchPath;
+
+  long constValue = 0;          ///< literal value for Const nodes
+
+  double effectiveDelayNs() const {
+    return delayNs >= 0 ? delayNs : defaultDelayNs(kind);
+  }
+};
+
+/// Immutable-after-build DAG of operations. Use dfg::Builder to construct,
+/// or dfg::parse for the textual format.
+class Dfg {
+ public:
+  Dfg() = default;
+  explicit Dfg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void setName(std::string n) { name_ = std::move(n); }
+
+  /// Append a node; returns its id. The node's `inputs` must reference
+  /// existing nodes (enforced in validate()). Invalidates adjacency caches.
+  NodeId addNode(Node n);
+
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& node(NodeId id) { return nodes_[id]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Mark `id` as a primary output under the given external name.
+  void markOutput(NodeId id, std::string externalName);
+  const std::vector<std::pair<NodeId, std::string>>& outputs() const { return outputs_; }
+
+  /// Data predecessors of `id` (its inputs). Convenience accessor.
+  const std::vector<NodeId>& preds(NodeId id) const { return nodes_[id].inputs; }
+
+  /// Data successors of `id` (consumers of its signal). Computed on demand
+  /// and cached; any addNode() invalidates the cache.
+  const std::vector<NodeId>& succs(NodeId id) const;
+
+  /// Schedulable (operation) predecessors/successors only — Input/Const
+  /// nodes filtered out. These define the precedence constraints the
+  /// schedulers enforce.
+  std::vector<NodeId> opPreds(NodeId id) const;
+  std::vector<NodeId> opSuccs(NodeId id) const;
+
+  /// Ids of all schedulable nodes, in insertion order.
+  std::vector<NodeId> operations() const;
+
+  /// Count of schedulable nodes of the given FU type.
+  std::size_t countOfType(FuType t) const;
+
+  /// A topological order over all nodes (inputs first). Empty optional if
+  /// the graph has a cycle.
+  std::optional<std::vector<NodeId>> topoOrder() const;
+
+  /// True if a and b can never execute in the same run: their branch paths
+  /// diverge into different arms of the same conditional (Section 5.1).
+  bool mutuallyExclusive(NodeId a, NodeId b) const;
+
+  /// Find a node by signal name; kNoNode if absent.
+  NodeId findByName(std::string_view name) const;
+
+  /// Full structural validation: ids consistent, names unique, input refs in
+  /// range and acyclic, arities match kinds, cycles >= 1. Returns an error
+  /// description, or std::nullopt when the graph is well-formed.
+  std::optional<std::string> validate() const;
+
+ private:
+  void ensureSuccs() const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<std::pair<NodeId, std::string>> outputs_;
+  mutable std::vector<std::vector<NodeId>> succCache_;
+  mutable bool succValid_ = false;
+};
+
+/// Two branch paths are mutually exclusive iff they first differ at an arm
+/// component of the same conditional. Exposed for tests and the transforms.
+bool pathsMutuallyExclusive(std::string_view a, std::string_view b);
+
+}  // namespace mframe::dfg

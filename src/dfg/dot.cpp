@@ -1,0 +1,38 @@
+#include "dfg/dot.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace mframe::dfg {
+
+std::string toDot(const Dfg& g, const std::map<NodeId, int>& stepOf) {
+  std::string out = "digraph \"" + g.name() + "\" {\n  rankdir=TB;\n";
+  for (const Node& n : g.nodes()) {
+    std::string label = n.name + "\\n" + std::string(kindSymbol(n.kind));
+    std::string shape = "ellipse";
+    if (n.kind == OpKind::Input) shape = "invtriangle";
+    if (n.kind == OpKind::Const) shape = "box";
+    auto it = stepOf.find(n.id);
+    if (it != stepOf.end()) label += util::format("\\n@%d", it->second);
+    out += util::format("  n%u [label=\"%s\", shape=%s];\n", n.id, label.c_str(),
+                        shape.c_str());
+  }
+  for (const Node& n : g.nodes())
+    for (NodeId in : n.inputs)
+      out += util::format("  n%u -> n%u;\n", in, n.id);
+
+  // Group scheduled nodes by control step so the layout mirrors the schedule.
+  std::set<int> steps;
+  for (const auto& [id, s] : stepOf) steps.insert(s);
+  for (int s : steps) {
+    out += "  { rank=same;";
+    for (const auto& [id, st] : stepOf)
+      if (st == s) out += util::format(" n%u;", id);
+    out += " }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mframe::dfg

@@ -1,0 +1,15 @@
+// Graphviz DOT export for DFGs, optionally annotated with a schedule.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dfg/dfg.h"
+
+namespace mframe::dfg {
+
+/// Render the graph in DOT. When `stepOf` is non-empty, nodes are ranked by
+/// control step (same-step operations share a rank) and labeled "name@step".
+std::string toDot(const Dfg& g, const std::map<NodeId, int>& stepOf = {});
+
+}  // namespace mframe::dfg

@@ -1,0 +1,152 @@
+#include "dfg/op.h"
+
+#include <array>
+#include <cassert>
+
+namespace mframe::dfg {
+
+namespace {
+
+struct KindInfo {
+  OpKind kind;
+  std::string_view name;
+  std::string_view symbol;
+  int arity;
+  bool commutative;
+  FuType fu;
+  double delayNs;
+};
+
+// Delays are representative of a ~100ns-cycle 1989 standard-cell process
+// (see DESIGN.md, substitutions): a 16-bit ripple add fits in ~40ns, a
+// combinational 16x16 multiply needs ~160ns (hence the 2-cycle multipliers in
+// the paper's examples 5 and 6), logic and comparison are fast.
+constexpr std::array<KindInfo, 21> kKinds{{
+    {OpKind::Input, "input", "in", 0, false, FuType::Adder, 0.0},
+    {OpKind::Const, "const", "#", 0, false, FuType::Adder, 0.0},
+    {OpKind::Add, "add", "+", 2, true, FuType::Adder, 40.0},
+    {OpKind::Sub, "sub", "-", 2, false, FuType::Subtractor, 40.0},
+    {OpKind::Mul, "mul", "*", 2, true, FuType::Multiplier, 160.0},
+    {OpKind::Div, "div", "/", 2, false, FuType::Divider, 200.0},
+    {OpKind::Inc, "inc", "++", 1, false, FuType::Incrementer, 25.0},
+    {OpKind::Dec, "dec", "--", 1, false, FuType::Decrementer, 25.0},
+    {OpKind::And, "and", "&", 2, true, FuType::AndGate, 10.0},
+    {OpKind::Or, "or", "|", 2, true, FuType::OrGate, 10.0},
+    {OpKind::Xor, "xor", "^", 2, true, FuType::XorGate, 12.0},
+    {OpKind::Not, "not", "!", 1, false, FuType::NotGate, 5.0},
+    {OpKind::Shl, "shl", "<<", 2, false, FuType::Shifter, 20.0},
+    {OpKind::Shr, "shr", ">>", 2, false, FuType::Shifter, 20.0},
+    {OpKind::Eq, "eq", "=", 2, true, FuType::Comparator, 30.0},
+    {OpKind::Ne, "ne", "!=", 2, true, FuType::Comparator, 30.0},
+    {OpKind::Lt, "lt", "<", 2, false, FuType::Comparator, 30.0},
+    {OpKind::Gt, "gt", ">", 2, false, FuType::Comparator, 30.0},
+    {OpKind::Le, "le", "<=", 2, false, FuType::Comparator, 30.0},
+    {OpKind::Ge, "ge", ">=", 2, false, FuType::Comparator, 30.0},
+    {OpKind::LoopSuper, "loop", "@", 0, false, FuType::LoopUnit, 0.0},
+}};
+
+const KindInfo& info(OpKind k) {
+  for (const auto& i : kKinds)
+    if (i.kind == k) return i;
+  assert(false && "unknown OpKind");
+  return kKinds[0];
+}
+
+}  // namespace
+
+int arity(OpKind k) { return info(k).arity; }
+bool isCommutative(OpKind k) { return info(k).commutative; }
+
+bool isSchedulable(OpKind k) {
+  return k != OpKind::Input && k != OpKind::Const;
+}
+
+FuType fuTypeOf(OpKind k) {
+  assert(isSchedulable(k));
+  return info(k).fu;
+}
+
+double defaultDelayNs(OpKind k) { return info(k).delayNs; }
+
+std::string_view kindName(OpKind k) { return info(k).name; }
+std::string_view kindSymbol(OpKind k) { return info(k).symbol; }
+
+std::string_view fuTypeName(FuType t) {
+  switch (t) {
+    case FuType::Adder: return "adder";
+    case FuType::Subtractor: return "subtractor";
+    case FuType::Multiplier: return "multiplier";
+    case FuType::Divider: return "divider";
+    case FuType::Incrementer: return "incrementer";
+    case FuType::Decrementer: return "decrementer";
+    case FuType::AndGate: return "and";
+    case FuType::OrGate: return "or";
+    case FuType::XorGate: return "xor";
+    case FuType::NotGate: return "not";
+    case FuType::Shifter: return "shifter";
+    case FuType::Comparator: return "comparator";
+    case FuType::LoopUnit: return "loop-unit";
+  }
+  return "?";
+}
+
+std::string_view fuTypeSymbol(FuType t) {
+  switch (t) {
+    case FuType::Adder: return "+";
+    case FuType::Subtractor: return "-";
+    case FuType::Multiplier: return "*";
+    case FuType::Divider: return "/";
+    case FuType::Incrementer: return "++";
+    case FuType::Decrementer: return "--";
+    case FuType::AndGate: return "&";
+    case FuType::OrGate: return "|";
+    case FuType::XorGate: return "^";
+    case FuType::NotGate: return "!";
+    case FuType::Shifter: return "<>";
+    case FuType::Comparator: return "<";
+    case FuType::LoopUnit: return "@";
+  }
+  return "?";
+}
+
+bool parseFuType(std::string_view text, FuType& out) {
+  struct Alias {
+    std::string_view alias;
+    FuType type;
+  };
+  static constexpr Alias kAliases[] = {
+      {"add", FuType::Adder},        {"sub", FuType::Subtractor},
+      {"mul", FuType::Multiplier},   {"div", FuType::Divider},
+      {"inc", FuType::Incrementer},  {"dec", FuType::Decrementer},
+      {"and", FuType::AndGate},      {"or", FuType::OrGate},
+      {"xor", FuType::XorGate},      {"not", FuType::NotGate},
+      {"shift", FuType::Shifter},    {"cmp", FuType::Comparator},
+      {"loop", FuType::LoopUnit},
+  };
+  for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+    const auto ft = static_cast<FuType>(t);
+    if (text == fuTypeName(ft) || text == fuTypeSymbol(ft)) {
+      out = ft;
+      return true;
+    }
+  }
+  for (const Alias& a : kAliases) {
+    if (text == a.alias) {
+      out = a.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parseKind(std::string_view text, OpKind& out) {
+  for (const auto& i : kKinds) {
+    if (text == i.name || text == i.symbol) {
+      out = i.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mframe::dfg

@@ -1,0 +1,103 @@
+// Operation kinds and their static properties.
+//
+// The paper schedules operations drawn from the usual behavioral-synthesis
+// repertoire: arithmetic (*, +, -, /), logic (&, |, ^, !), relational
+// (<, >, =, ...) and the increment/decrement forms used when loop bookkeeping
+// operations are added to a loop body (Section 5.2). Each kind carries the
+// properties the schedulers need: arity, commutativity, a default
+// combinational delay (used by the chaining extension of Section 5.4) and the
+// single-function FU type it maps to in MFS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mframe::dfg {
+
+enum class OpKind : std::uint8_t {
+  // Non-computational nodes.
+  Input,    ///< primary input; produces a named signal, never scheduled
+  Const,    ///< literal constant; never scheduled
+  // Arithmetic.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Inc,      ///< unary +1 (loop bookkeeping)
+  Dec,      ///< unary -1
+  // Logic.
+  And,
+  Or,
+  Xor,
+  Not,      ///< unary complement
+  Shl,
+  Shr,
+  // Relational (all map to the comparator FU type).
+  Eq,
+  Ne,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  // Hierarchy.
+  LoopSuper,  ///< a folded inner loop treated as one multicycle operation (Section 5.2)
+};
+
+/// Functional-unit type used by MFS, where units are single-function
+/// operators (Section 2.3: "in a scheduling algorithm, the functional units
+/// are assumed to be single function operators"). All relational kinds share
+/// the comparator; everything else has its own unit type.
+enum class FuType : std::uint8_t {
+  Adder,
+  Subtractor,
+  Multiplier,
+  Divider,
+  Incrementer,
+  Decrementer,
+  AndGate,
+  OrGate,
+  XorGate,
+  NotGate,
+  Shifter,
+  Comparator,
+  LoopUnit,  ///< pseudo-unit occupied by a folded loop body
+};
+
+inline constexpr std::size_t kNumFuTypes = 13;
+
+/// Number of data inputs the kind consumes (0 for Input/Const).
+int arity(OpKind k);
+
+/// True when operand order does not matter; the mux optimizer (Section 5.6)
+/// may swap the operands of commutative operations to improve input sharing.
+bool isCommutative(OpKind k);
+
+/// True for kinds that occupy a functional unit and must be scheduled.
+bool isSchedulable(OpKind k);
+
+/// The single-function FU type for a schedulable kind. Precondition:
+/// isSchedulable(k).
+FuType fuTypeOf(OpKind k);
+
+/// Default combinational delay in nanoseconds, used when a node does not
+/// override it. Values model a late-1980s standard-cell flavor: multipliers
+/// and dividers are far slower than adders, logic is fast. Only ratios
+/// matter for the chaining decisions.
+double defaultDelayNs(OpKind k);
+
+/// Human-readable names ("mul") and the paper's one-character symbols ("*").
+std::string_view kindName(OpKind k);
+std::string_view kindSymbol(OpKind k);
+std::string_view fuTypeName(FuType t);
+std::string_view fuTypeSymbol(FuType t);
+
+/// Parse a kind from its name or symbol; returns false on unknown text.
+bool parseKind(std::string_view text, OpKind& out);
+
+/// Parse an FU type from its name ("adder"), symbol ("+") or the short
+/// aliases used by the CLI and the library file format ("add", "mul",
+/// "cmp", ...); returns false on unknown text.
+bool parseFuType(std::string_view text, FuType& out);
+
+}  // namespace mframe::dfg

@@ -1,0 +1,122 @@
+#include "dfg/parser.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "dfg/builder.h"
+#include "util/strings.h"
+
+namespace mframe::dfg {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw DfgError(util::format("dfg parse error at line %d: %s", line, msg.c_str()));
+}
+
+}  // namespace
+
+Dfg parse(std::string_view text) {
+  Dfg g;
+  std::unordered_map<std::string, NodeId> byName;
+  std::istringstream in{std::string(text)};
+  std::string rawLine;
+  int lineNo = 0;
+  bool sawHeader = false;
+
+  while (std::getline(in, rawLine)) {
+    ++lineNo;
+    const auto hash = rawLine.find('#');
+    if (hash != std::string::npos) rawLine.erase(hash);
+    const auto tok = util::splitWs(rawLine);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "dfg") {
+      if (tok.size() != 2) fail(lineNo, "expected: dfg <name>");
+      g.setName(tok[1]);
+      sawHeader = true;
+    } else if (tok[0] == "input") {
+      if (tok.size() != 2) fail(lineNo, "expected: input <signal>");
+      Node n;
+      n.kind = OpKind::Input;
+      n.name = tok[1];
+      byName[tok[1]] = g.addNode(std::move(n));
+    } else if (tok[0] == "const") {
+      if (tok.size() != 3) fail(lineNo, "expected: const <value> <signal>");
+      Node n;
+      n.kind = OpKind::Const;
+      n.constValue = std::strtol(tok[1].c_str(), nullptr, 10);
+      n.name = tok[2];
+      byName[tok[2]] = g.addNode(std::move(n));
+    } else if (tok[0] == "op") {
+      if (tok.size() < 4) fail(lineNo, "expected: op <kind> <signal> <in...> [attrs]");
+      OpKind kind;
+      if (!parseKind(tok[1], kind)) fail(lineNo, "unknown op kind '" + tok[1] + "'");
+      Node n;
+      n.kind = kind;
+      n.name = tok[2];
+      std::size_t i = 3;
+      for (; i < tok.size() && tok[i].find('=') == std::string::npos; ++i) {
+        auto it = byName.find(tok[i]);
+        if (it == byName.end()) fail(lineNo, "unknown input signal '" + tok[i] + "'");
+        n.inputs.push_back(it->second);
+      }
+      for (; i < tok.size(); ++i) {
+        const auto eq = tok[i].find('=');
+        if (eq == std::string::npos) fail(lineNo, "operands must precede attributes");
+        const std::string key = tok[i].substr(0, eq);
+        const std::string val = tok[i].substr(eq + 1);
+        if (key == "cycles") {
+          const long c = util::parseLong(val);
+          if (c < 1) fail(lineNo, "bad cycles value '" + val + "'");
+          n.cycles = static_cast<int>(c);
+        } else if (key == "delay") {
+          n.delayNs = std::strtod(val.c_str(), nullptr);
+        } else if (key == "branch") {
+          n.branchPath = val;
+        } else {
+          fail(lineNo, "unknown attribute '" + key + "'");
+        }
+      }
+      const std::string name = n.name;  // addNode consumes n
+      byName[name] = g.addNode(std::move(n));
+    } else if (tok[0] == "output") {
+      if (tok.size() != 3) fail(lineNo, "expected: output <external-name> <signal>");
+      auto it = byName.find(tok[2]);
+      if (it == byName.end()) fail(lineNo, "unknown signal '" + tok[2] + "'");
+      g.markOutput(it->second, tok[1]);
+    } else {
+      fail(lineNo, "unknown statement '" + tok[0] + "'");
+    }
+  }
+  if (!sawHeader) throw DfgError("dfg parse error: missing 'dfg <name>' header");
+  if (auto err = g.validate()) throw DfgError(g.name() + ": " + *err);
+  return g;
+}
+
+std::string serialize(const Dfg& g) {
+  std::string out = "dfg " + g.name() + "\n";
+  for (const Node& n : g.nodes()) {
+    switch (n.kind) {
+      case OpKind::Input:
+        out += "input " + n.name + "\n";
+        break;
+      case OpKind::Const:
+        out += util::format("const %ld %s\n", n.constValue, n.name.c_str());
+        break;
+      default: {
+        out += "op " + std::string(kindName(n.kind)) + " " + n.name;
+        for (NodeId in : n.inputs) out += " " + g.node(in).name;
+        if (n.cycles != 1) out += util::format(" cycles=%d", n.cycles);
+        if (n.delayNs >= 0) out += util::format(" delay=%g", n.delayNs);
+        if (!n.branchPath.empty()) out += " branch=" + n.branchPath;
+        out += "\n";
+      }
+    }
+  }
+  for (const auto& [id, ext] : g.outputs())
+    out += "output " + ext + " " + g.node(id).name + "\n";
+  return out;
+}
+
+}  // namespace mframe::dfg

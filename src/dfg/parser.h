@@ -1,0 +1,30 @@
+// Textual DFG format, so benchmark graphs can live outside C++ and users can
+// feed their own designs to the schedulers. Grammar (one statement per line,
+// '#' starts a comment):
+//
+//   dfg <name>
+//   input <signal>
+//   const <value> <signal>
+//   op <kind> <signal> <in1> [<in2>] [cycles=<k>] [delay=<ns>] [branch=<path>]
+//   output <external-name> <signal>
+//
+// <kind> accepts both names ("mul") and symbols ("*"); inputs are referenced
+// by signal name and must be defined on earlier lines (the graph is written
+// in topological order, as Dfg requires).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dfg/dfg.h"
+
+namespace mframe::dfg {
+
+/// Parse the textual format. Throws DfgError with a line number on any
+/// syntactic or structural problem.
+Dfg parse(std::string_view text);
+
+/// Serialize back to the textual format (round-trips through parse()).
+std::string serialize(const Dfg& g);
+
+}  // namespace mframe::dfg

@@ -1,0 +1,66 @@
+#include "dfg/stats.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace mframe::dfg {
+
+DfgStats computeStats(const Dfg& g) {
+  DfgStats st;
+  st.nodes = g.size();
+  st.outputs = g.outputs().size();
+
+  std::vector<int> depth(g.size(), 0);
+  std::size_t fanoutCarriers = 0;
+  std::size_t fanoutTotal = 0;
+  for (const Node& n : g.nodes()) {
+    switch (n.kind) {
+      case OpKind::Input: ++st.inputs; break;
+      case OpKind::Const: ++st.constants; break;
+      default: {
+        ++st.operations;
+        ++st.opMix[n.kind];
+        ++st.typeMix[fuTypeOf(n.kind)];
+        if (n.cycles > 1) ++st.multicycleOps;
+        if (!n.branchPath.empty()) ++st.conditionalOps;
+        int start = 1;
+        for (NodeId p : g.opPreds(n.id))
+          start = std::max(start, depth[p] + g.node(p).cycles);
+        depth[n.id] = start;
+        st.criticalPath = std::max(st.criticalPath, start + n.cycles - 1);
+        break;
+      }
+    }
+    if (n.kind != OpKind::Const) {
+      ++fanoutCarriers;
+      const int fo = static_cast<int>(g.succs(n.id).size());
+      fanoutTotal += static_cast<std::size_t>(fo);
+      st.maxFanout = std::max(st.maxFanout, fo);
+    }
+  }
+  if (fanoutCarriers > 0)
+    st.avgFanout = static_cast<double>(fanoutTotal) /
+                   static_cast<double>(fanoutCarriers);
+  if (st.criticalPath > 0)
+    st.parallelism =
+        static_cast<double>(st.operations) / static_cast<double>(st.criticalPath);
+  return st;
+}
+
+std::string DfgStats::toString() const {
+  std::string out = util::format(
+      "%zu nodes (%zu ops, %zu inputs, %zu consts), %zu outputs\n", nodes,
+      operations, inputs, constants, outputs);
+  out += "op mix:";
+  for (const auto& [kind, count] : opMix)
+    out += util::format(" %d%s", count, std::string(kindSymbol(kind)).c_str());
+  out += util::format(
+      "\ncritical path %d step(s), parallelism %.2f ops/step\n"
+      "fanout max %d avg %.2f; %zu multicycle op(s), %zu conditional op(s)\n",
+      criticalPath, parallelism, maxFanout, avgFanout, multicycleOps,
+      conditionalOps);
+  return out;
+}
+
+}  // namespace mframe::dfg

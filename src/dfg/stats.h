@@ -1,0 +1,33 @@
+// Structural statistics over a DFG: size, op mix, depth profile, fanout —
+// the quick-look numbers a designer wants before scheduling (`mframe ...
+// --stats` and the workload documentation tables).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dfg/dfg.h"
+
+namespace mframe::dfg {
+
+struct DfgStats {
+  std::size_t nodes = 0;
+  std::size_t operations = 0;
+  std::size_t inputs = 0;
+  std::size_t constants = 0;
+  std::size_t outputs = 0;
+  std::map<OpKind, int> opMix;
+  std::map<FuType, int> typeMix;
+  int criticalPath = 0;           ///< unit/multicycle longest path (no chaining)
+  int maxFanout = 0;              ///< widest consumer list of any value
+  double avgFanout = 0.0;         ///< mean consumers per value-producing node
+  std::size_t multicycleOps = 0;  ///< ops with cycles > 1
+  std::size_t conditionalOps = 0; ///< ops inside some branch arm
+  double parallelism = 0.0;       ///< operations / criticalPath
+
+  std::string toString() const;
+};
+
+DfgStats computeStats(const Dfg& g);
+
+}  // namespace mframe::dfg

@@ -1,0 +1,150 @@
+#include "dfg/transforms.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "dfg/builder.h"
+#include "util/strings.h"
+
+namespace mframe::dfg {
+
+namespace {
+
+/// Longest common prefix of two branch paths, in whole cond/arm pairs.
+std::string commonBranchPrefix(const std::string& a, const std::string& b) {
+  const auto pa = util::split(a, '.');
+  const auto pb = util::split(b, '.');
+  std::vector<std::string> common;
+  for (std::size_t i = 0; i < std::min(pa.size(), pb.size()); ++i) {
+    if (pa[i] != pb[i]) break;
+    common.push_back(pa[i]);
+  }
+  // Keep whole (cond, arm) pairs only.
+  if (common.size() % 2 != 0) common.pop_back();
+  return util::join(common, ".");
+}
+
+bool sameOperands(const Node& a, const Node& b) {
+  if (a.inputs == b.inputs) return true;
+  if (isCommutative(a.kind) && a.inputs.size() == 2 &&
+      a.inputs[0] == b.inputs[1] && a.inputs[1] == b.inputs[0])
+    return true;
+  return false;
+}
+
+/// Rebuild `g` dropping nodes mapped to a representative and rewriting input
+/// references through the mapping.
+Dfg rebuildMerged(const Dfg& g, const std::map<NodeId, NodeId>& replaceBy,
+                  const std::map<NodeId, std::string>& newBranch) {
+  Dfg out(g.name());
+  std::vector<NodeId> newId(g.size(), kNoNode);
+  for (const Node& n : g.nodes()) {
+    if (replaceBy.count(n.id)) continue;  // dropped duplicate
+    Node copy = n;
+    copy.inputs.clear();
+    for (NodeId in : n.inputs) {
+      NodeId target = in;
+      auto it = replaceBy.find(target);
+      if (it != replaceBy.end()) target = it->second;
+      copy.inputs.push_back(newId[target]);
+    }
+    auto bp = newBranch.find(n.id);
+    if (bp != newBranch.end()) copy.branchPath = bp->second;
+    newId[n.id] = out.addNode(std::move(copy));
+  }
+  for (const auto& [id, ext] : g.outputs()) {
+    NodeId target = id;
+    auto it = replaceBy.find(target);
+    if (it != replaceBy.end()) target = it->second;
+    out.markOutput(newId[target], ext);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t mergeSharedBranchOps(Dfg& g) {
+  std::size_t removedTotal = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<NodeId, NodeId> replaceBy;   // duplicate -> survivor
+    std::map<NodeId, std::string> newBranch;
+    const auto ops = g.operations();
+    for (std::size_t i = 0; i < ops.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        const Node& a = g.node(ops[i]);
+        const Node& b = g.node(ops[j]);
+        if (a.kind != b.kind || a.cycles != b.cycles) continue;
+        if (!g.mutuallyExclusive(a.id, b.id)) continue;
+        if (!sameOperands(a, b)) continue;
+        // Merge b into a; hoist a to the arms' common conditional prefix so
+        // the surviving instance executes on either path.
+        replaceBy[b.id] = a.id;
+        newBranch[a.id] = commonBranchPrefix(a.branchPath, b.branchPath);
+        changed = true;
+        ++removedTotal;
+        break;  // rebuild, then rescan — operand identity shifts after merge
+      }
+    }
+    if (changed) g = rebuildMerged(g, replaceBy, newBranch);
+  }
+  return removedTotal;
+}
+
+Dfg foldLoopNest(const LoopNest& nest, const BodyScheduler& sched) {
+  Dfg body = nest.body;
+
+  // Innermost first: fold every child, then record its achieved step count
+  // on the matching LoopSuper node of this body.
+  for (const LoopNest& child : nest.children) {
+    const Dfg folded = foldLoopNest(child, sched);
+    const int steps = sched(folded, child.localTimeConstraint);
+    if (steps < 1 || steps > child.localTimeConstraint)
+      throw std::runtime_error(util::format(
+          "loop '%s': scheduler returned %d steps for constraint %d",
+          folded.name().c_str(), steps, child.localTimeConstraint));
+    const NodeId super = body.findByName(folded.name());
+    if (super == kNoNode)
+      throw std::runtime_error("loop body '" + body.name() +
+                               "' has no LoopSuper node named '" + folded.name() + "'");
+    if (body.node(super).kind != OpKind::LoopSuper)
+      throw std::runtime_error("node '" + folded.name() + "' is not a LoopSuper node");
+    body.node(super).cycles = steps;
+  }
+  return body;
+}
+
+NodeId addLoopBookkeeping(Dfg& body, const std::string& counterSignal,
+                          long bound) {
+  NodeId counter = body.findByName(counterSignal);
+  if (counter == kNoNode) {
+    Node in;
+    in.kind = OpKind::Input;
+    in.name = counterSignal;
+    counter = body.addNode(std::move(in));
+  }
+  Node boundNode;
+  boundNode.kind = OpKind::Const;
+  boundNode.constValue = bound;
+  boundNode.name = counterSignal + "_bound";
+  const NodeId boundId = body.addNode(std::move(boundNode));
+
+  Node incNode;
+  incNode.kind = OpKind::Inc;
+  incNode.name = counterSignal + "_next";
+  incNode.inputs = {counter};
+  const NodeId incId = body.addNode(std::move(incNode));
+
+  Node cmp;
+  cmp.kind = OpKind::Lt;
+  cmp.name = counterSignal + "_continue";
+  cmp.inputs = {incId, boundId};
+  const NodeId cmpId = body.addNode(std::move(cmp));
+  body.markOutput(cmpId, counterSignal + "_continue");
+  body.markOutput(incId, counterSignal + "_next");
+  return cmpId;
+}
+
+}  // namespace mframe::dfg

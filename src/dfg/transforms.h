@@ -1,0 +1,54 @@
+// Graph transforms backing the Section-5 synthesis features that reshape the
+// DFG before scheduling: conditional shared-operation merging (Section 5.1)
+// and nested-loop folding (Section 5.2).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dfg/dfg.h"
+
+namespace mframe::dfg {
+
+/// Section 5.1: operations duplicated across mutually exclusive branches are
+/// collapsed to a single instance ("we remove all of the operations which are
+/// shared between branches except one of them"). Two operations are shared
+/// when they have the same kind and the same operands (order-insensitive for
+/// commutative kinds) and live in different arms of the same conditional.
+/// The surviving instance is hoisted to the arms' common branch prefix.
+/// Runs to a fixpoint; returns the number of operations removed.
+std::size_t mergeSharedBranchOps(Dfg& g);
+
+/// One loop level of a nested-loop description (Section 5.2). `body` is the
+/// loop-body DFG, already containing the loop bookkeeping operations (see
+/// addLoopBookkeeping) and one LoopSuper placeholder node per child loop.
+/// Children are matched to LoopSuper nodes by name.
+struct LoopNest {
+  Dfg body;
+  int localTimeConstraint = 0;  ///< control steps allowed for one iteration
+  std::vector<LoopNest> children;
+};
+
+/// Callback used by foldLoopNest to schedule one loop body under its local
+/// time constraint; returns the achieved number of control steps (<= the
+/// constraint) or throws if infeasible. In practice this is a thin wrapper
+/// over core::runMfs.
+using BodyScheduler = std::function<int(const Dfg& body, int timeConstraint)>;
+
+/// Section 5.2: "operations of the inner-most loop are scheduled first,
+/// relative to the local time constraint; the entire loop is then treated as
+/// a single operation with an execution time equal to the loop's local time
+/// constraint." Recursively schedules children innermost-first, assigns each
+/// LoopSuper node cycles = the child's achieved step count, and returns the
+/// top body with those cycle counts filled in.
+Dfg foldLoopNest(const LoopNest& nest, const BodyScheduler& sched);
+
+/// Section 5.2: "the user should specify a constraint on the loop iteration
+/// time; this can be done by adding two more operations (increment and
+/// comparison) into the DFG corresponding to the body of the loop." Appends
+/// counter-increment and bound-comparison operations to `body`.
+/// Returns the comparison node id (the loop-exit condition).
+NodeId addLoopBookkeeping(Dfg& body, const std::string& counterSignal,
+                          long bound);
+
+}  // namespace mframe::dfg

@@ -1,0 +1,76 @@
+// AST for the behavioral input language — a small SYNTEST-flavored subset
+// that lowers onto the DFG IR (Section 1: "high-level synthesis deals with
+// the automatic design of RTL implementations ... from behavioral
+// descriptions"). Grammar sketch:
+//
+//   design <name>;
+//   input a, b, c;
+//   output y, flag;
+//
+//   t1 = 3 * x;                      # expression statement
+//   t2 = u * dx [cycles=2];          # attribute on the root operation
+//   if (t1 < a) { p = t1 + 1; } else { q = t1 - 1; }
+//   loop l1 within 4 { acc = acc + t2; }   # folded inner loop (Section 5.2)
+//   y = t2 + 1;
+//
+// Operators: + - * / % is absent; & | ^ ! << >> < > <= >= == != with C-like
+// precedence; parentheses; unsigned integer literals.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfg/op.h"
+
+namespace mframe::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { Number, Variable, Unary, Binary };
+  Kind kind = Kind::Number;
+  int line = 0;
+
+  long number = 0;          ///< Number
+  std::string name;         ///< Variable
+  dfg::OpKind op{};         ///< Unary/Binary operation
+  ExprPtr lhs;              ///< Unary operand / Binary left
+  ExprPtr rhs;              ///< Binary right
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { Assign, If, Loop };
+  Kind kind = Kind::Assign;
+  int line = 0;
+
+  // Assign
+  std::string target;
+  ExprPtr value;
+  int cycles = 1;       ///< [cycles=k] attribute on the root op
+  double delayNs = -1;  ///< [delay=ns] attribute on the root op
+
+  // If
+  ExprPtr cond;
+  std::vector<StmtPtr> thenBody;
+  std::vector<StmtPtr> elseBody;
+
+  // Loop
+  std::string loopName;
+  int within = 0;  ///< local time constraint (control steps per iteration)
+  long tripBound = 0;  ///< loop bound for the bookkeeping ops (0 = none)
+  std::vector<StmtPtr> body;
+};
+
+struct Program {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<StmtPtr> stmts;
+};
+
+}  // namespace mframe::lang

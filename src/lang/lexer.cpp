@@ -1,0 +1,98 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+namespace mframe::lang {
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+
+  auto push = [&](Token::Kind k, std::string text = {}, long num = 0) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.number = num;
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t b = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_'))
+        ++i;
+      const std::string word(src.substr(b, i - b));
+      if (word == "design") push(Token::Kind::KwDesign);
+      else if (word == "input") push(Token::Kind::KwInput);
+      else if (word == "output") push(Token::Kind::KwOutput);
+      else if (word == "if") push(Token::Kind::KwIf);
+      else if (word == "else") push(Token::Kind::KwElse);
+      else if (word == "loop") push(Token::Kind::KwLoop);
+      else if (word == "within") push(Token::Kind::KwWithin);
+      else if (word == "bound") push(Token::Kind::KwBound);
+      else push(Token::Kind::Ident, word);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t b = i;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+      push(Token::Kind::Number, std::string(src.substr(b, i - b)),
+           std::strtol(std::string(src.substr(b, i - b)).c_str(), nullptr, 10));
+      continue;
+    }
+    auto two = [&](char a, char b2) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b2;
+    };
+    if (two('<', '<')) { push(Token::Kind::Shl); i += 2; continue; }
+    if (two('>', '>')) { push(Token::Kind::Shr); i += 2; continue; }
+    if (two('<', '=')) { push(Token::Kind::Le); i += 2; continue; }
+    if (two('>', '=')) { push(Token::Kind::Ge); i += 2; continue; }
+    if (two('=', '=')) { push(Token::Kind::EqEq); i += 2; continue; }
+    if (two('!', '=')) { push(Token::Kind::Ne); i += 2; continue; }
+    switch (c) {
+      case ';': push(Token::Kind::Semi); break;
+      case ',': push(Token::Kind::Comma); break;
+      case '=': push(Token::Kind::Assign); break;
+      case '(': push(Token::Kind::LParen); break;
+      case ')': push(Token::Kind::RParen); break;
+      case '{': push(Token::Kind::LBrace); break;
+      case '}': push(Token::Kind::RBrace); break;
+      case '[': push(Token::Kind::LBracket); break;
+      case ']': push(Token::Kind::RBracket); break;
+      case '+': push(Token::Kind::Plus); break;
+      case '-': push(Token::Kind::Minus); break;
+      case '*': push(Token::Kind::Star); break;
+      case '/': push(Token::Kind::Slash); break;
+      case '&': push(Token::Kind::Amp); break;
+      case '|': push(Token::Kind::Pipe); break;
+      case '^': push(Token::Kind::Caret); break;
+      case '!': push(Token::Kind::Bang); break;
+      case '<': push(Token::Kind::Lt); break;
+      case '>': push(Token::Kind::Gt); break;
+      default:
+        throw LangError(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  push(Token::Kind::End);
+  return out;
+}
+
+}  // namespace mframe::lang

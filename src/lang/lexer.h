@@ -1,0 +1,43 @@
+// Tokenizer for the behavioral language.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mframe::lang {
+
+class LangError : public std::runtime_error {
+ public:
+  LangError(int line, const std::string& msg)
+      : std::runtime_error("lang error at line " + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct Token {
+  enum class Kind {
+    Ident,
+    Number,
+    // punctuation / operators
+    Semi, Comma, Assign, LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Plus, Minus, Star, Slash, Amp, Pipe, Caret, Bang,
+    Shl, Shr, Lt, Gt, Le, Ge, EqEq, Ne,
+    // keywords
+    KwDesign, KwInput, KwOutput, KwIf, KwElse, KwLoop, KwWithin, KwBound,
+    End,
+  };
+  Kind kind = Kind::End;
+  std::string text;
+  long number = 0;
+  int line = 1;
+};
+
+/// Tokenize the whole source; '#' starts a line comment. Throws LangError.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace mframe::lang

@@ -1,0 +1,247 @@
+#include "lang/lower.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "dfg/builder.h"
+#include "lang/parser.h"
+#include "util/strings.h"
+
+namespace mframe::lang {
+
+namespace {
+
+/// Collect variables a statement list reads before assigning (free vars).
+void freeVars(const std::vector<StmtPtr>& stmts, std::set<std::string>& assigned,
+              std::set<std::string>& free) {
+  std::function<void(const Expr&)> walkExpr = [&](const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Variable:
+        if (!assigned.count(e.name)) free.insert(e.name);
+        break;
+      case Expr::Kind::Unary:
+        walkExpr(*e.lhs);
+        break;
+      case Expr::Kind::Binary:
+        walkExpr(*e.lhs);
+        walkExpr(*e.rhs);
+        break;
+      case Expr::Kind::Number:
+        break;
+    }
+  };
+  for (const StmtPtr& s : stmts) {
+    switch (s->kind) {
+      case Stmt::Kind::Assign:
+        walkExpr(*s->value);
+        assigned.insert(s->target);
+        break;
+      case Stmt::Kind::If: {
+        walkExpr(*s->cond);
+        std::set<std::string> thenAssigned = assigned;
+        std::set<std::string> elseAssigned = assigned;
+        freeVars(s->thenBody, thenAssigned, free);
+        freeVars(s->elseBody, elseAssigned, free);
+        // Only names assigned on both paths are definitely assigned after.
+        for (const auto& n : thenAssigned)
+          if (elseAssigned.count(n)) assigned.insert(n);
+        break;
+      }
+      case Stmt::Kind::Loop: {
+        std::set<std::string> bodyAssigned;  // loop scope is separate
+        freeVars(s->body, bodyAssigned, free);
+        assigned.insert(s->loopName);
+        break;
+      }
+    }
+  }
+}
+
+class Lowerer {
+ public:
+  explicit Lowerer(std::string designName)
+      : b_(std::move(designName)) {}
+
+  /// Declare primary inputs.
+  void declareInputs(const std::vector<std::string>& names) {
+    for (const auto& n : names) {
+      if (env_.count(n)) throw LangError(0, "duplicate input '" + n + "'");
+      env_[n] = b_.input(n);
+    }
+  }
+
+  void lowerStmts(const std::vector<StmtPtr>& stmts,
+                  std::vector<dfg::LoopNest>& children) {
+    for (const StmtPtr& s : stmts) lowerStmt(*s, children);
+  }
+
+  void markOutputs(const std::vector<std::string>& outputs) {
+    for (const auto& name : outputs) {
+      auto it = env_.find(name);
+      if (it == env_.end())
+        throw LangError(0, "output '" + name + "' was never assigned");
+      b_.output(it->second, name);
+    }
+  }
+
+  dfg::Dfg finish() && { return std::move(b_).build(); }
+
+ private:
+  void lowerStmt(const Stmt& s, std::vector<dfg::LoopNest>& children) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign: {
+        const dfg::NodeId v =
+            lowerExpr(*s.value, nodeName(s.target), s.cycles, s.delayNs);
+        env_[s.target] = v;
+        break;
+      }
+      case Stmt::Kind::If: {
+        const int id = ++condCounter_;
+        lowerExpr(*s.cond, util::format("c%d_cond", id), 1, -1);
+        auto before = env_;
+        b_.pushBranch(util::format("c%d", id), "t");
+        lowerStmts(s.thenBody, children);
+        b_.popBranch();
+        auto thenEnv = env_;
+        env_ = before;
+        b_.pushBranch(util::format("c%d", id), "e");
+        lowerStmts(s.elseBody, children);
+        b_.popBranch();
+        auto elseEnv = env_;
+        // Merge: a name rebound in exactly one arm survives; both arms with
+        // different values would need a phi, which a pure DFG lacks.
+        env_ = before;
+        for (const auto& [name, node] : thenEnv) {
+          const bool changedThen = !before.count(name) || before[name] != node;
+          const auto eIt = elseEnv.find(name);
+          const bool changedElse =
+              eIt != elseEnv.end() &&
+              (!before.count(name) || before[name] != eIt->second);
+          if (changedThen && changedElse && eIt->second != node)
+            throw LangError(s.line,
+                            "variable '" + name +
+                                "' is assigned in both arms of the "
+                                "conditional; phi-merge is not supported");
+          if (changedThen) env_[name] = node;
+        }
+        for (const auto& [name, node] : elseEnv) {
+          const bool changedElse = !before.count(name) || before[name] != node;
+          if (changedElse) env_[name] = node;
+        }
+        break;
+      }
+      case Stmt::Kind::Loop: {
+        if (env_.count(s.loopName))
+          throw LangError(s.line, "loop name '" + s.loopName + "' collides");
+        // Body free variables become the body DFG's primary inputs.
+        std::set<std::string> assigned, free;
+        freeVars(s.body, assigned, free);
+
+        Lowerer bodyLowerer(s.loopName);
+        std::vector<std::string> bodyInputs;
+        for (const auto& n : free) {
+          if (!env_.count(n))
+            throw LangError(s.line, "loop reads undefined variable '" + n + "'");
+          bodyInputs.push_back(n);
+        }
+        bodyLowerer.declareInputs(bodyInputs);
+
+        dfg::LoopNest child;
+        bodyLowerer.lowerStmts(s.body, child.children);
+        // Everything assigned at the loop's top level is a body output.
+        std::vector<std::string> bodyOutputs;
+        for (const auto& n : assigned)
+          if (bodyLowerer.env_.count(n)) bodyOutputs.push_back(n);
+        bodyLowerer.markOutputs(bodyOutputs);
+        child.body = std::move(bodyLowerer).finish();
+        if (s.tripBound > 0)
+          dfg::addLoopBookkeeping(child.body, s.loopName + "_i", s.tripBound);
+        child.localTimeConstraint = s.within;
+        children.push_back(std::move(child));
+
+        // The loop appears in the parent as a LoopSuper node fed by the
+        // free variables; foldLoopNest assigns its cycle count later.
+        std::vector<dfg::NodeId> feeds;
+        for (const auto& n : bodyInputs) feeds.push_back(env_.at(n));
+        env_[s.loopName] =
+            b_.op(dfg::OpKind::LoopSuper, std::move(feeds), s.loopName);
+        break;
+      }
+    }
+  }
+
+  /// Lower an expression tree; the root node takes `rootName` plus the
+  /// optional attributes, inner temporaries get fresh names.
+  dfg::NodeId lowerExpr(const Expr& e, const std::string& rootName, int cycles,
+                        double delayNs) {
+    switch (e.kind) {
+      case Expr::Kind::Number: {
+        // A bare number as a full right-hand side still binds the name.
+        const dfg::NodeId k = constant(e.number);
+        return k;
+      }
+      case Expr::Kind::Variable: {
+        auto it = env_.find(e.name);
+        if (it == env_.end())
+          throw LangError(e.line, "use of undefined variable '" + e.name + "'");
+        return it->second;
+      }
+      case Expr::Kind::Unary: {
+        const dfg::NodeId a = lowerExpr(*e.lhs, temp(), 1, -1);
+        return b_.op(e.op, {a}, rootName, cycles, delayNs);
+      }
+      case Expr::Kind::Binary: {
+        const dfg::NodeId a = lowerExpr(*e.lhs, temp(), 1, -1);
+        const dfg::NodeId b2 = lowerExpr(*e.rhs, temp(), 1, -1);
+        return b_.op(e.op, {a, b2}, rootName, cycles, delayNs);
+      }
+    }
+    throw LangError(e.line, "unreachable expression kind");
+  }
+
+  dfg::NodeId constant(long v) {
+    auto it = consts_.find(v);
+    if (it != consts_.end()) return it->second;
+    const dfg::NodeId id = b_.constant(v, util::format("lit_%ld", v));
+    consts_[v] = id;
+    return id;
+  }
+
+  /// SSA renaming: first binding uses the source name, rebinds get suffixes.
+  std::string nodeName(const std::string& target) {
+    const int n = ++versionOf_[target];
+    return n == 1 ? target : util::format("%s_v%d", target.c_str(), n);
+  }
+  std::string temp() { return util::format("__t%d", ++tempCounter_); }
+
+  dfg::Builder b_;
+  std::map<std::string, dfg::NodeId> env_;
+  std::map<long, dfg::NodeId> consts_;
+  std::map<std::string, int> versionOf_;
+  int tempCounter_ = 0;
+  int condCounter_ = 0;
+};
+
+}  // namespace
+
+Compiled lower(const Program& p) {
+  Lowerer lw(p.name);
+  lw.declareInputs(p.inputs);
+  Compiled out;
+  lw.lowerStmts(p.stmts, out.nest.children);
+  lw.markOutputs(p.outputs);
+  out.nest.body = std::move(lw).finish();
+  return out;
+}
+
+Compiled compile(std::string_view source) { return lower(parseProgram(source)); }
+
+dfg::Dfg compileFlat(std::string_view source) {
+  Compiled c = compile(source);
+  if (c.hasLoops())
+    throw LangError(0, "program contains loops; use compile() + foldLoopNest");
+  return std::move(c.nest.body);
+}
+
+}  // namespace mframe::lang

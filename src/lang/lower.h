@@ -1,0 +1,42 @@
+// Lowering from the behavioral AST onto the DFG IR.
+//
+// Semantics notes (the subset mirrors what the paper's algorithms consume):
+//  * assignments are SSA-renamed: reassigning `v` creates a fresh node and
+//    rebinds the name;
+//  * `if` arms lower to branch-tagged, mutually exclusive operations
+//    (Section 5.1). A variable assigned in *both* arms has no phi node in a
+//    pure DFG — that is a compile error; assignments visible after the `if`
+//    are those made in exactly one arm;
+//  * `loop <name> within <T> [bound <N>] { ... }` compiles its body into a
+//    child dfg::LoopNest (Section 5.2). Free variables of the body become
+//    body inputs; `bound N` adds the increment/compare bookkeeping ops. In
+//    the parent graph the loop appears as a LoopSuper node whose cycle count
+//    is filled in by dfg::foldLoopNest once the body is scheduled. Values
+//    computed inside a loop are the loop's outputs and are not readable in
+//    the parent (fold first, then compose);
+//  * every declared `output` must be assigned at top level.
+#pragma once
+
+#include <string_view>
+
+#include "dfg/transforms.h"
+#include "lang/ast.h"
+
+namespace mframe::lang {
+
+struct Compiled {
+  dfg::LoopNest nest;  ///< top body + one child per `loop`
+  bool hasLoops() const { return !nest.children.empty(); }
+};
+
+/// Lower a parsed program. Throws LangError on semantic problems.
+Compiled lower(const Program& p);
+
+/// Parse + lower in one step.
+Compiled compile(std::string_view source);
+
+/// Parse + lower a loop-free program straight to a Dfg; throws if the
+/// program contains loops.
+dfg::Dfg compileFlat(std::string_view source);
+
+}  // namespace mframe::lang

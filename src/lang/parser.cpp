@@ -1,0 +1,240 @@
+#include "lang/parser.h"
+
+namespace mframe::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Program run() {
+    Program p;
+    expect(Token::Kind::KwDesign, "expected 'design <name>;'");
+    p.name = expectIdent("design name");
+    expect(Token::Kind::Semi, "expected ';' after design name");
+    while (at(Token::Kind::KwInput) || at(Token::Kind::KwOutput)) {
+      const bool isInput = at(Token::Kind::KwInput);
+      advance();
+      do {
+        (isInput ? p.inputs : p.outputs).push_back(expectIdent("signal name"));
+      } while (accept(Token::Kind::Comma));
+      expect(Token::Kind::Semi, "expected ';' after declaration");
+    }
+    while (!at(Token::Kind::End)) p.stmts.push_back(statement());
+    return p;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Token::Kind k) const { return cur().kind == k; }
+  void advance() { if (!at(Token::Kind::End)) ++pos_; }
+  bool accept(Token::Kind k) {
+    if (!at(k)) return false;
+    advance();
+    return true;
+  }
+  void expect(Token::Kind k, const std::string& msg) {
+    if (!accept(k)) throw LangError(cur().line, msg);
+  }
+  std::string expectIdent(const std::string& what) {
+    if (!at(Token::Kind::Ident))
+      throw LangError(cur().line, "expected " + what);
+    std::string s = cur().text;
+    advance();
+    return s;
+  }
+
+  StmtPtr statement() {
+    if (at(Token::Kind::KwIf)) return ifStatement();
+    if (at(Token::Kind::KwLoop)) return loopStatement();
+    return assignStatement();
+  }
+
+  StmtPtr assignStatement() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::Assign;
+    s->line = cur().line;
+    s->target = expectIdent("assignment target");
+    expect(Token::Kind::Assign, "expected '=' in assignment");
+    s->value = expression();
+    // Optional [cycles=k] / [delay=ns] attributes on the root operation.
+    while (accept(Token::Kind::LBracket)) {
+      const std::string key = expectIdent("attribute name");
+      expect(Token::Kind::Assign, "expected '=' in attribute");
+      if (!at(Token::Kind::Number))
+        throw LangError(cur().line, "expected numeric attribute value");
+      const long v = cur().number;
+      advance();
+      if (key == "cycles") {
+        if (v < 1) throw LangError(s->line, "cycles must be >= 1");
+        s->cycles = static_cast<int>(v);
+      } else if (key == "delay") {
+        s->delayNs = static_cast<double>(v);
+      } else {
+        throw LangError(s->line, "unknown attribute '" + key + "'");
+      }
+      expect(Token::Kind::RBracket, "expected ']' after attribute");
+    }
+    expect(Token::Kind::Semi, "expected ';' after assignment");
+    return s;
+  }
+
+  StmtPtr ifStatement() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::If;
+    s->line = cur().line;
+    advance();  // if
+    expect(Token::Kind::LParen, "expected '(' after if");
+    s->cond = expression();
+    expect(Token::Kind::RParen, "expected ')' after condition");
+    s->thenBody = block();
+    if (accept(Token::Kind::KwElse)) s->elseBody = block();
+    return s;
+  }
+
+  StmtPtr loopStatement() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::Loop;
+    s->line = cur().line;
+    advance();  // loop
+    s->loopName = expectIdent("loop name");
+    expect(Token::Kind::KwWithin, "expected 'within <steps>' after loop name");
+    if (!at(Token::Kind::Number))
+      throw LangError(cur().line, "expected step count after 'within'");
+    s->within = static_cast<int>(cur().number);
+    advance();
+    if (accept(Token::Kind::KwBound)) {
+      if (!at(Token::Kind::Number))
+        throw LangError(cur().line, "expected trip bound after 'bound'");
+      s->tripBound = cur().number;
+      advance();
+    }
+    s->body = block();
+    return s;
+  }
+
+  std::vector<StmtPtr> block() {
+    expect(Token::Kind::LBrace, "expected '{'");
+    std::vector<StmtPtr> body;
+    while (!at(Token::Kind::RBrace)) {
+      if (at(Token::Kind::End)) throw LangError(cur().line, "unterminated block");
+      body.push_back(statement());
+    }
+    advance();  // }
+    return body;
+  }
+
+  // Precedence climbing. Levels (loose to tight):
+  //   1: | ^    2: &    3: == != < > <= >=    4: << >>    5: + -    6: * /
+  //   unary: ! -
+  static int precOf(Token::Kind k) {
+    switch (k) {
+      case Token::Kind::Pipe:
+      case Token::Kind::Caret: return 1;
+      case Token::Kind::Amp: return 2;
+      case Token::Kind::EqEq:
+      case Token::Kind::Ne:
+      case Token::Kind::Lt:
+      case Token::Kind::Gt:
+      case Token::Kind::Le:
+      case Token::Kind::Ge: return 3;
+      case Token::Kind::Shl:
+      case Token::Kind::Shr: return 4;
+      case Token::Kind::Plus:
+      case Token::Kind::Minus: return 5;
+      case Token::Kind::Star:
+      case Token::Kind::Slash: return 6;
+      default: return 0;
+    }
+  }
+
+  static dfg::OpKind opOf(Token::Kind k) {
+    switch (k) {
+      case Token::Kind::Pipe: return dfg::OpKind::Or;
+      case Token::Kind::Caret: return dfg::OpKind::Xor;
+      case Token::Kind::Amp: return dfg::OpKind::And;
+      case Token::Kind::EqEq: return dfg::OpKind::Eq;
+      case Token::Kind::Ne: return dfg::OpKind::Ne;
+      case Token::Kind::Lt: return dfg::OpKind::Lt;
+      case Token::Kind::Gt: return dfg::OpKind::Gt;
+      case Token::Kind::Le: return dfg::OpKind::Le;
+      case Token::Kind::Ge: return dfg::OpKind::Ge;
+      case Token::Kind::Shl: return dfg::OpKind::Shl;
+      case Token::Kind::Shr: return dfg::OpKind::Shr;
+      case Token::Kind::Plus: return dfg::OpKind::Add;
+      case Token::Kind::Minus: return dfg::OpKind::Sub;
+      case Token::Kind::Star: return dfg::OpKind::Mul;
+      case Token::Kind::Slash: return dfg::OpKind::Div;
+      default: return dfg::OpKind::Add;
+    }
+  }
+
+  ExprPtr expression(int minPrec = 1) {
+    ExprPtr lhs = unary();
+    while (true) {
+      const int prec = precOf(cur().kind);
+      if (prec == 0 || prec < minPrec) break;
+      const dfg::OpKind op = opOf(cur().kind);
+      const int line = cur().line;
+      advance();
+      ExprPtr rhs = expression(prec + 1);  // left associative
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Binary;
+      e->line = line;
+      e->op = op;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr unary() {
+    if (at(Token::Kind::Bang)) {
+      const int line = cur().line;
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Unary;
+      e->line = line;
+      e->op = dfg::OpKind::Not;
+      e->lhs = unary();
+      return e;
+    }
+    return primary();
+  }
+
+  ExprPtr primary() {
+    auto e = std::make_unique<Expr>();
+    e->line = cur().line;
+    if (at(Token::Kind::Number)) {
+      e->kind = Expr::Kind::Number;
+      e->number = cur().number;
+      advance();
+      return e;
+    }
+    if (at(Token::Kind::Ident)) {
+      e->kind = Expr::Kind::Variable;
+      e->name = cur().text;
+      advance();
+      return e;
+    }
+    if (accept(Token::Kind::LParen)) {
+      ExprPtr inner = expression();
+      expect(Token::Kind::RParen, "expected ')'");
+      return inner;
+    }
+    throw LangError(cur().line, "expected expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parseProgram(std::string_view source) {
+  return Parser(tokenize(source)).run();
+}
+
+}  // namespace mframe::lang

@@ -1,0 +1,14 @@
+// Recursive-descent parser producing the behavioral AST.
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.h"
+#include "lang/lexer.h"
+
+namespace mframe::lang {
+
+/// Parse a whole program. Throws LangError with line numbers.
+Program parseProgram(std::string_view source);
+
+}  // namespace mframe::lang

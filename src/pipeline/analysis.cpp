@@ -1,0 +1,52 @@
+#include "pipeline/analysis.h"
+
+#include <cmath>
+
+namespace mframe::pipeline {
+
+std::map<dfg::FuType, int> fuDemandLowerBound(
+    const dfg::Dfg& g, int latency, const std::set<dfg::FuType>& pipelinedFus) {
+  std::map<dfg::FuType, int> busy;   // total busy cycles (or initiations)
+  for (dfg::NodeId id : g.operations()) {
+    const dfg::Node& n = g.node(id);
+    const dfg::FuType t = dfg::fuTypeOf(n.kind);
+    busy[t] += pipelinedFus.count(t) ? 1 : n.cycles;
+  }
+  std::map<dfg::FuType, int> out;
+  for (const auto& [t, cycles] : busy)
+    out[t] = (cycles + latency - 1) / latency;
+  return out;
+}
+
+std::vector<LatencySweepPoint> latencySweep(const dfg::Dfg& g, int timeSteps,
+                                            const core::MfsOptions& base) {
+  std::vector<LatencySweepPoint> out;
+  for (int latency = 1; latency <= timeSteps; ++latency) {
+    LatencySweepPoint p;
+    p.latency = latency;
+    p.lowerBound = fuDemandLowerBound(g, latency, base.constraints.pipelinedFus);
+    core::MfsOptions o = base;
+    o.mode = core::MfsLiapunov::Mode::TimeConstrained;
+    o.constraints.timeSteps = timeSteps;
+    o.constraints.latency = latency;
+    const auto r = core::runMfs(g, o);
+    p.feasible = r.feasible;
+    if (r.feasible) p.fuCount = r.fuCount;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+int minimumLatency(const dfg::Dfg& g, int timeSteps,
+                   const core::MfsOptions& base) {
+  for (int latency = 1; latency <= timeSteps; ++latency) {
+    core::MfsOptions o = base;
+    o.mode = core::MfsLiapunov::Mode::TimeConstrained;
+    o.constraints.timeSteps = timeSteps;
+    o.constraints.latency = latency;
+    if (core::runMfs(g, o).feasible) return latency;
+  }
+  return 0;
+}
+
+}  // namespace mframe::pipeline

@@ -1,0 +1,40 @@
+// Functional-pipelining analysis: throughput bounds and minimum-latency
+// search. The paper's Section 5.5.2 fixes the latency L and balances the
+// folded schedule; a designer usually asks the dual question — what is the
+// smallest initiation interval my graph supports, and how much hardware does
+// each L cost? These helpers answer both with folded MFS.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "core/mfs.h"
+#include "dfg/dfg.h"
+
+namespace mframe::pipeline {
+
+/// Per-type FU demand lower bound at latency L: each initiation brings the
+/// whole graph's work once per L steps, so a non-pipelined type t needs at
+/// least ceil(total busy cycles of t / L) instances, and a structurally
+/// pipelined type at least ceil(op count / L).
+std::map<dfg::FuType, int> fuDemandLowerBound(
+    const dfg::Dfg& g, int latency, const std::set<dfg::FuType>& pipelinedFus = {});
+
+struct LatencySweepPoint {
+  int latency = 0;
+  bool feasible = false;
+  std::map<dfg::FuType, int> fuCount;       ///< achieved by folded MFS
+  std::map<dfg::FuType, int> lowerBound;    ///< fuDemandLowerBound
+};
+
+/// Evaluate folded MFS at every latency in [1, timeSteps]; useful for the
+/// hardware-vs-throughput trade-off curve.
+std::vector<LatencySweepPoint> latencySweep(const dfg::Dfg& g, int timeSteps,
+                                            const core::MfsOptions& base = {});
+
+/// The smallest feasible latency within `timeSteps` (the graph's maximum
+/// sustainable throughput under folding); 0 when none is feasible.
+int minimumLatency(const dfg::Dfg& g, int timeSteps,
+                   const core::MfsOptions& base = {});
+
+}  // namespace mframe::pipeline

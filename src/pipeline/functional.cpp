@@ -1,0 +1,136 @@
+#include "pipeline/functional.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace mframe::pipeline {
+
+int partitionBoundary(int cs, int latency) {
+  return (cs + latency + 1) / 2;  // ceil((cs + L) / 2)
+}
+
+dfg::Dfg buildTwoInstanceDfg(const dfg::Dfg& g, int latency) {
+  dfg::Dfg out(g.name() + "_double");
+  std::vector<dfg::NodeId> map1(g.size()), map2(g.size());
+
+  // Instance 1: a verbatim copy.
+  for (const dfg::Node& n : g.nodes()) {
+    dfg::Node c = n;
+    c.name = n.name + "_i1";
+    c.inputs.clear();
+    for (dfg::NodeId in : n.inputs) c.inputs.push_back(map1[in]);
+    map1[n.id] = out.addNode(std::move(c));
+  }
+  // Delay chain: L-1 unit-cycle pseudo-operations; together with the gate
+  // op each instance-2 input becomes, instance 2's ASAP profile lands
+  // exactly L steps after instance 1's.
+  dfg::NodeId delayTail = dfg::kNoNode;
+  for (int i = 0; i + 1 < latency; ++i) {
+    dfg::Node d;
+    d.kind = dfg::OpKind::LoopSuper;
+    d.name = util::format("delay_%d", i + 1);
+    d.cycles = 1;
+    if (delayTail != dfg::kNoNode) d.inputs.push_back(delayTail);
+    delayTail = out.addNode(std::move(d));
+  }
+  // Instance 2: inputs gated behind the delay chain.
+  for (const dfg::Node& n : g.nodes()) {
+    dfg::Node c = n;
+    c.name = n.name + "_i2";
+    c.inputs.clear();
+    if (n.kind == dfg::OpKind::Input && latency > 0) {
+      // Model "arrives L steps later" by turning the input into a unit
+      // pseudo-op (the gate) fed by the delay chain.
+      c.kind = dfg::OpKind::LoopSuper;
+      c.cycles = 1;
+      if (delayTail != dfg::kNoNode) c.inputs.push_back(delayTail);
+    } else {
+      for (dfg::NodeId in : n.inputs) c.inputs.push_back(map2[in]);
+    }
+    map2[n.id] = out.addNode(std::move(c));
+  }
+  for (const auto& [id, ext] : g.outputs()) {
+    out.markOutput(map1[id], ext + "_i1");
+    out.markOutput(map2[id], ext + "_i2");
+  }
+  return out;
+}
+
+PartitionPipelineResult pipelineByPartition(const dfg::Dfg& g, int timeSteps,
+                                            int latency,
+                                            const core::MfsOptions& base) {
+  PartitionPipelineResult res;
+  res.boundary = partitionBoundary(timeSteps, latency);
+
+  // Steps 3-4 of the procedure: produce identical, balanced instances. The
+  // folded schedule is exactly that fixed point — instance-2 operations
+  // occupy the same units L steps later, which is what scheduling DFG_p1
+  // with instance-2 dummies and then adjusting converges to.
+  core::MfsOptions o = base;
+  o.mode = core::MfsLiapunov::Mode::TimeConstrained;
+  o.constraints.timeSteps = timeSteps;
+  o.constraints.latency = latency;
+  const auto folded = core::runMfs(g, o);
+  if (!folded.feasible) {
+    res.error = folded.error;
+    return res;
+  }
+  for (dfg::NodeId id : g.operations())
+    res.stepOfInstance1[g.node(id).name] = folded.schedule.stepOf(id);
+
+  // Step 5 / materialization: place both instances of DFG_double explicitly
+  // and let the *plain* verifier (no folding) prove the overlap is legal.
+  const dfg::Dfg d = buildTwoInstanceDfg(g, latency);
+  sched::Schedule sd(d);
+  sd.setNumSteps(timeSteps + latency);
+
+  // The delay chain runs down LoopUnit column 1; the instance-2 input gates
+  // all fire in step L on their own columns.
+  for (int i = 1; i < latency; ++i) {
+    const dfg::NodeId delay = d.findByName(util::format("delay_%d", i));
+    if (delay != dfg::kNoNode) sd.place(delay, i, 1);
+  }
+  int gateCol = 0;
+  for (const dfg::Node& n : g.nodes()) {
+    const dfg::NodeId i2 = d.findByName(n.name + "_i2");
+    if (n.kind == dfg::OpKind::Input) {
+      if (i2 != dfg::kNoNode) sd.place(i2, latency, ++gateCol + 1);
+      continue;
+    }
+    if (!dfg::isSchedulable(n.kind)) continue;
+    const dfg::NodeId i1 = d.findByName(n.name + "_i1");
+    const int step = folded.schedule.stepOf(n.id);
+    const int col = folded.schedule.columnOf(n.id);
+    sd.place(i1, step, col);
+    sd.place(i2, step + latency, col);
+  }
+
+  for (const auto& [t, n] : sd.fuCount())
+    if (t != dfg::FuType::LoopUnit) res.fuCount[t] = n;
+  res.doubled = std::move(sd);
+  res.feasible = true;
+  return res;
+}
+
+FunctionalPipelineResult runFunctionalPipelinedMfs(const dfg::Dfg& g,
+                                                   int timeSteps, int latency,
+                                                   const core::MfsOptions& base) {
+  FunctionalPipelineResult res;
+  res.latency = latency;
+
+  core::MfsOptions opt = base;
+  opt.mode = core::MfsLiapunov::Mode::TimeConstrained;
+  opt.constraints.timeSteps = timeSteps;
+  opt.constraints.latency = latency;
+  res.mfs = core::runMfs(g, opt);
+  if (!res.mfs.feasible) {
+    res.error = res.mfs.error;
+    return res;
+  }
+  res.fuCount = res.mfs.fuCount;  // folding already accounts for the overlap
+  res.feasible = true;
+  return res;
+}
+
+}  // namespace mframe::pipeline

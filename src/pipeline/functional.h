@@ -1,0 +1,76 @@
+// Functional pipelining / loop unfolding (Section 5.5.2): with latency L,
+// a new problem instance enters the datapath every L control steps, so "the
+// operations scheduled into control step t + k*L run concurrently, and we
+// must balance the distribution of operations across all individual control
+// steps".
+//
+// Two realizations are provided:
+//  * folded scheduling — sched::Constraints::latency makes the grid fold
+//    occupancy mod L, the direct expression of the concurrency rule (this is
+//    what runMfs/runMfsa use);
+//  * the paper's explicit two-instance construction — build DFG_double (two
+//    copies, instance 2 delayed by L steps), partition at ceil((cs+L)/2) —
+//    exposed here for inspection and for the tests that validate the folded
+//    schedule by overlapping shifted instances.
+#pragma once
+
+#include <string>
+
+#include "core/mfs.h"
+#include "dfg/dfg.h"
+
+namespace mframe::pipeline {
+
+/// The paper's step 2 boundary: DFG_p1 covers steps [1, ceil((cs+L)/2)],
+/// DFG_p2 the rest of [1, cs+L].
+int partitionBoundary(int cs, int latency);
+
+/// Build the doubled DFG of the paper's step 1: two instances of `g` with
+/// names suffixed "_i1"/"_i2". The second instance is delayed by `latency`
+/// steps using a chain of `latency` unit-cycle LoopSuper delay nodes feeding
+/// its primary inputs, so its ASAP times shift by exactly L.
+dfg::Dfg buildTwoInstanceDfg(const dfg::Dfg& g, int latency);
+
+struct FunctionalPipelineResult {
+  bool feasible = false;
+  std::string error;
+  core::MfsResult mfs;  ///< folded schedule of one instance
+  int latency = 0;
+
+  /// FU demand including overlap between consecutive instances — what the
+  /// datapath must actually provision.
+  std::map<dfg::FuType, int> fuCount;
+};
+
+/// Schedule `g` for initiation interval `latency` within `timeSteps` steps
+/// using folded MFS.
+FunctionalPipelineResult runFunctionalPipelinedMfs(const dfg::Dfg& g,
+                                                   int timeSteps, int latency,
+                                                   const core::MfsOptions& base = {});
+
+/// The paper's explicit five-step partition procedure (Section 5.5.2):
+///  1. build DFG_double — two instances, the second delayed by L;
+///  2. split [1, cs+L] at boundary = ceil((cs+L)/2): DFG_p1 holds the
+///     operations of steps [1, boundary], DFG_p2 the rest;
+///  3. schedule DFG_p1 (instance-2 operations inside it act as the "dummy
+///     operations" reserving capacity for the incoming next iteration);
+///  4. adjust so the two instances are identical — operations of instance 1
+///     scheduled inside DFG_p1 dictate the slots of instance 2's copies;
+///  5. schedule the remaining DFG_p2 operations around them.
+/// The result is reported as a schedule of the *original* graph: each op's
+/// step is its instance-1 step, and the overlapped FU demand equals the
+/// doubled graph's demand. Exposed mainly to validate the folded
+/// implementation against the paper's own construction.
+struct PartitionPipelineResult {
+  bool feasible = false;
+  std::string error;
+  int boundary = 0;                      ///< step 2's split point
+  sched::Schedule doubled;               ///< schedule of DFG_double
+  std::map<dfg::FuType, int> fuCount;    ///< demand of the overlapped pair
+  std::map<std::string, int> stepOfInstance1;  ///< original op name -> step
+};
+PartitionPipelineResult pipelineByPartition(const dfg::Dfg& g, int timeSteps,
+                                            int latency,
+                                            const core::MfsOptions& base = {});
+
+}  // namespace mframe::pipeline

@@ -1,0 +1,17 @@
+#include "pipeline/structural.h"
+
+namespace mframe::pipeline {
+
+sched::Constraints withStructuralPipelining(sched::Constraints c,
+                                            const std::set<dfg::FuType>& types) {
+  for (dfg::FuType t : types) c.pipelinedFus.insert(t);
+  return c;
+}
+
+std::vector<std::pair<int, int>> stageSlices(int step, int cycles) {
+  std::vector<std::pair<int, int>> out;
+  for (int s = 0; s < cycles; ++s) out.emplace_back(s + 1, step + s);
+  return out;
+}
+
+}  // namespace mframe::pipeline

@@ -1,0 +1,35 @@
+// Structural pipelining (Section 5.5.1): multicycle operations execute on
+// multi-stage pipelined units, so "once any stage of a pipelined FU is
+// empty, it is considered available" — a unit can accept a new operation
+// every control step even while earlier initiations are still in flight.
+//
+// The paper realizes this by splitting a k-cycle operation into k
+// single-cycle stage-operations of distinct types scheduled in consecutive
+// steps. Occupancy-wise that construction is equivalent to saying two
+// operations conflict on a pipelined unit iff they start in the same step
+// (stage s of an op started at t occupies the stage-s slice exactly at step
+// t+s-1, so slices collide iff start steps match). ColumnOccupancy
+// implements that rule directly; this header provides the constraint setup
+// and the equivalence helper the tests use to validate it.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace mframe::pipeline {
+
+/// Return a copy of `c` with the given FU types marked structurally
+/// pipelined.
+sched::Constraints withStructuralPipelining(sched::Constraints c,
+                                            const std::set<dfg::FuType>& types);
+
+/// The (stage, step) slices a k-cycle operation started at `step` occupies
+/// on a pipelined unit — the explicit stage-expansion view of Section 5.5.1.
+/// Two operations on one unit conflict iff their slice sets intersect, which
+/// happens iff their start steps are equal; the property test checks this
+/// equivalence exhaustively.
+std::vector<std::pair<int, int>> stageSlices(int step, int cycles);
+
+}  // namespace mframe::pipeline

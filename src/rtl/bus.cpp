@@ -1,0 +1,91 @@
+#include "rtl/bus.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace mframe::rtl {
+
+namespace {
+
+/// A transfer: one operand value moving from a shared source to an ALU port
+/// in one step.
+struct Transfer {
+  int step = 0;
+  alloc::Source source;
+  int alu = 0;
+  bool leftPort = true;
+};
+
+}  // namespace
+
+BusPlan planBuses(const Datapath& d, const ControllerFsm& fsm,
+                  const BusCostModel& model) {
+  const dfg::Dfg& g = *d.graph;
+  std::vector<Transfer> transfers;
+
+  for (const MicroOp& m : fsm.microOps) {
+    const dfg::Node& n = g.node(m.op);
+    if (n.inputs.empty()) continue;
+    const auto ai = static_cast<std::size_t>(m.alu);
+    const auto& arr = d.arrangement[ai];
+    const bool swap = arr.swapped.count(m.op) ? arr.swapped.at(m.op) : false;
+    auto addRead = [&](bool leftPort, dfg::NodeId signal) {
+      const auto& w = leftPort ? d.leftPort[ai] : d.rightPort[ai];
+      auto sel = w.selectOf.find({m.op, signal});
+      if (sel == w.selectOf.end()) return;
+      const alloc::Source& src = w.sources[sel->second];
+      // Constants and primary-input ports are hardwired, not bused.
+      if (src.kind == alloc::Source::Kind::Constant ||
+          src.kind == alloc::Source::Kind::PrimaryInput)
+        return;
+      transfers.push_back({m.step, src, m.alu, leftPort});
+    };
+    const dfg::NodeId l = swap && n.inputs.size() == 2 ? n.inputs[1] : n.inputs[0];
+    addRead(true, l);
+    if (n.inputs.size() >= 2)
+      addRead(false, swap ? n.inputs[0] : n.inputs[1]);
+  }
+
+  BusPlan plan;
+  plan.transfersPerStep.assign(static_cast<std::size_t>(fsm.numSteps) + 1, 0);
+
+  // Per step: transfers of the same source share one bus (one broadcast);
+  // distinct sources get the lowest free bus index.
+  std::set<std::pair<alloc::Source, int>> drivers;       // (source, bus)
+  std::set<std::tuple<int, bool, int>> receivers;        // (alu, port, bus)
+  for (int step = 1; step <= fsm.numSteps; ++step) {
+    std::vector<alloc::Source> sourcesThisStep;
+    for (const Transfer& t : transfers) {
+      if (t.step != step) continue;
+      auto it = std::find(sourcesThisStep.begin(), sourcesThisStep.end(), t.source);
+      int bus;
+      if (it == sourcesThisStep.end()) {
+        bus = static_cast<int>(sourcesThisStep.size());
+        sourcesThisStep.push_back(t.source);
+      } else {
+        bus = static_cast<int>(it - sourcesThisStep.begin());
+      }
+      drivers.insert({t.source, bus});
+      receivers.insert({t.alu, t.leftPort, bus});
+      ++plan.transfersPerStep[static_cast<std::size_t>(step)];
+    }
+    plan.busCount =
+        std::max(plan.busCount, static_cast<int>(sourcesThisStep.size()));
+  }
+  plan.driverCount = static_cast<int>(drivers.size());
+  plan.receiverCount = static_cast<int>(receivers.size());
+  plan.totalCost = plan.busCount * model.busWireUm2 +
+                   plan.driverCount * model.driverUm2 +
+                   plan.receiverCount * model.receiverUm2;
+  return plan;
+}
+
+std::string BusPlan::toString() const {
+  return util::format(
+      "%d bus(es), %d driver(s), %d receiver tap(s), cost %.0f um^2",
+      busCount, driverCount, receiverCount, totalCost);
+}
+
+}  // namespace mframe::rtl

@@ -1,0 +1,47 @@
+// Bus-based interconnect planning — the paper's Section 4.1 aside that the
+// Liapunov function can optimize "multiplexers (or buses)". Instead of two
+// private multiplexers per ALU, operand transfers ride a small set of shared
+// buses: the bus count is the peak number of simultaneous transfers in any
+// control step, and each physical source pays one tristate driver per bus it
+// drives. planBuses derives that structure from a finished datapath +
+// controller, so mux-based and bus-based interconnect can be costed against
+// each other (see bench_ablation_interconnect).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alloc/interconnect.h"
+#include "rtl/controller.h"
+#include "rtl/datapath.h"
+
+namespace mframe::rtl {
+
+struct BusCostModel {
+  double busWireUm2 = 900.0;    ///< area of one bus line run
+  double driverUm2 = 120.0;     ///< one tristate driver onto a bus
+  double receiverUm2 = 40.0;    ///< one ALU-port tap from a bus
+};
+
+struct BusPlan {
+  int busCount = 0;
+  /// transfers scheduled in each control step (index 1..numSteps).
+  std::vector<int> transfersPerStep;
+  /// (source, bus) driver pairs after assignment.
+  int driverCount = 0;
+  /// ALU-port receiver taps (a port taps every bus it ever reads from).
+  int receiverCount = 0;
+  double totalCost = 0.0;
+
+  std::string toString() const;
+};
+
+/// Assign every register/ALU-output operand transfer of every step to a bus
+/// (constants and primary inputs are hardwired and ride no bus) and price
+/// the result. Greedy per-step assignment: transfers from the same source in
+/// one step share a bus; distinct sources take the lowest free bus.
+BusPlan planBuses(const Datapath& d, const ControllerFsm& fsm,
+                  const BusCostModel& model = {});
+
+}  // namespace mframe::rtl

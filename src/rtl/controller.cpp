@@ -1,0 +1,89 @@
+#include "rtl/controller.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace mframe::rtl {
+
+ControllerFsm buildController(const Datapath& d) {
+  ControllerFsm f;
+  const dfg::Dfg& g = *d.graph;
+  f.numSteps = d.schedule.numSteps();
+
+  for (const AluInstance& a : d.alus) {
+    const auto& arr = d.arrangement[static_cast<std::size_t>(a.index)];
+    for (dfg::NodeId op : a.ops) {
+      const dfg::Node& n = g.node(op);
+      MicroOp m;
+      m.step = d.schedule.stepOf(op);
+      m.alu = a.index;
+      m.op = op;
+      if (!n.inputs.empty()) {
+        const bool swap =
+            arr.swapped.count(op) ? arr.swapped.at(op) : false;
+        const dfg::NodeId l =
+            swap && n.inputs.size() == 2 ? n.inputs[1] : n.inputs[0];
+        const auto& lp = d.leftPort[static_cast<std::size_t>(a.index)];
+        auto it = lp.selectOf.find({op, l});
+        if (it != lp.selectOf.end() && lp.sources.size() > 1)
+          m.leftSelect = static_cast<int>(it->second);
+        if (n.inputs.size() >= 2) {
+          const dfg::NodeId r = swap ? n.inputs[0] : n.inputs[1];
+          const auto& rp = d.rightPort[static_cast<std::size_t>(a.index)];
+          auto rit = rp.selectOf.find({op, r});
+          if (rit != rp.selectOf.end() && rp.sources.size() > 1)
+            m.rightSelect = static_cast<int>(rit->second);
+        }
+      }
+      f.microOps.push_back(m);
+    }
+  }
+  std::sort(f.microOps.begin(), f.microOps.end(),
+            [](const MicroOp& a, const MicroOp& b) {
+              return std::tie(a.step, a.alu, a.op) < std::tie(b.step, b.alu, b.op);
+            });
+
+  // Register loads: each stored signal is latched at the end of its birth
+  // step; primary inputs preload at step 0.
+  for (const auto& [signal, reg] : d.regOfSignal) {
+    const dfg::Node& n = g.node(signal);
+    RegLoad rl;
+    rl.reg = reg;
+    rl.signal = signal;
+    if (n.kind == dfg::OpKind::Input) {
+      rl.step = 0;
+      rl.fromAlu = -1;
+    } else {
+      rl.step = d.schedule.stepOf(signal) + n.cycles - 1;
+      auto it = d.aluOf.find(signal);
+      rl.fromAlu = it == d.aluOf.end() ? -1 : it->second;
+    }
+    f.regLoads.push_back(rl);
+  }
+  std::sort(f.regLoads.begin(), f.regLoads.end(),
+            [](const RegLoad& a, const RegLoad& b) {
+              return std::tie(a.step, a.reg) < std::tie(b.step, b.reg);
+            });
+  return f;
+}
+
+std::string ControllerFsm::toString(const dfg::Dfg& g) const {
+  std::string out = util::format("controller FSM, %d states\n", numSteps);
+  for (int s = 0; s <= numSteps; ++s) {
+    std::string line;
+    for (const MicroOp& m : microOps)
+      if (m.step == s)
+        line += util::format("  ALU%d <= %s(%s) sel=(%d,%d)", m.alu,
+                             std::string(dfg::kindName(g.node(m.op).kind)).c_str(),
+                             g.node(m.op).name.c_str(), m.leftSelect,
+                             m.rightSelect);
+    for (const RegLoad& r : regLoads)
+      if (r.step == s)
+        line += util::format("  R%d <= %s", r.reg, g.node(r.signal).name.c_str());
+    if (!line.empty()) out += util::format("state %2d:%s\n", s, line.c_str());
+  }
+  return out;
+}
+
+}  // namespace mframe::rtl

@@ -1,0 +1,42 @@
+// Control-path design: an FSM whose states are the control steps, emitting
+// mux selects, ALU function codes and register load enables (the paper's
+// step 2 of behavioral synthesis, "control path design", Section 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/datapath.h"
+
+namespace mframe::rtl {
+
+/// One operation issue in one state.
+struct MicroOp {
+  int step = 0;                     ///< state (control step) of issue
+  int alu = 0;                      ///< executing ALU
+  dfg::NodeId op = dfg::kNoNode;    ///< the DFG operation
+  int leftSelect = -1;              ///< mux select of port 1 (-1: no mux)
+  int rightSelect = -1;             ///< mux select of port 2 (-1: none)
+};
+
+/// A register load at the end of a step.
+struct RegLoad {
+  int step = 0;                   ///< value latched at the end of this step
+                                  ///< (0 = primary-input preload)
+  int reg = 0;                    ///< destination register
+  dfg::NodeId signal = dfg::kNoNode;  ///< the value stored
+  int fromAlu = -1;               ///< producing ALU (-1: primary input)
+};
+
+struct ControllerFsm {
+  int numSteps = 0;
+  std::vector<MicroOp> microOps;  ///< sorted by (step, alu)
+  std::vector<RegLoad> regLoads;  ///< sorted by (step, reg)
+
+  std::string toString(const dfg::Dfg& g) const;
+};
+
+/// Derive the FSM from a complete datapath.
+ControllerFsm buildController(const Datapath& d);
+
+}  // namespace mframe::rtl

@@ -1,0 +1,38 @@
+#include "rtl/cost.h"
+
+#include "util/strings.h"
+
+namespace mframe::rtl {
+
+std::string CostBreakdown::toString() const {
+  return util::format(
+      "cost %.0f um^2 (alu %.0f + reg %.0f + mux %.0f); %d ALUs, %d REGs, "
+      "%d MUXes, %d MUX inputs",
+      total, aluArea, regArea, muxArea, aluCount, regCount, muxCount,
+      muxInputCount);
+}
+
+CostBreakdown evaluateCost(const Datapath& d) {
+  CostBreakdown c;
+  for (const AluInstance& a : d.alus) c.aluArea += d.lib->module(a.module).areaUm2;
+  c.aluCount = static_cast<int>(d.alus.size());
+
+  c.regCount = static_cast<int>(d.regs.count());
+  c.regArea = c.regCount * d.lib->regCost();
+
+  auto port = [&](const alloc::PortWiring& w) {
+    const int inputs = static_cast<int>(w.sources.size());
+    if (inputs >= 2) {
+      ++c.muxCount;
+      c.muxInputCount += inputs;
+      c.muxArea += d.lib->muxCost(inputs);
+    }
+  };
+  for (const auto& w : d.leftPort) port(w);
+  for (const auto& w : d.rightPort) port(w);
+
+  c.total = c.aluArea + c.regArea + c.muxArea;
+  return c;
+}
+
+}  // namespace mframe::rtl

@@ -1,0 +1,27 @@
+// Overall RTL cost evaluation — the "Cost", "REG", "MUX" and "MUXin" columns
+// of Table 2, priced with the cell library.
+#pragma once
+
+#include <string>
+
+#include "rtl/datapath.h"
+
+namespace mframe::rtl {
+
+struct CostBreakdown {
+  double aluArea = 0.0;
+  double regArea = 0.0;
+  double muxArea = 0.0;
+  double total = 0.0;
+
+  int aluCount = 0;
+  int regCount = 0;
+  int muxCount = 0;       ///< ports with >= 2 distinct sources (real muxes)
+  int muxInputCount = 0;  ///< total data inputs over those muxes
+
+  std::string toString() const;
+};
+
+CostBreakdown evaluateCost(const Datapath& d);
+
+}  // namespace mframe::rtl

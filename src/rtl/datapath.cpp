@@ -1,0 +1,64 @@
+#include "rtl/datapath.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace mframe::rtl {
+
+std::string Datapath::aluSummary() const {
+  // Group identical module signatures: "2(+-); (*)".
+  std::map<std::string, int> bySig;
+  for (const AluInstance& a : alus) ++bySig[lib->module(a.module).signature()];
+  std::vector<std::string> parts;
+  for (const auto& [sig, count] : bySig)
+    parts.push_back(count > 1 ? util::format("%d%s", count, sig.c_str()) : sig);
+  return util::join(parts, "; ");
+}
+
+Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
+                       const sched::Schedule& s,
+                       std::vector<AluInstance> alus) {
+  Datapath d;
+  d.schedule = s;
+  d.graph = d.schedule.sharedGraph();  // identical snapshot as the schedule's
+  d.lib = std::make_shared<celllib::CellLibrary>(lib);
+  d.alus = std::move(alus);
+  for (const AluInstance& a : d.alus)
+    for (dfg::NodeId op : a.ops) d.aluOf[op] = a.index;
+
+  // Registers (Section 5.8).
+  d.lifetimes = alloc::computeLifetimes(g, s);
+  d.regs = alloc::allocateRegisters(d.lifetimes);
+  for (std::size_t r = 0; r < d.regs.registers.size(); ++r)
+    for (std::size_t i : d.regs.registers[r])
+      d.regOfSignal[d.lifetimes[i].producer] = static_cast<int>(r);
+
+  // Mux arrangement per ALU (Section 5.6), then physical wiring with
+  // interconnect sharing (Section 5.7).
+  const alloc::SourceResolver resolver(g, s, d.lifetimes, d.regs, d.aluOf);
+  d.arrangement.reserve(d.alus.size());
+  for (const AluInstance& a : d.alus) {
+    d.arrangement.push_back(alloc::arrangeInputs(g, a.ops));
+    const alloc::MuxArrangement& arr = d.arrangement.back();
+
+    std::vector<std::pair<dfg::NodeId, dfg::NodeId>> leftReads, rightReads;
+    for (dfg::NodeId op : a.ops) {
+      const dfg::Node& n = g.node(op);
+      if (n.inputs.empty()) continue;
+      const bool swap = arr.swapped.count(op) ? arr.swapped.at(op) : false;
+      const dfg::NodeId l = swap ? n.inputs[1] : n.inputs[0];
+      leftReads.emplace_back(op, l);
+      if (n.inputs.size() >= 2) {
+        const dfg::NodeId r = swap ? n.inputs[0] : n.inputs[1];
+        rightReads.emplace_back(op, r);
+      }
+    }
+    d.leftPort.push_back(alloc::wirePort(resolver, leftReads));
+    d.rightPort.push_back(alloc::wirePort(resolver, rightReads));
+  }
+  return d;
+}
+
+}  // namespace mframe::rtl

@@ -1,0 +1,69 @@
+// The register-transfer-level structure MFSA produces (Section 4.2: "MFSA
+// generates a schedule and its corresponding RTL structure while optimizing
+// the overall cost"): ALU instances drawn from the cell library, registers
+// from left-edge allocation, two multiplexers per ALU, and shared
+// interconnect lines.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/interconnect.h"
+#include "alloc/lifetimes.h"
+#include "alloc/muxopt.h"
+#include "alloc/regalloc.h"
+#include "celllib/cell_library.h"
+#include "sched/schedule.h"
+
+namespace mframe::rtl {
+
+/// The two RTL design styles of Section 4.2.
+enum class DesignStyle {
+  Unrestricted,  ///< style 1: conventional datapath
+  NoSelfLoop,    ///< style 2: no operation may share an ALU with one of its
+                 ///< predecessors or successors (self-testable, SYNTEST [18])
+};
+
+struct AluInstance {
+  celllib::ModuleId module = 0;
+  int index = 0;                    ///< global instance index (0-based)
+  std::vector<dfg::NodeId> ops;     ///< operations bound here
+};
+
+/// A complete datapath. Build with buildDatapath(); cost via rtl::evaluateCost;
+/// check with rtl::verifyDatapath. The structure co-owns snapshots of the
+/// graph (shared with its schedule) and the cell library, so results outlive
+/// the caller's originals.
+struct Datapath {
+  std::shared_ptr<const dfg::Dfg> graph;
+  std::shared_ptr<const celllib::CellLibrary> lib;
+  sched::Schedule schedule;
+
+  std::vector<AluInstance> alus;
+  std::map<dfg::NodeId, int> aluOf;      ///< op -> ALU index
+
+  std::vector<alloc::Lifetime> lifetimes;
+  alloc::RegAllocation regs;
+  std::map<dfg::NodeId, int> regOfSignal;  ///< producer -> register index
+
+  /// Per-ALU operand arrangement (which signal feeds which port) and the
+  /// physical wiring of the two ports after interconnect sharing.
+  std::vector<alloc::MuxArrangement> arrangement;  ///< index = ALU index
+  std::vector<alloc::PortWiring> leftPort;
+  std::vector<alloc::PortWiring> rightPort;
+
+  /// The paper's Table-2 "ALU's" column, e.g. "(+-); 2(*)".
+  std::string aluSummary() const;
+};
+
+/// Assemble the full RTL structure from a schedule and an ALU binding:
+/// lifetime analysis, register allocation, mux arrangement and interconnect
+/// sharing. `alus[i].ops` must cover every schedulable operation exactly
+/// once.
+Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
+                       const sched::Schedule& s,
+                       std::vector<AluInstance> alus);
+
+}  // namespace mframe::rtl

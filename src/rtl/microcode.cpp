@@ -1,0 +1,130 @@
+#include "rtl/microcode.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace mframe::rtl {
+
+namespace {
+
+int bitsFor(std::size_t alternatives) {
+  if (alternatives <= 1) return 0;
+  int bits = 0;
+  std::size_t span = 1;
+  while (span < alternatives) {
+    span <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+int MicrocodeRom::wordBits() const {
+  int total = 0;
+  for (const auto& f : fields) total += f.bits;
+  return total;
+}
+
+MicrocodeRom buildMicrocode(const Datapath& d, const ControllerFsm& fsm) {
+  MicrocodeRom rom;
+  rom.words = fsm.numSteps;
+  const dfg::Dfg& g = *d.graph;
+
+  // Per-ALU opcode encoding: distinct op kinds performed by that ALU.
+  std::vector<std::vector<dfg::OpKind>> opcodeOf(d.alus.size());
+  for (const AluInstance& a : d.alus) {
+    std::set<dfg::OpKind> kinds;
+    for (dfg::NodeId op : a.ops) kinds.insert(g.node(op).kind);
+    opcodeOf[static_cast<std::size_t>(a.index)] =
+        std::vector<dfg::OpKind>(kinds.begin(), kinds.end());
+  }
+
+  // Field layout: [aluK.op][aluK.selL][aluK.selR] ... [Rj.load] ...
+  struct FieldRef {
+    enum class Kind { Opcode, SelL, SelR, RegLoad } kind;
+    int unit;
+  };
+  std::vector<FieldRef> refs;
+  for (const AluInstance& a : d.alus) {
+    const auto ai = static_cast<std::size_t>(a.index);
+    const int opBits = bitsFor(opcodeOf[ai].size());
+    if (opBits > 0) {
+      rom.fields.push_back({util::format("alu%d.op", a.index), opBits});
+      refs.push_back({FieldRef::Kind::Opcode, a.index});
+    }
+    if (d.leftPort[ai].sources.size() > 1) {
+      rom.fields.push_back({util::format("alu%d.selL", a.index),
+                            bitsFor(d.leftPort[ai].sources.size())});
+      refs.push_back({FieldRef::Kind::SelL, a.index});
+    }
+    if (d.rightPort[ai].sources.size() > 1) {
+      rom.fields.push_back({util::format("alu%d.selR", a.index),
+                            bitsFor(d.rightPort[ai].sources.size())});
+      refs.push_back({FieldRef::Kind::SelR, a.index});
+    }
+  }
+  for (std::size_t r = 0; r < d.regs.count(); ++r) {
+    rom.fields.push_back({util::format("R%zu.load", r), 1});
+    refs.push_back({FieldRef::Kind::RegLoad, static_cast<int>(r)});
+  }
+
+  rom.rows.assign(static_cast<std::size_t>(fsm.numSteps),
+                  std::vector<int>(rom.fields.size(), -1));
+  auto rowOf = [&](int step) -> std::vector<int>& {
+    return rom.rows[static_cast<std::size_t>(step - 1)];
+  };
+
+  for (const MicroOp& m : fsm.microOps) {
+    const auto ai = static_cast<std::size_t>(m.alu);
+    for (std::size_t f = 0; f < refs.size(); ++f) {
+      if (refs[f].unit != m.alu) continue;
+      switch (refs[f].kind) {
+        case FieldRef::Kind::Opcode: {
+          const auto& codes = opcodeOf[ai];
+          const auto it =
+              std::find(codes.begin(), codes.end(), g.node(m.op).kind);
+          rowOf(m.step)[f] = static_cast<int>(it - codes.begin());
+          break;
+        }
+        case FieldRef::Kind::SelL:
+          if (m.leftSelect >= 0) rowOf(m.step)[f] = m.leftSelect;
+          break;
+        case FieldRef::Kind::SelR:
+          if (m.rightSelect >= 0) rowOf(m.step)[f] = m.rightSelect;
+          break;
+        case FieldRef::Kind::RegLoad:
+          break;
+      }
+    }
+  }
+  for (const RegLoad& rl : fsm.regLoads) {
+    if (rl.step < 1) continue;  // input preloads ride reset, not the ROM
+    for (std::size_t f = 0; f < refs.size(); ++f)
+      if (refs[f].kind == FieldRef::Kind::RegLoad && refs[f].unit == rl.reg)
+        rowOf(rl.step)[f] = 1;
+  }
+  return rom;
+}
+
+std::string MicrocodeRom::toString() const {
+  std::string out = util::format("microcode ROM: %d words x %d bits = %d bits\n",
+                                 words, wordBits(), totalBits());
+  out += "  fields:";
+  for (const auto& f : fields) out += util::format(" %s[%d]", f.name.c_str(), f.bits);
+  out += "\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out += util::format("  step %2zu:", r + 1);
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      const int v = rows[r][f];
+      out += v < 0 ? " -" : util::format(" %d", v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mframe::rtl

@@ -1,0 +1,41 @@
+// Microcode ROM view of the controller: the FSM's per-state control signals
+// packed into fields, with a width/area estimate — the concrete "control
+// path design" artifact behavioral synthesis owes after the datapath
+// (Section 1).
+//
+// Field layout per ALU: an opcode field (wide enough for the distinct
+// operations the ALU performs), and one select field per multiplexed port;
+// plus one load-enable bit per register. ALUs with a single operation need
+// no opcode bits, ports with a single source no select bits — exactly the
+// places where datapath sharing buys controller area too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/controller.h"
+#include "rtl/datapath.h"
+
+namespace mframe::rtl {
+
+struct MicrocodeField {
+  std::string name;
+  int bits = 0;
+};
+
+struct MicrocodeRom {
+  int words = 0;  ///< one control word per control step
+  std::vector<MicrocodeField> fields;
+  /// rows[step-1][fieldIndex] = value (-1 = don't care / idle).
+  std::vector<std::vector<int>> rows;
+
+  int wordBits() const;
+  int totalBits() const { return words * wordBits(); }
+  double areaEstimate(double umPerBit = 12.0) const { return totalBits() * umPerBit; }
+
+  std::string toString() const;
+};
+
+MicrocodeRom buildMicrocode(const Datapath& d, const ControllerFsm& fsm);
+
+}  // namespace mframe::rtl

@@ -1,0 +1,14 @@
+// Graphviz export of the RTL *structure* (as opposed to dfg::toDot's
+// behavioral view): ALUs, registers, constants and primary inputs as nodes,
+// mux data inputs as edges labeled with their select index.
+#pragma once
+
+#include <string>
+
+#include "rtl/datapath.h"
+
+namespace mframe::rtl {
+
+std::string toDot(const Datapath& d);
+
+}  // namespace mframe::rtl

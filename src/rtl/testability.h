@@ -1,0 +1,35 @@
+// Structural testability metrics behind the paper's design style 2
+// (Section 4.2): SYNTEST [18][20] wants a datapath with "no self loop around
+// ALUs", because an ALU whose output feeds (a register that feeds) its own
+// input cannot be tested with a simple register-scan pattern. This analyzer
+// counts the self-loop structures a binding creates, quantifying what the
+// 2-11% style-2 area overhead buys.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/datapath.h"
+
+namespace mframe::rtl {
+
+struct TestabilityReport {
+  /// (op, predecessor) pairs bound to the same ALU — each is a combinational
+  /// or one-register self loop around that ALU.
+  int selfLoopPairs = 0;
+  /// ALUs with at least one such pair.
+  int selfLoopAlus = 0;
+  /// ALU -> ALU feed edges (dataflow between distinct units): the clean,
+  /// scannable structure.
+  int crossAluEdges = 0;
+  /// Registers that sit on a self loop (hold a value produced and consumed
+  /// by the same ALU).
+  int selfLoopRegisters = 0;
+
+  bool selfTestable() const { return selfLoopPairs == 0; }
+  std::string toString() const;
+};
+
+TestabilityReport analyzeTestability(const Datapath& d);
+
+}  // namespace mframe::rtl

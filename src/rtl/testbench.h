@@ -1,0 +1,24 @@
+// Verilog testbench generation: wraps the exported module with stimulus
+// from a concrete input vector and self-checking assertions against the
+// behavioral reference (computed by sim::evalDfg), so the emitted RTL can be
+// validated in any external Verilog simulator.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "rtl/controller.h"
+#include "rtl/datapath.h"
+#include "sim/eval.h"
+
+namespace mframe::rtl {
+
+/// Emit a self-checking testbench for the design `toVerilog` produces.
+/// Expected outputs are evaluated from the behavioral DFG; the testbench
+/// drives the inputs, runs `numSteps` clocks after reset, compares every
+/// output, and prints PASS/FAIL.
+std::string toTestbench(const Datapath& d, const ControllerFsm& fsm,
+                        const std::map<std::string, sim::Word>& inputs,
+                        int width = 16);
+
+}  // namespace mframe::rtl

@@ -1,0 +1,26 @@
+// Independent structural verification of a Datapath — the RTL counterpart of
+// sched::verifySchedule. Every MFSA result is re-checked here by the tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/datapath.h"
+
+namespace mframe::rtl {
+
+/// Check the datapath against the graph, constraints and design style:
+///  * binding: every schedulable operation bound to exactly one ALU whose
+///    module supports the operation's FU type;
+///  * ALU occupancy: no temporal overlap of non-exclusive operations on one
+///    ALU (start-step conflicts for pipelined modules; folded mod latency);
+///  * style 2: no operation shares an ALU with a predecessor or successor;
+///  * registers: lifetimes packed into one register never overlap; every
+///    cross-step signal has a register;
+///  * wiring: each operand of each operation is reachable through its port
+///    (present in the port's select map).
+std::vector<std::string> verifyDatapath(const Datapath& d,
+                                        const sched::Constraints& c,
+                                        DesignStyle style);
+
+}  // namespace mframe::rtl

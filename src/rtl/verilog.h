@@ -1,0 +1,18 @@
+// Structural Verilog export of a synthesized datapath + controller, so the
+// RTL the tool produces can be inspected or fed to downstream flows.
+#pragma once
+
+#include <string>
+
+#include "rtl/controller.h"
+#include "rtl/datapath.h"
+
+namespace mframe::rtl {
+
+/// Emit a self-contained synthesizable-style Verilog module named after the
+/// DFG: registers, port multiplexers, ALU function cases and the control
+/// FSM. Word width is `width` bits.
+std::string toVerilog(const Datapath& d, const ControllerFsm& fsm,
+                      int width = 16);
+
+}  // namespace mframe::rtl

@@ -1,0 +1,51 @@
+#include "sched/clock_explorer.h"
+
+#include <algorithm>
+
+#include "sched/timeframes.h"
+
+namespace mframe::sched {
+
+std::vector<ClockSweepPoint> sweepClock(const dfg::Dfg& g,
+                                        const std::vector<double>& clocksNs) {
+  std::vector<ClockSweepPoint> out;
+  for (double clk : clocksNs) {
+    ClockSweepPoint p;
+    p.clockNs = clk;
+    Constraints c;
+    c.allowChaining = true;
+    c.clockNs = clk;
+    const auto tf = computeTimeFrames(g, c);
+    if (!tf) {
+      out.push_back(p);
+      continue;
+    }
+    p.steps = tf->criticalSteps();
+    p.latencyNs = p.steps * clk;
+
+    core::MfsOptions o;
+    o.constraints = c;
+    o.constraints.timeSteps = p.steps;
+    const auto r = core::runMfs(g, o);
+    p.feasible = r.feasible;
+    if (r.feasible) p.fuCount = r.fuCount;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+double minimumClockFor(const dfg::Dfg& g, int maxSteps,
+                       const std::vector<double>& clocksNs) {
+  std::vector<double> sorted = clocksNs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double clk : sorted) {
+    Constraints c;
+    c.allowChaining = true;
+    c.clockNs = clk;
+    const auto tf = computeTimeFrames(g, c);
+    if (tf && tf->criticalSteps() <= maxSteps) return clk;
+  }
+  return 0.0;
+}
+
+}  // namespace mframe::sched

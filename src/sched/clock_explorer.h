@@ -1,0 +1,32 @@
+// Clock-period exploration for chained designs (Section 5.4): the length of
+// the control-step clock T decides how many dependent operations chain into
+// one step, trading clock frequency against step count. These helpers sweep
+// T and find the shortest clock that meets a step budget.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mfs.h"
+
+namespace mframe::sched {
+
+struct ClockSweepPoint {
+  double clockNs = 0.0;
+  bool feasible = false;
+  int steps = 0;             ///< critical path at this clock (chained)
+  double latencyNs = 0.0;    ///< steps * clockNs: end-to-end time
+  std::map<dfg::FuType, int> fuCount;  ///< balanced MFS demand at that cs
+};
+
+/// Evaluate chained scheduling at each candidate clock period. For every
+/// point the graph is scheduled with MFS at its chained critical path.
+std::vector<ClockSweepPoint> sweepClock(const dfg::Dfg& g,
+                                        const std::vector<double>& clocksNs);
+
+/// The smallest clock period from `clocksNs` whose chained critical path
+/// fits within `maxSteps`; 0.0 when none does.
+double minimumClockFor(const dfg::Dfg& g, int maxSteps,
+                       const std::vector<double>& clocksNs);
+
+}  // namespace mframe::sched

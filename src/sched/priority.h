@@ -1,0 +1,36 @@
+// Priority determination (Section 3.2 step 2 and the multicycle refinements
+// of Section 5.3).
+//
+// The paper's rule set:
+//   * sweep the ALAP schedule from the first control step upward, so
+//     operations forced early come first;
+//   * within a step, lower mobility wins ("if mob[p] < mob[q] then p has
+//     more priority"), ties broken arbitrarily;
+//   * multicycle refinement: when two k-cycle operations differ in mobility
+//     by less than k, the rule is reversed — the one with more mobility goes
+//     first, "because in this special case the operation with more mobility
+//     has always a better chance to use the empty positions";
+//   * tie break: the operation with earlier predecessors (in control steps)
+//     gets higher priority.
+#pragma once
+
+#include <vector>
+
+#include "dfg/dfg.h"
+#include "sched/timeframes.h"
+
+namespace mframe::sched {
+
+/// How to order operations. MobilityRule is the paper's scheme; the other
+/// two exist for the priority-rule ablation bench.
+enum class PriorityRule {
+  Mobility,          ///< the paper's rule (with the multicycle refinement)
+  MobilityNoReverse, ///< ablation: paper's rule without the multicycle reversal
+  InsertionOrder,    ///< ablation: graph insertion order (no intelligence)
+};
+
+/// Produce the scheduling order of all schedulable operations.
+std::vector<dfg::NodeId> priorityOrder(const dfg::Dfg& g, const TimeFrames& tf,
+                                       PriorityRule rule = PriorityRule::Mobility);
+
+}  // namespace mframe::sched

@@ -1,0 +1,87 @@
+#include "sched/report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "alloc/lifetimes.h"
+#include "util/strings.h"
+
+namespace mframe::sched {
+
+ScheduleReport analyzeSchedule(const Schedule& s) {
+  ScheduleReport rep;
+  const dfg::Dfg& g = s.graph();
+  const int cs = s.numSteps();
+
+  // -- occupancy per (type, instance, step) ---------------------------------
+  std::map<std::pair<dfg::FuType, int>, std::vector<dfg::NodeId>> rows;
+  for (const dfg::Node& n : g.nodes()) {
+    if (!dfg::isSchedulable(n.kind) || !s.isPlaced(n.id)) continue;
+    rows[{dfg::fuTypeOf(n.kind), s.columnOf(n.id)}].push_back(n.id);
+  }
+
+  std::map<dfg::FuType, std::pair<int, int>> util;  // type -> (instances, busy)
+  std::string gantt;
+  for (const auto& [key, ops] : rows) {
+    const auto [type, col] = key;
+    auto& u = util[type];
+    u.first = std::max(u.first, col);
+    std::vector<std::string> cells(static_cast<std::size_t>(cs) + 1);
+    for (dfg::NodeId id : ops) {
+      const dfg::Node& n = g.node(id);
+      for (int st = s.stepOf(id); st < s.stepOf(id) + n.cycles && st <= cs; ++st) {
+        auto& cell = cells[static_cast<std::size_t>(st)];
+        if (!cell.empty()) cell += "/";  // mutually exclusive co-location
+        cell += st == s.stepOf(id) ? n.name : "..";
+        ++u.second;
+      }
+    }
+    std::size_t w = 4;
+    for (const auto& c : cells) w = std::max(w, c.size());
+    gantt += util::padRight(util::format("%s#%d", std::string(dfg::fuTypeName(type)).c_str(), col), 14) + "|";
+    for (int st = 1; st <= cs; ++st)
+      gantt += util::padLeft(cells[static_cast<std::size_t>(st)], w) + "|";
+    gantt += "\n";
+  }
+  rep.gantt = std::move(gantt);
+
+  for (const auto& [type, iu] : util) {
+    UtilizationRow row;
+    row.type = type;
+    row.instances = iu.first;
+    row.busySlots = iu.second;
+    row.utilization =
+        cs > 0 && iu.first > 0
+            ? static_cast<double>(iu.second) / (iu.first * cs)
+            : 0.0;
+    rep.utilization.push_back(row);
+  }
+
+  // -- register pressure -----------------------------------------------------
+  rep.liveValues.assign(static_cast<std::size_t>(cs) + 2, 0);
+  for (const alloc::Lifetime& lt : alloc::computeLifetimes(g, s)) {
+    if (!lt.needsRegister) continue;
+    // Occupies (birth, death]; count it live in steps birth+1 .. death.
+    for (int st = lt.birth + 1; st <= std::min(lt.death, cs + 1); ++st)
+      ++rep.liveValues[static_cast<std::size_t>(st)];
+  }
+  for (int v : rep.liveValues) rep.peakLive = std::max(rep.peakLive, v);
+  return rep;
+}
+
+std::string ScheduleReport::toString() const {
+  std::string out = "FU occupancy (Gantt):\n" + gantt;
+  out += "utilization:\n";
+  for (const auto& u : utilization)
+    out += util::format("  %-12s %d instance(s), %2d busy slots, %5.1f%%\n",
+                        std::string(dfg::fuTypeName(u.type)).c_str(),
+                        u.instances, u.busySlots, 100.0 * u.utilization);
+  out += util::format("register pressure: peak %d live value(s); per step:",
+                      peakLive);
+  for (std::size_t st = 1; st < liveValues.size(); ++st)
+    out += util::format(" %d", liveValues[st]);
+  out += "\n";
+  return out;
+}
+
+}  // namespace mframe::sched

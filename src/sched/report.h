@@ -1,0 +1,33 @@
+// Human-readable schedule analytics: an ASCII Gantt chart of FU occupancy,
+// per-type utilization, and the register-pressure profile (live values per
+// step). Used by the CLI's --report and the examples; also a convenient
+// probe for the "balanced schedule" claim — a balanced schedule shows high,
+// even utilization.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace mframe::sched {
+
+struct UtilizationRow {
+  dfg::FuType type{};
+  int instances = 0;      ///< FU count (max column)
+  int busySlots = 0;      ///< occupied (instance, step) slots
+  double utilization = 0; ///< busySlots / (instances * steps)
+};
+
+struct ScheduleReport {
+  std::vector<UtilizationRow> utilization;
+  std::vector<int> liveValues;  ///< live cross-step values per step (1-based)
+  int peakLive = 0;             ///< == minimum register count
+  std::string gantt;            ///< ASCII chart, one row per FU instance
+
+  std::string toString() const;
+};
+
+/// Analyze a complete schedule.
+ScheduleReport analyzeSchedule(const Schedule& s);
+
+}  // namespace mframe::sched

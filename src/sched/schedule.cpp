@@ -1,0 +1,84 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace mframe::sched {
+
+void Schedule::place(dfg::NodeId id, int step, int column) {
+  assert(id < place_.size());
+  assert(step >= 1 && column >= 1);
+  place_[id] = {step, column};
+  placed_[id] = true;
+}
+
+void Schedule::unplace(dfg::NodeId id) {
+  assert(id < place_.size());
+  placed_[id] = false;
+  place_[id] = {};
+}
+
+std::size_t Schedule::placedCount() const {
+  return static_cast<std::size_t>(std::count(placed_.begin(), placed_.end(), true));
+}
+
+std::map<dfg::FuType, int> Schedule::fuCount() const {
+  std::map<dfg::FuType, int> out;
+  for (const dfg::Node& n : graph_->nodes()) {
+    if (!dfg::isSchedulable(n.kind) || !placed_[n.id]) continue;
+    const dfg::FuType t = dfg::fuTypeOf(n.kind);
+    out[t] = std::max(out[t], place_[n.id].column);
+  }
+  return out;
+}
+
+std::map<dfg::FuType, int> Schedule::peakConcurrency() const {
+  std::map<dfg::FuType, std::map<int, int>> perStep;
+  for (const dfg::Node& n : graph_->nodes()) {
+    if (!dfg::isSchedulable(n.kind) || !placed_[n.id]) continue;
+    const dfg::FuType t = dfg::fuTypeOf(n.kind);
+    for (int s = place_[n.id].step; s < place_[n.id].step + n.cycles; ++s)
+      ++perStep[t][s];
+  }
+  std::map<dfg::FuType, int> out;
+  for (const auto& [t, steps] : perStep)
+    for (const auto& [s, c] : steps) out[t] = std::max(out[t], c);
+  return out;
+}
+
+std::vector<dfg::NodeId> Schedule::opsInStep(int step) const {
+  std::vector<dfg::NodeId> out;
+  for (const dfg::Node& n : graph_->nodes()) {
+    if (!dfg::isSchedulable(n.kind) || !placed_[n.id]) continue;
+    if (place_[n.id].step <= step && step < place_[n.id].step + n.cycles)
+      out.push_back(n.id);
+  }
+  return out;
+}
+
+std::map<dfg::NodeId, int> Schedule::stepMap() const {
+  std::map<dfg::NodeId, int> out;
+  for (const dfg::Node& n : graph_->nodes())
+    if (dfg::isSchedulable(n.kind) && placed_[n.id]) out[n.id] = place_[n.id].step;
+  return out;
+}
+
+std::string Schedule::toString() const {
+  std::string out = util::format("schedule of '%s' in %d steps\n",
+                                 graph_->name().c_str(), numSteps_);
+  for (int s = 1; s <= numSteps_; ++s) {
+    out += util::format("  step %2d:", s);
+    for (dfg::NodeId id : opsInStep(s)) {
+      const dfg::Node& n = graph_->node(id);
+      out += util::format(" %s(%s)@%d", n.name.c_str(),
+                          std::string(dfg::kindSymbol(n.kind)).c_str(),
+                          place_[id].column);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mframe::sched

@@ -1,0 +1,75 @@
+#include "sched/schedule_io.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace mframe::sched {
+
+std::string serializeSchedule(const Schedule& s) {
+  const dfg::Dfg& g = s.graph();
+  std::string out =
+      util::format("schedule %s steps=%d\n", g.name().c_str(), s.numSteps());
+  for (dfg::NodeId id : g.operations())
+    if (s.isPlaced(id))
+      out += util::format("place %s step=%d col=%d\n", g.node(id).name.c_str(),
+                          s.stepOf(id), s.columnOf(id));
+  return out;
+}
+
+std::optional<Schedule> parseSchedule(const dfg::Dfg& g, std::string_view text,
+                                      std::string* error) {
+  auto fail = [&](int line, const std::string& msg) {
+    if (error)
+      *error = util::format("schedule parse error at line %d: %s", line,
+                            msg.c_str());
+    return std::nullopt;
+  };
+
+  Schedule s(g);
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int lineNo = 0;
+  bool sawHeader = false;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const auto tok = util::splitWs(raw);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "schedule") {
+      if (tok.size() != 3 || !util::startsWith(tok[2], "steps="))
+        return fail(lineNo, "expected: schedule <name> steps=<cs>");
+      if (tok[1] != g.name())
+        return fail(lineNo, "design name '" + tok[1] + "' does not match '" +
+                                g.name() + "'");
+      const long cs = util::parseLong(tok[2].substr(6));
+      if (cs < 1) return fail(lineNo, "bad steps value");
+      s.setNumSteps(static_cast<int>(cs));
+      sawHeader = true;
+    } else if (tok[0] == "place") {
+      if (!sawHeader) return fail(lineNo, "place before schedule header");
+      if (tok.size() != 4 || !util::startsWith(tok[2], "step=") ||
+          !util::startsWith(tok[3], "col="))
+        return fail(lineNo, "expected: place <signal> step=<s> col=<c>");
+      const dfg::NodeId id = g.findByName(tok[1]);
+      if (id == dfg::kNoNode)
+        return fail(lineNo, "unknown signal '" + tok[1] + "'");
+      if (!dfg::isSchedulable(g.node(id).kind))
+        return fail(lineNo, "'" + tok[1] + "' is not an operation");
+      const long step = util::parseLong(tok[2].substr(5));
+      const long col = util::parseLong(tok[3].substr(4));
+      if (step < 1 || step > s.numSteps() || col < 1)
+        return fail(lineNo, "placement out of range");
+      if (s.isPlaced(id)) return fail(lineNo, "duplicate placement of '" + tok[1] + "'");
+      s.place(id, static_cast<int>(step), static_cast<int>(col));
+    } else {
+      return fail(lineNo, "unknown statement '" + tok[0] + "'");
+    }
+  }
+  if (!sawHeader) return fail(0, "missing 'schedule' header");
+  return s;
+}
+
+}  // namespace mframe::sched

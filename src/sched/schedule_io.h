@@ -1,0 +1,27 @@
+// Textual schedule format, so schedules can be saved, diffed and reloaded
+// across tool invocations (e.g. schedule once, re-cost under several
+// libraries). Format:
+//
+//   schedule <design-name> steps=<cs>
+//   place <signal> step=<s> col=<c>
+//
+// Loading validates against the graph (names resolve, placements in range).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sched/schedule.h"
+
+namespace mframe::sched {
+
+/// Serialize a complete schedule.
+std::string serializeSchedule(const Schedule& s);
+
+/// Parse against `g`. Returns std::nullopt and fills *error on mismatch
+/// (unknown signal, design-name mismatch, malformed line).
+std::optional<Schedule> parseSchedule(const dfg::Dfg& g, std::string_view text,
+                                      std::string* error = nullptr);
+
+}  // namespace mframe::sched

@@ -1,0 +1,40 @@
+#include "sched/slack.h"
+
+#include "util/strings.h"
+
+namespace mframe::sched {
+
+SlackReport analyzeSlack(const Schedule& s, const Constraints& c) {
+  SlackReport rep;
+  const dfg::Dfg& g = s.graph();
+  Constraints cc = c;
+  cc.timeSteps = s.numSteps();
+  const auto tf = computeTimeFrames(g, cc);
+  if (!tf) return rep;
+
+  double total = 0.0;
+  for (dfg::NodeId id : g.operations()) {
+    if (!s.isPlaced(id)) continue;
+    OpSlack os;
+    os.op = id;
+    os.earlySlack = s.stepOf(id) - tf->asap(id);
+    os.lateSlack = tf->alap(id) - s.stepOf(id);
+    if (os.critical()) ++rep.criticalCount;
+    total += os.earlySlack + os.lateSlack;
+    rep.ops.push_back(os);
+  }
+  if (!rep.ops.empty()) rep.meanTotalSlack = total / static_cast<double>(rep.ops.size());
+  return rep;
+}
+
+std::string SlackReport::toString(const dfg::Dfg& g) const {
+  std::string out = util::format(
+      "slack: %d critical op(s) of %zu, mean total slack %.2f steps\n",
+      criticalCount, ops.size(), meanTotalSlack);
+  for (const OpSlack& os : ops)
+    if (os.critical())
+      out += util::format("  critical: %s\n", g.node(os.op).name.c_str());
+  return out;
+}
+
+}  // namespace mframe::sched

@@ -1,0 +1,34 @@
+// Slack analysis over a finished schedule: how far each operation sits from
+// its frame edges, which operations are schedule-critical (zero slack both
+// ways), and the slack distribution — the quantitative face of "balanced
+// schedule" beyond FU counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/timeframes.h"
+
+namespace mframe::sched {
+
+struct OpSlack {
+  dfg::NodeId op = dfg::kNoNode;
+  int earlySlack = 0;  ///< scheduled step - ASAP
+  int lateSlack = 0;   ///< ALAP - scheduled step
+  bool critical() const { return earlySlack + lateSlack == 0; }
+};
+
+struct SlackReport {
+  std::vector<OpSlack> ops;
+  int criticalCount = 0;
+  double meanTotalSlack = 0.0;  ///< mean of (early + late) over all ops
+
+  std::string toString(const dfg::Dfg& g) const;
+};
+
+/// Analyze `s` against fresh time frames at the schedule's own length.
+/// The schedule must be complete and valid.
+SlackReport analyzeSlack(const Schedule& s, const Constraints& c);
+
+}  // namespace mframe::sched

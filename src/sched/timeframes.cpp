@@ -1,0 +1,135 @@
+#include "sched/timeframes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "util/strings.h"
+
+namespace mframe::sched {
+
+namespace {
+
+/// When a value becomes available: at `offsetNs` into control step `step`.
+/// (step, 0) means "start of step". Ordered lexicographically.
+struct Avail {
+  int step = 1;
+  double offsetNs = 0.0;
+  bool operator<(const Avail& o) const {
+    return step != o.step ? step < o.step : offsetNs < o.offsetNs;
+  }
+};
+
+struct AsapEntry {
+  int start = 1;   ///< start control step
+  Avail avail;     ///< when the result can be consumed
+};
+
+/// Generic ASAP over an arbitrary precedence relation, used forwards for
+/// ASAP and on the reversed graph for ALAP. `order` must list schedulable
+/// nodes so that every node appears after all nodes `predsOf` returns for it.
+std::vector<AsapEntry> asapCore(const dfg::Dfg& g,
+                                const std::vector<dfg::NodeId>& order,
+                                const std::function<std::vector<dfg::NodeId>(dfg::NodeId)>& predsOf,
+                                const Constraints& c) {
+  std::vector<AsapEntry> entry(g.size());
+  for (dfg::NodeId id : order) {
+    const dfg::Node& n = g.node(id);
+    Avail ready{1, 0.0};
+    for (dfg::NodeId p : predsOf(id)) ready = std::max(ready, entry[p].avail);
+
+    const double delay = n.effectiveDelayNs();
+    AsapEntry e;
+    const bool chainable = c.allowChaining && n.cycles == 1 && delay <= c.clockNs;
+    if (chainable && ready.offsetNs + delay <= c.clockNs) {
+      // Fits behind its predecessors within the same step.
+      e.start = ready.step;
+      e.avail = {ready.step, ready.offsetNs + delay};
+      // A value finishing exactly at the clock edge is only consumable in
+      // the next step.
+      if (e.avail.offsetNs >= c.clockNs) e.avail = {ready.step + 1, 0.0};
+    } else {
+      e.start = ready.offsetNs > 0.0 ? ready.step + 1 : ready.step;
+      if (chainable) {
+        e.avail = {e.start, delay};
+        if (e.avail.offsetNs >= c.clockNs) e.avail = {e.start + 1, 0.0};
+      } else {
+        e.avail = {e.start + n.cycles, 0.0};
+      }
+    }
+    entry[id] = e;
+  }
+  return entry;
+}
+
+}  // namespace
+
+int TimeFrames::upperBound(dfg::FuType t) const {
+  const auto i = static_cast<std::size_t>(t);
+  return std::max(asapPeak_[i], alapPeak_[i]);
+}
+
+std::optional<TimeFrames> computeTimeFrames(const dfg::Dfg& g,
+                                            const Constraints& c,
+                                            std::string* error) {
+  TimeFrames tf;
+  tf.frames_.assign(g.size(), {});
+
+  const auto maybeOrder = g.topoOrder();
+  if (!maybeOrder) {
+    if (error) *error = "graph contains a cycle";
+    return std::nullopt;
+  }
+  std::vector<dfg::NodeId> fwd;
+  for (dfg::NodeId id : *maybeOrder)
+    if (dfg::isSchedulable(g.node(id).kind)) fwd.push_back(id);
+
+  const auto asap = asapCore(
+      g, fwd, [&](dfg::NodeId id) { return g.opPreds(id); }, c);
+
+  int critical = 1;
+  for (dfg::NodeId id : fwd)
+    critical = std::max(critical, asap[id].start + g.node(id).cycles - 1);
+  tf.criticalSteps_ = critical;
+
+  const int cs = c.timeSteps > 0 ? c.timeSteps : critical;
+  if (critical > cs) {
+    if (error)
+      *error = util::format("time constraint %d < critical path %d steps", cs,
+                            critical);
+    return std::nullopt;
+  }
+
+  // ALAP by running the same ASAP core on the reversed precedence relation,
+  // then mirroring reversed steps back into forward time.
+  std::vector<dfg::NodeId> rev(fwd.rbegin(), fwd.rend());
+  const auto rasap = asapCore(
+      g, rev, [&](dfg::NodeId id) { return g.opSuccs(id); }, c);
+
+  for (dfg::NodeId id : fwd) {
+    const dfg::Node& n = g.node(id);
+    tf.frames_[id].asap = asap[id].start;
+    tf.frames_[id].alap = cs - rasap[id].start - n.cycles + 2;
+    assert(tf.frames_[id].alap >= tf.frames_[id].asap);
+  }
+
+  // Peak same-type concurrency of the two extreme schedules.
+  auto peak = [&](auto startOf, std::vector<int>& out) {
+    std::vector<std::vector<int>> perStep(dfg::kNumFuTypes,
+                                          std::vector<int>(cs + 2, 0));
+    for (dfg::NodeId id : fwd) {
+      const dfg::Node& n = g.node(id);
+      const auto t = static_cast<std::size_t>(dfg::fuTypeOf(n.kind));
+      for (int s = startOf(id); s < startOf(id) + n.cycles && s <= cs; ++s)
+        ++perStep[t][s];
+    }
+    for (std::size_t t = 0; t < dfg::kNumFuTypes; ++t)
+      out[t] = *std::max_element(perStep[t].begin(), perStep[t].end());
+  };
+  peak([&](dfg::NodeId id) { return tf.frames_[id].asap; }, tf.asapPeak_);
+  peak([&](dfg::NodeId id) { return tf.frames_[id].alap; }, tf.alapPeak_);
+
+  return tf;
+}
+
+}  // namespace mframe::sched

@@ -1,0 +1,28 @@
+// Independent schedule verification. Every schedule produced anywhere in the
+// library (MFS, MFSA, baselines, pipelining transforms) is re-checked here;
+// the tests and benches treat a non-empty violation list as failure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace mframe::sched {
+
+/// Check `s` against the graph and `c`. Verifies:
+///  * completeness: every schedulable operation is placed inside [1, cs];
+///  * precedence: successors start after predecessors finish, except for
+///    legal chains (allowChaining, accumulated delay within clockNs);
+///  * occupancy: no two operations share an FU instance at the same time,
+///    unless mutually exclusive (Section 5.1); multicycle operations hold
+///    their instance for `cycles` consecutive steps (Section 5.3);
+///    structurally pipelined FU types conflict only on equal start steps
+///    (Section 5.5.1); with latency L, occupancy is folded mod L
+///    (Section 5.5.2);
+///  * resource limits: per-type instance counts within Constraints::fuLimit.
+///
+/// Returns human-readable violations; empty means the schedule is valid.
+std::vector<std::string> verifySchedule(const Schedule& s, const Constraints& c);
+
+}  // namespace mframe::sched

@@ -1,0 +1,43 @@
+#include "sim/dfg_eval.h"
+
+namespace mframe::sim {
+
+DfgEvalResult evalDfg(const dfg::Dfg& g,
+                      const std::map<std::string, Word>& inputs, int width) {
+  DfgEvalResult res;
+  const auto order = g.topoOrder();
+  if (!order) {
+    res.error = "graph contains a cycle";
+    return res;
+  }
+  res.values.assign(g.size(), 0);
+  const Word mask = maskFor(width);
+
+  for (dfg::NodeId id : *order) {
+    const dfg::Node& n = g.node(id);
+    switch (n.kind) {
+      case dfg::OpKind::Input: {
+        auto it = inputs.find(n.name);
+        res.values[id] = (it == inputs.end() ? 0 : it->second) & mask;
+        break;
+      }
+      case dfg::OpKind::Const:
+        res.values[id] = static_cast<Word>(n.constValue) & mask;
+        break;
+      case dfg::OpKind::LoopSuper:
+        res.error = "cannot interpret LoopSuper node '" + n.name +
+                    "' (fold loops before evaluation)";
+        return res;
+      default: {
+        const Word a = n.inputs.empty() ? 0 : res.values[n.inputs[0]];
+        const Word b = n.inputs.size() > 1 ? res.values[n.inputs[1]] : 0;
+        res.values[id] = evalOp(n.kind, a, b, width);
+      }
+    }
+  }
+  for (const auto& [id, ext] : g.outputs()) res.outputs[ext] = res.values[id];
+  res.ok = true;
+  return res;
+}
+
+}  // namespace mframe::sim

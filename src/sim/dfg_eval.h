@@ -1,0 +1,32 @@
+// Reference interpreter for DFGs: evaluates the graph directly in
+// topological order. This is the behavioral golden model the RTL simulator
+// is checked against.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dfg/dfg.h"
+#include "sim/eval.h"
+
+namespace mframe::sim {
+
+struct DfgEvalResult {
+  bool ok = false;
+  std::string error;
+  /// Every node's value, indexed by NodeId.
+  std::vector<Word> values;
+  /// Primary outputs by external name.
+  std::map<std::string, Word> outputs;
+};
+
+/// Evaluate `g` on the given primary-input assignment (by signal name;
+/// missing inputs default to 0). Graphs with LoopSuper nodes cannot be
+/// interpreted (fold loops first) and report an error. Conditionals are
+/// evaluated dataflow-style: both arms compute their values.
+DfgEvalResult evalDfg(const dfg::Dfg& g,
+                      const std::map<std::string, Word>& inputs,
+                      int width = 16);
+
+}  // namespace mframe::sim

@@ -1,0 +1,33 @@
+#include "sim/eval.h"
+
+namespace mframe::sim {
+
+Word evalOp(dfg::OpKind kind, Word a, Word b, int width) {
+  const Word mask = maskFor(width);
+  a &= mask;
+  b &= mask;
+  using dfg::OpKind;
+  switch (kind) {
+    case OpKind::Add: return (a + b) & mask;
+    case OpKind::Sub: return (a - b) & mask;
+    case OpKind::Mul: return (a * b) & mask;
+    case OpKind::Div: return b == 0 ? 0 : (a / b) & mask;
+    case OpKind::Inc: return (a + 1) & mask;
+    case OpKind::Dec: return (a - 1) & mask;
+    case OpKind::And: return a & b;
+    case OpKind::Or: return a | b;
+    case OpKind::Xor: return a ^ b;
+    case OpKind::Not: return ~a & mask;
+    case OpKind::Shl: return (a << (b % static_cast<Word>(width))) & mask;
+    case OpKind::Shr: return a >> (b % static_cast<Word>(width));
+    case OpKind::Eq: return a == b ? 1 : 0;
+    case OpKind::Ne: return a != b ? 1 : 0;
+    case OpKind::Lt: return a < b ? 1 : 0;
+    case OpKind::Gt: return a > b ? 1 : 0;
+    case OpKind::Le: return a <= b ? 1 : 0;
+    case OpKind::Ge: return a >= b ? 1 : 0;
+    default: return a;  // Input/Const/LoopSuper never reach evalOp
+  }
+}
+
+}  // namespace mframe::sim

@@ -1,0 +1,24 @@
+// Word-level operation semantics shared by the DFG interpreter and the RTL
+// simulator, so functional equivalence between the behavioral input and the
+// synthesized datapath is well defined. Values are unsigned words of a
+// configurable width (default 16, matching the Verilog export); relational
+// operations produce 0/1; division by zero yields 0 by convention in both
+// evaluation paths.
+#pragma once
+
+#include <cstdint>
+
+#include "dfg/op.h"
+
+namespace mframe::sim {
+
+using Word = std::uint64_t;
+
+inline Word maskFor(int width) {
+  return width >= 64 ? ~Word{0} : ((Word{1} << width) - 1);
+}
+
+/// Apply one operation. `b` is ignored for unary kinds.
+Word evalOp(dfg::OpKind kind, Word a, Word b, int width = 16);
+
+}  // namespace mframe::sim

@@ -1,0 +1,39 @@
+// Cycle-accurate simulation of a synthesized datapath + controller FSM.
+//
+// The simulator executes the micro-program one control step at a time:
+// primary inputs preload their registers at step 0, each step's operations
+// read their operands through the *actual* port wiring (so a wrong mux
+// select or a register-allocation bug surfaces as a wrong value), values are
+// latched into registers at the end of their producer's completion step, and
+// primary outputs are read back the same way the Verilog writer wires them.
+// Comparing the result against sim::evalDfg proves the synthesized RTL
+// computes the behavioral specification.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "rtl/controller.h"
+#include "rtl/datapath.h"
+#include "sim/eval.h"
+#include "sim/vcd.h"
+
+namespace mframe::sim {
+
+struct RtlSimResult {
+  bool ok = false;
+  std::string error;
+  std::map<std::string, Word> outputs;   ///< primary outputs by external name
+  std::map<int, Word> registersAtEnd;    ///< final register file contents
+  int stepsExecuted = 0;
+};
+
+/// Run the design once (one pass through all control steps). Missing inputs
+/// default to 0. `width` must match the word width used for comparison.
+/// When `trace` is non-null, register values and operation results are
+/// recorded per step for VCD export (sim::toVcd).
+RtlSimResult simulateRtl(const rtl::Datapath& d, const rtl::ControllerFsm& fsm,
+                         const std::map<std::string, Word>& inputs,
+                         int width = 16, SimTrace* trace = nullptr);
+
+}  // namespace mframe::sim

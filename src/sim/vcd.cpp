@@ -1,0 +1,74 @@
+#include "sim/vcd.h"
+
+#include "util/strings.h"
+
+namespace mframe::sim {
+
+void SimTrace::record(const std::string& name, int step, Word value) {
+  auto& v = signals[name];
+  // Hold the previous value (or 0) up to this time point.
+  while (static_cast<int>(v.size()) <= step)
+    v.push_back(v.empty() ? 0 : v.back());
+  v[static_cast<std::size_t>(step)] = value;
+}
+
+void SimTrace::finalize(int points) {
+  steps = points - 1;
+  for (auto& [name, v] : signals)
+    while (static_cast<int>(v.size()) < points)
+      v.push_back(v.empty() ? 0 : v.back());
+}
+
+namespace {
+
+std::string vcdId(std::size_t index) {
+  // Printable short identifiers: !, ", #, ... per the VCD convention.
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+std::string bits(Word value, int width) {
+  std::string out = "b";
+  bool seen = false;
+  for (int i = width - 1; i >= 0; --i) {
+    const bool bit = (value >> i) & 1;
+    if (bit) seen = true;
+    if (seen || i == 0) out += bit ? '1' : '0';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string toVcd(const SimTrace& trace, int width,
+                  const std::string& designName) {
+  std::string out;
+  out += "$date libmframe simulation $end\n";
+  out += "$version libmframe RTL simulator $end\n";
+  out += "$timescale 1 ns $end\n";
+  out += "$scope module " + designName + " $end\n";
+  std::size_t index = 0;
+  std::map<std::string, std::string> idOf;
+  for (const auto& [name, values] : trace.signals) {
+    idOf[name] = vcdId(index++);
+    out += util::format("$var wire %d %s %s $end\n", width,
+                        idOf[name].c_str(), name.c_str());
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  for (int t = 0; t <= trace.steps; ++t) {
+    out += util::format("#%d\n", t);
+    for (const auto& [name, values] : trace.signals) {
+      const Word v = values[static_cast<std::size_t>(t)];
+      if (t > 0 && values[static_cast<std::size_t>(t - 1)] == v) continue;
+      out += bits(v, width) + " " + idOf.at(name) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace mframe::sim

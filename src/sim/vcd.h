@@ -1,0 +1,30 @@
+// Value-change-dump (VCD) export of an RTL simulation, so synthesized
+// designs can be inspected in any waveform viewer. The trace is recorded by
+// simulateRtl when a SimTrace is supplied.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/eval.h"
+
+namespace mframe::sim {
+
+/// Per-control-step values of every traced signal. Index 0 is the reset
+/// state (after input preload), index k the state after control step k.
+struct SimTrace {
+  int steps = 0;
+  /// signal name -> one value per recorded time point (steps + 1 entries).
+  std::map<std::string, std::vector<Word>> signals;
+
+  void record(const std::string& name, int step, Word value);
+  /// Pad every signal to `points` entries by holding its last value.
+  void finalize(int points);
+};
+
+/// Render the trace as a VCD document. One timescale unit per control step.
+std::string toVcd(const SimTrace& trace, int width = 16,
+                  const std::string& designName = "mframe");
+
+}  // namespace mframe::sim

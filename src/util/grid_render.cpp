@@ -1,0 +1,63 @@
+#include "util/grid_render.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace mframe::util {
+
+GridRender::Cell& GridRender::at(std::size_t step, std::size_t col) {
+  assert(step >= 1 && step <= steps_ && col >= 1 && col <= cols_);
+  return cell_[(step - 1) * cols_ + (col - 1)];
+}
+
+const GridRender::Cell& GridRender::at(std::size_t step, std::size_t col) const {
+  assert(step >= 1 && step <= steps_ && col >= 1 && col <= cols_);
+  return cell_[(step - 1) * cols_ + (col - 1)];
+}
+
+void GridRender::setLabel(std::size_t step, std::size_t col, std::string label) {
+  at(step, col).label = std::move(label);
+}
+
+void GridRender::addMark(std::size_t step, std::size_t col, char mark) {
+  std::string& m = at(step, col).marks;
+  if (m.find(mark) == std::string::npos) m.push_back(mark);
+}
+
+std::string GridRender::render() const {
+  // Cell text = label, then marks in brackets: "r[PM]".
+  std::vector<std::string> text(cell_.size());
+  std::size_t w = 3;
+  for (std::size_t i = 0; i < cell_.size(); ++i) {
+    text[i] = cell_[i].label;
+    if (!cell_[i].marks.empty()) text[i] += "[" + cell_[i].marks + "]";
+    w = std::max(w, text[i].size());
+  }
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += "  " + yAxis_ + " (rows) vs " + xAxis_ + " (cols)\n";
+
+  // Column header.
+  out += padLeft("", 5);
+  for (std::size_t c = 1; c <= cols_; ++c)
+    out += " " + padLeft(std::to_string(c), w);
+  out += "\n";
+  out += padLeft("", 5);
+  for (std::size_t c = 0; c < cols_; ++c) out += " " + std::string(w, '-');
+  out += "\n";
+
+  for (std::size_t s = 1; s <= steps_; ++s) {
+    out += padLeft(std::to_string(s), 4) + " |";
+    for (std::size_t c = 1; c <= cols_; ++c) {
+      out += padLeft(text[(s - 1) * cols_ + (c - 1)], w) + " ";
+    }
+    out += "\n";
+  }
+  for (const auto& l : legend_) out += "  " + l + "\n";
+  return out;
+}
+
+}  // namespace mframe::util

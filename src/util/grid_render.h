@@ -1,0 +1,58 @@
+// ASCII rendering of the 2-D placement table (FU instance x control step)
+// used to reproduce Figures 1 and 2 of the paper and for debugging dumps of
+// the move-frame machinery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mframe::util {
+
+/// A printable cell grid. Row 0 is control step 1 (the paper draws control
+/// steps top-to-bottom); column 0 is FU instance 1.
+class GridRender {
+ public:
+  GridRender(std::size_t steps, std::size_t cols)
+      : steps_(steps), cols_(cols), cell_(steps * cols) {}
+
+  std::size_t steps() const { return steps_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Set the label shown inside cell (step, col). Steps/cols are 1-based, as
+  /// in the paper. Later calls overwrite.
+  void setLabel(std::size_t step, std::size_t col, std::string label);
+
+  /// Append a frame-membership marker rendered as a suffix character inside
+  /// the cell (e.g. 'P' for primary frame, 'R' redundant, 'F' forbidden,
+  /// 'M' move frame). Markers accumulate.
+  void addMark(std::size_t step, std::size_t col, char mark);
+
+  /// Add a legend line printed under the grid.
+  void addLegend(std::string line) { legend_.push_back(std::move(line)); }
+
+  void setTitle(std::string title) { title_ = std::move(title); }
+  void setAxisNames(std::string xAxis, std::string yAxis) {
+    xAxis_ = std::move(xAxis);
+    yAxis_ = std::move(yAxis);
+  }
+
+  std::string render() const;
+
+ private:
+  struct Cell {
+    std::string label;
+    std::string marks;
+  };
+  Cell& at(std::size_t step, std::size_t col);
+  const Cell& at(std::size_t step, std::size_t col) const;
+
+  std::size_t steps_;
+  std::size_t cols_;
+  std::vector<Cell> cell_;
+  std::vector<std::string> legend_;
+  std::string title_;
+  std::string xAxis_ = "FU instance";
+  std::string yAxis_ = "control step";
+};
+
+}  // namespace mframe::util

@@ -1,0 +1,36 @@
+// String helpers shared across libmframe.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mframe::util {
+
+/// Split `s` on `sep`, trimming surrounding whitespace from each piece.
+/// Empty pieces are kept (so "a,,b" yields {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on arbitrary runs of whitespace; empty pieces are dropped.
+std::vector<std::string> splitWs(std::string_view s);
+
+/// Remove leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Left/right pad `s` with spaces to width `w` (no-op if already wider).
+std::string padLeft(std::string_view s, std::size_t w);
+std::string padRight(std::string_view s, std::size_t w);
+
+/// Parse a non-negative integer; returns -1 on malformed input.
+long parseLong(std::string_view s);
+
+}  // namespace mframe::util

@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace mframe::util {
+
+std::string Table::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  if (cols == 0) return title_.empty() ? std::string{} : title_ + "\n";
+
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += " " + padRight(cell, width[c]) + " |";
+    }
+    return line + "\n";
+  };
+  auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t c = 0; c < cols; ++c) line += std::string(width[c] + 2, '-') + "+";
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += renderRow(header_);
+    out += rule();
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (std::find(separators_.begin(), separators_.end(), i) != separators_.end())
+      out += rule();
+    out += renderRow(rows_[i]);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace mframe::util

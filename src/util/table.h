@@ -1,0 +1,37 @@
+// ASCII table rendering used by the Table-1/Table-2 reproduction benches and
+// the example programs. Keeps all formatting concerns out of the algorithms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mframe::util {
+
+/// A simple column-aligned ASCII table with an optional title and a header
+/// row. Cells are strings; numeric alignment is the caller's concern.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Column count is fixed by the widest row at render.
+  void setHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Append a data row.
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Append a horizontal separator at the current position.
+  void addSeparator() { separators_.push_back(rows_.size()); }
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Render with `| a | b |` style borders.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // separator before row index i
+};
+
+}  // namespace mframe::util

@@ -1,0 +1,398 @@
+#include "workloads/benchmarks.h"
+
+#include <array>
+
+#include "dfg/builder.h"
+#include "util/strings.h"
+
+namespace mframe::workloads {
+
+using dfg::Builder;
+using dfg::NodeId;
+
+dfg::Dfg tseng() {
+  // Mixed arithmetic/logic graph in the spirit of the FACET example: one
+  // multiplication, three additions, a subtraction and the logic/relational
+  // tail. Critical path 4 (m1 -> a1 -> a3 -> c1), so T=4 forces two
+  // concurrent additions (two adders) while T=5 fits a single adder — the
+  // paper's Table-1 ex1 shape.
+  Builder b("tseng");
+  const auto a = b.input("a");
+  const auto b_ = b.input("b");
+  const auto c = b.input("c");
+  const auto d = b.input("d");
+  const auto e = b.input("e");
+  const auto f = b.input("f");
+  const auto gg = b.input("g");
+  const auto h = b.input("h");
+
+  const auto m1 = b.mul(a, b_, "m1");
+  const auto s1 = b.sub(c, d, "s1");
+  const auto a1 = b.add(m1, e, "a1");
+  const auto a2 = b.add(s1, f, "a2");
+  const auto a3 = b.add(a1, a2, "a3");
+  const auto o1 = b.bor(a1, gg, "o1");
+  const auto n1 = b.band(a2, h, "n1");
+  const auto c1 = b.eq(a3, gg, "c1");
+
+  b.output(a3, "sum");
+  b.output(o1, "orv");
+  b.output(n1, "andv");
+  b.output(c1, "flag");
+  return std::move(b).build();
+}
+
+dfg::Dfg chained() {
+  // Two dependent chains of cheap (40ns) adds/subs; with a 100ns control
+  // step two dependent operations fit per step, so the 6-deep chain closes
+  // in T=4 only when chaining is on (Section 5.4).
+  Builder b("chained");
+  const auto a = b.input("a");
+  const auto b_ = b.input("b");
+  const auto c = b.input("c");
+  const auto d = b.input("d");
+  const auto e = b.input("e");
+  const auto f = b.input("f");
+  const auto g = b.input("g");
+  const auto h = b.input("h");
+
+  const auto t1 = b.add(a, b_, "t1");
+  const auto t2 = b.add(t1, c, "t2");
+  const auto t3 = b.sub(t2, d, "t3");
+  const auto t4 = b.sub(t3, e, "t4");
+  const auto t5 = b.add(t4, f, "t5");
+  const auto t6 = b.add(t5, g, "t6");
+  const auto u1 = b.add(g, h, "u1");
+  const auto u2 = b.sub(u1, a, "u2");
+
+  b.output(t6, "y");
+  b.output(u2, "z");
+  return std::move(b).build();
+}
+
+dfg::Dfg diffeq(bool twoCycleMult) {
+  // The HAL benchmark (Paulin & Knight): one Euler step of
+  // y'' + 3xy' + 3y = 0 — six multiplications, two subtractions, two
+  // additions and one comparison.
+  const int mc = twoCycleMult ? 2 : 1;
+  Builder b(twoCycleMult ? "diffeq2c" : "diffeq");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto u = b.input("u");
+  const auto dx = b.input("dx");
+  const auto a = b.input("a");
+  const auto three = b.constant(3, "three");
+
+  const auto m1 = b.mul(three, x, "m1", mc);   // 3*x
+  const auto m2 = b.mul(u, dx, "m2", mc);      // u*dx
+  const auto m3 = b.mul(three, y, "m3", mc);   // 3*y
+  const auto m4 = b.mul(m1, m2, "m4", mc);     // 3*x*u*dx
+  const auto m5 = b.mul(dx, m3, "m5", mc);     // dx*3*y
+  const auto m6 = b.mul(u, dx, "m6", mc);      // u*dx (second instance)
+  const auto s1 = b.sub(u, m4, "s1");
+  const auto u1 = b.sub(s1, m5, "u1");
+  const auto y1 = b.add(y, m6, "y1");
+  const auto x1 = b.add(x, dx, "x1");
+  const auto c1 = b.lt(x1, a, "c1");
+
+  b.output(u1, "u1");
+  b.output(y1, "y1");
+  b.output(x1, "x1");
+  b.output(c1, "cont");
+  return std::move(b).build();
+}
+
+dfg::Dfg fir8() {
+  // 8-tap FIR: y = sum h_i * x_i, balanced adder tree (8 mul + 7 add,
+  // critical path 4).
+  Builder b("fir8");
+  std::vector<NodeId> prods;
+  for (int i = 0; i < 8; ++i) {
+    const auto xi = b.input(util::format("x%d", i));
+    const auto hi = b.constant(i + 1, util::format("h%d", i));
+    prods.push_back(b.mul(xi, hi, util::format("m%d", i)));
+  }
+  int level = 0;
+  while (prods.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < prods.size(); i += 2)
+      next.push_back(b.add(prods[i], prods[i + 1],
+                           util::format("a%d_%zu", level, i / 2)));
+    if (prods.size() % 2) next.push_back(prods.back());
+    prods = std::move(next);
+    ++level;
+  }
+  b.output(prods[0], "y");
+  return std::move(b).build();
+}
+
+dfg::Dfg arLattice() {
+  // AR-lattice-style filter: four serial sections, each with four 2-cycle
+  // multiplications and three additions (16 mul / 12 add, the classic AR
+  // op mix). Section i+1 consumes section i's p/q outputs.
+  Builder b("ar");
+  NodeId p = b.input("p0");
+  NodeId q = b.input("q0");
+  for (int i = 0; i < 4; ++i) {
+    const auto kA = b.constant(10 + i, util::format("kA%d", i));
+    const auto kB = b.constant(20 + i, util::format("kB%d", i));
+    const auto kC = b.constant(30 + i, util::format("kC%d", i));
+    const auto kD = b.constant(40 + i, util::format("kD%d", i));
+    const auto mA = b.mul(p, kA, util::format("mA%d", i), 2);
+    const auto mB = b.mul(q, kB, util::format("mB%d", i), 2);
+    const auto mC = b.mul(p, kC, util::format("mC%d", i), 2);
+    const auto mD = b.mul(q, kD, util::format("mD%d", i), 2);
+    const auto np = b.add(mA, mD, util::format("p%d", i + 1));
+    const auto nq = b.add(mB, mC, util::format("q%d", i + 1));
+    const auto tap = b.add(np, nq, util::format("y%d", i));
+    b.output(tap, util::format("y%d", i));
+    p = np;
+    q = nq;
+  }
+  b.output(p, "p4o");
+  b.output(q, "q4o");
+  return std::move(b).build();
+}
+
+dfg::Dfg ewfLike() {
+  // Elliptic-wave-filter-like graph: 26 additions and eight 2-cycle
+  // multiplications. The critical path interleaves 11 additions with three
+  // multiplications (11 + 3*2 = 17 steps), matching the classic EWF
+  // T = 17/19/21 sweep; the remaining operations hang off the spine with
+  // slack, like the filter's adaptor side-branches.
+  Builder b("ewf");
+  std::vector<NodeId> in;
+  for (int i = 0; i < 8; ++i) in.push_back(b.input(util::format("v%d", i)));
+  auto k = [&](int i) { return b.constant(i, util::format("k%d", i)); };
+
+  int addCount = 0;
+  int mulCount = 0;
+  auto add = [&](NodeId x, NodeId y) {
+    return b.add(x, y, util::format("sa%d", ++addCount));
+  };
+  auto mul = [&](NodeId x, NodeId y) {
+    return b.mul(x, y, util::format("sm%d", ++mulCount), 2);
+  };
+
+  // The spine: a1 a2 M a3 a4 a5 M a6 a7 a8 M a9 a10 a11 (3 muls, 11 adds).
+  NodeId spine = add(in[0], in[1]);          // sa1
+  spine = add(spine, in[2]);                 // sa2
+  spine = mul(spine, k(3));                  // sm1 (2 cycles)
+  spine = add(spine, in[3]);                 // sa3
+  spine = add(spine, in[4]);                 // sa4
+  NodeId mid = add(spine, in[5]);            // sa5 (tap for side branches)
+  spine = mul(mid, k(5));                    // sm2
+  spine = add(spine, in[6]);                 // sa6
+  spine = add(spine, in[7]);                 // sa7
+  NodeId late = add(spine, in[0]);           // sa8 (tap)
+  spine = mul(late, k(7));                   // sm3
+  spine = add(spine, in[1]);                 // sa9
+  spine = add(spine, in[2]);                 // sa10
+  spine = add(spine, in[3]);                 // sa11
+
+  // Side branches: five more multiplications and fifteen more additions
+  // with generous slack, merged back near the end of the spine.
+  NodeId s1 = add(in[4], in[5]);             // sa12
+  s1 = mul(s1, k(11));                       // sm4
+  s1 = add(s1, in[6]);                       // sa13
+  NodeId s2 = add(in[7], in[0]);             // sa14
+  s2 = mul(s2, k(13));                       // sm5
+  s2 = add(s2, s1);                          // sa15
+  NodeId s3 = add(in[1], in[3]);             // sa16
+  s3 = mul(s3, k(17));                       // sm6
+  s3 = add(s3, in[5]);                       // sa17
+  NodeId s4 = add(mid, in[2]);               // sa18 (depends on the spine tap)
+  s4 = mul(s4, k(19));                       // sm7
+  s4 = add(s4, s3);                          // sa19
+  NodeId s5 = add(in[6], in[7]);             // sa20
+  s5 = mul(s5, k(23));                       // sm8
+  s5 = add(s5, s2);                          // sa21
+  NodeId merge = add(s4, s5);                // sa22
+  merge = add(merge, s1);                    // sa23
+  NodeId out2 = add(late, merge);            // sa24
+  NodeId out3 = add(out2, in[4]);            // sa25
+  NodeId side = add(s3, in[0]);              // sa26 (slack-rich side tap)
+
+  b.output(spine, "y1");
+  b.output(out3, "y2");
+  b.output(side, "y3");
+  return std::move(b).build();
+}
+
+dfg::Dfg fdctLike() {
+  // 8-point DCT-style butterfly network (Loeffler-flavored): a first rank of
+  // add/sub butterflies, rotation stages of multiplies feeding add/sub
+  // combines, and a scaling rank — 16 multiplications and 28 adds/subs,
+  // close to the op mix the era's "FDCT" benchmark tables quote.
+  Builder b("fdct");
+  std::vector<NodeId> x;
+  for (int i = 0; i < 8; ++i) x.push_back(b.input(util::format("x%d", i)));
+  auto k = [&](int i) { return b.constant(100 + i, util::format("c%d", i)); };
+
+  // Rank 1: 4 butterflies (4 add + 4 sub).
+  std::vector<NodeId> s(4), d(4);
+  for (int i = 0; i < 4; ++i) {
+    s[i] = b.add(x[i], x[7 - i], util::format("s%d", i));
+    d[i] = b.sub(x[i], x[7 - i], util::format("d%d", i));
+  }
+  // Rank 2 even: butterflies on sums (2 add + 2 sub).
+  const NodeId e0 = b.add(s[0], s[3], "e0");
+  const NodeId e1 = b.add(s[1], s[2], "e1");
+  const NodeId e2 = b.sub(s[0], s[3], "e2");
+  const NodeId e3 = b.sub(s[1], s[2], "e3");
+  // Rank 2 odd: rotations on diffs (8 mul + 4 add/sub).
+  const NodeId r0 = b.add(b.mul(d[0], k(0), "m0"), b.mul(d[1], k(1), "m1"), "r0");
+  const NodeId r1 = b.sub(b.mul(d[0], k(2), "m2"), b.mul(d[1], k(3), "m3"), "r1");
+  const NodeId r2 = b.add(b.mul(d[2], k(4), "m4"), b.mul(d[3], k(5), "m5"), "r2");
+  const NodeId r3 = b.sub(b.mul(d[2], k(6), "m6"), b.mul(d[3], k(7), "m7"), "r3");
+  // Rank 3 even: rotation on (e2, e3) (4 mul + 2 add/sub) and sum/diff of
+  // (e0, e1) (1 add + 1 sub).
+  const NodeId y0 = b.add(e0, e1, "y0");
+  const NodeId y4 = b.sub(e0, e1, "y4");
+  const NodeId y2 = b.add(b.mul(e2, k(8), "m8"), b.mul(e3, k(9), "m9"), "y2");
+  const NodeId y6 = b.sub(b.mul(e2, k(10), "m10"), b.mul(e3, k(11), "m11"), "y6");
+  // Rank 3 odd: combine rotations (2 add + 2 sub), then a scaling rank
+  // (4 mul) and final touch-ups (2 add + 2 sub).
+  const NodeId o0 = b.add(r0, r2, "o0");
+  const NodeId o1 = b.sub(r0, r2, "o1");
+  const NodeId o2 = b.add(r1, r3, "o2");
+  const NodeId o3 = b.sub(r1, r3, "o3");
+  const NodeId y1 = b.add(b.mul(o0, k(12), "m12"), e0, "y1");
+  const NodeId y3 = b.sub(b.mul(o1, k(13), "m13"), e1, "y3");
+  const NodeId y5 = b.add(b.mul(o2, k(14), "m14"), e2, "y5");
+  const NodeId y7 = b.sub(b.mul(o3, k(15), "m15"), e3, "y7");
+
+  for (const auto& [node, name] :
+       std::initializer_list<std::pair<NodeId, const char*>>{
+           {y0, "y0"}, {y1, "y1"}, {y2, "y2"}, {y3, "y3"},
+           {y4, "y4"}, {y5, "y5"}, {y6, "y6"}, {y7, "y7"}})
+    b.output(node, name);
+  return std::move(b).build();
+}
+
+dfg::Dfg iirBiquads() {
+  // Two cascaded direct-form-II biquads:
+  //   w  = x - a1*w1 - a2*w2;  y = b0*w + b1*w1 + b2*w2
+  // with the state taps w1/w2 as primary inputs (one sample of a streaming
+  // filter): 10 multiplications, 8 adds/subs.
+  Builder b("iir");
+  NodeId x = b.input("x");
+  for (int sec = 0; sec < 2; ++sec) {
+    const auto w1 = b.input(util::format("w1_%d", sec));
+    const auto w2 = b.input(util::format("w2_%d", sec));
+    const auto a1 = b.constant(3 + sec, util::format("a1_%d", sec));
+    const auto a2 = b.constant(5 + sec, util::format("a2_%d", sec));
+    const auto b0 = b.constant(7 + sec, util::format("b0_%d", sec));
+    const auto b1 = b.constant(11 + sec, util::format("b1_%d", sec));
+    const auto b2 = b.constant(13 + sec, util::format("b2_%d", sec));
+    const auto fb1 = b.mul(a1, w1, util::format("fb1_%d", sec));
+    const auto fb2 = b.mul(a2, w2, util::format("fb2_%d", sec));
+    const auto t = b.sub(x, fb1, util::format("t_%d", sec));
+    const auto w = b.sub(t, fb2, util::format("w_%d", sec));
+    const auto ff0 = b.mul(b0, w, util::format("ff0_%d", sec));
+    const auto ff1 = b.mul(b1, w1, util::format("ff1_%d", sec));
+    const auto ff2 = b.mul(b2, w2, util::format("ff2_%d", sec));
+    const auto p = b.add(ff0, ff1, util::format("p_%d", sec));
+    const auto y = b.add(p, ff2, util::format("y_%d", sec));
+    b.output(w, util::format("wnext_%d", sec));
+    x = y;
+  }
+  b.output(x, "y");
+  return std::move(b).build();
+}
+
+dfg::Dfg dct2d4x4() {
+  // 4x4 2-D DCT: a 4-point DCT-II butterfly on each row, transpose, then on
+  // each column. Per 1-D pass and vector: 2 add + 2 sub butterflies, 4
+  // multiplies, 2 adds + 2 subs to combine (4 mul, 8 add/sub). Eight passes
+  // total: 32 multiplications, 64 adds/subs, 96 operations.
+  Builder b("dct2d");
+  std::vector<std::vector<NodeId>> pix(4, std::vector<NodeId>(4));
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      pix[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          b.input(util::format("p%d%d", r, c));
+  const NodeId c2 = b.constant(924, "k2");  // cos coefficients, scaled
+  const NodeId c3 = b.constant(383, "k3");
+
+  int uid = 0;
+  // One 4-point DCT-II pass over a vector (x0..x3) -> 4 outputs.
+  auto dct4 = [&](const std::array<NodeId, 4>& x) {
+    const std::string p = util::format("u%d_", ++uid);
+    const NodeId s0 = b.add(x[0], x[3], p + "s0");
+    const NodeId s1 = b.add(x[1], x[2], p + "s1");
+    const NodeId d0 = b.sub(x[0], x[3], p + "d0");
+    const NodeId d1 = b.sub(x[1], x[2], p + "d1");
+    const NodeId y0 = b.add(s0, s1, p + "y0");
+    const NodeId y2 = b.sub(s0, s1, p + "y2");
+    const NodeId m0 = b.mul(d0, c2, p + "m0");
+    const NodeId m1 = b.mul(d1, c3, p + "m1");
+    const NodeId m2 = b.mul(d0, c3, p + "m2");
+    const NodeId m3 = b.mul(d1, c2, p + "m3");
+    const NodeId y1 = b.add(m0, m1, p + "y1");
+    const NodeId y3 = b.sub(m2, m3, p + "y3");
+    return std::array<NodeId, 4>{y0, y1, y2, y3};
+  };
+
+  // Row passes.
+  std::vector<std::array<NodeId, 4>> rows;
+  for (int r = 0; r < 4; ++r)
+    rows.push_back(dct4({pix[static_cast<std::size_t>(r)][0],
+                         pix[static_cast<std::size_t>(r)][1],
+                         pix[static_cast<std::size_t>(r)][2],
+                         pix[static_cast<std::size_t>(r)][3]}));
+  // Transpose + column passes.
+  for (int c = 0; c < 4; ++c) {
+    const auto col = dct4({rows[0][static_cast<std::size_t>(c)],
+                           rows[1][static_cast<std::size_t>(c)],
+                           rows[2][static_cast<std::size_t>(c)],
+                           rows[3][static_cast<std::size_t>(c)]});
+    for (int r = 0; r < 4; ++r)
+      b.output(col[static_cast<std::size_t>(r)], util::format("q%d%d", r, c));
+  }
+  return std::move(b).build();
+}
+
+std::vector<BenchmarkCase> paperSuite() {
+  std::vector<BenchmarkCase> suite;
+
+  {
+    BenchmarkCase c{.id = "ex1", .feature = "1", .graph = tseng(),
+                    .timeSweep = {4, 5}, .constraints = {}};
+    suite.push_back(std::move(c));
+  }
+  {
+    sched::Constraints cc;
+    cc.allowChaining = true;
+    cc.clockNs = 100.0;
+    BenchmarkCase c{.id = "ex2", .feature = "1C", .graph = chained(),
+                    .timeSweep = {4}, .constraints = cc};
+    suite.push_back(std::move(c));
+  }
+  {
+    BenchmarkCase c{.id = "ex3", .feature = "1FS", .graph = diffeq(),
+                    .timeSweep = {4, 6, 8}, .constraints = {},
+                    .functionalLatency = 3, .structuralPipelining = true};
+    suite.push_back(std::move(c));
+  }
+  {
+    BenchmarkCase c{.id = "ex4", .feature = "1", .graph = fir8(),
+                    .timeSweep = {8, 9, 13}, .constraints = {}};
+    suite.push_back(std::move(c));
+  }
+  {
+    BenchmarkCase c{.id = "ex5", .feature = "2S", .graph = arLattice(),
+                    .timeSweep = {13, 14, 17}, .constraints = {},
+                    .structuralPipelining = true};
+    suite.push_back(std::move(c));
+  }
+  {
+    BenchmarkCase c{.id = "ex6", .feature = "2S", .graph = ewfLike(),
+                    .timeSweep = {17, 19, 21}, .constraints = {},
+                    .structuralPipelining = true};
+    suite.push_back(std::move(c));
+  }
+  return suite;
+}
+
+}  // namespace mframe::workloads

@@ -1,0 +1,53 @@
+// The benchmark suite: reconstructions of the six "design examples from the
+// literature" of Section 6 (see DESIGN.md for the mapping evidence) plus
+// helpers to assemble the Table-1 sweep.
+//
+//   ex1  tseng      Tseng/FACET-style mixed arithmetic-logic graph
+//   ex2  chained    chained additions/subtractions (Section 5.4 feature)
+//   ex3  diffeq     the HAL differential-equation benchmark (Paulin)
+//   ex4  fir8       8-tap FIR filter (multiplies + adder tree)
+//   ex5  ar         AR-lattice-style filter, 16 mul / 12 add, 2-cycle mults
+//   ex6  ewf        elliptic-wave-filter-like graph, 26 add / 8 mul,
+//                   2-cycle mults (the classic T = 17/19/21 data points)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.h"
+#include "sched/schedule.h"
+
+namespace mframe::workloads {
+
+dfg::Dfg tseng();
+dfg::Dfg chained();
+dfg::Dfg diffeq(bool twoCycleMult = false);
+dfg::Dfg fir8();
+dfg::Dfg arLattice();   ///< multiplications take 2 cycles
+dfg::Dfg ewfLike();     ///< multiplications take 2 cycles
+
+// Extended suite (beyond the paper's six): more classic DSP designs used by
+// the era's HLS literature, exercised by bench_extended and the tests.
+dfg::Dfg fdctLike();    ///< 8-point DCT butterfly network (16 mul, 28 add/sub)
+dfg::Dfg iirBiquads();  ///< two cascaded direct-form-II biquads (10 mul, 8 add/sub)
+
+/// Case study: a 4x4 2-D DCT built from row transforms feeding column
+/// transforms through a transpose — ~100 operations, the largest design in
+/// the repository and a stress test for the whole flow.
+dfg::Dfg dct2d4x4();
+
+/// One row group of the Table-1 reproduction.
+struct BenchmarkCase {
+  std::string id;       ///< "ex1" .. "ex6"
+  std::string feature;  ///< the paper's feature column: "1", "1C", "1FS", "2S"
+  dfg::Dfg graph;
+  std::vector<int> timeSweep;        ///< the T values of the Table-1 columns
+  sched::Constraints constraints;    ///< chaining / clock configuration
+  int functionalLatency = 0;         ///< >0: also run an F (folded) variant
+  bool structuralPipelining = false; ///< also run an S variant (pipelined mult)
+};
+
+/// The six cases with their Table-1 sweeps.
+std::vector<BenchmarkCase> paperSuite();
+
+}  // namespace mframe::workloads

@@ -1,0 +1,69 @@
+#include "workloads/random_dfg.h"
+
+#include <random>
+
+#include "dfg/builder.h"
+#include "util/strings.h"
+
+namespace mframe::workloads {
+
+dfg::Dfg randomDfg(const RandomDfgOptions& opt) {
+  std::mt19937 rng(opt.seed);
+  auto pct = [&](int p) {
+    return std::uniform_int_distribution<int>(0, 99)(rng) < p;
+  };
+
+  dfg::Builder b(util::format("rand_%u_%d", opt.seed, opt.numOps));
+  std::vector<dfg::NodeId> pool;  // values usable as operands
+  for (int i = 0; i < std::max(2, opt.numInputs); ++i)
+    pool.push_back(b.input(util::format("in%d", i)));
+
+  const dfg::OpKind binaryKinds[] = {dfg::OpKind::Add, dfg::OpKind::Sub,
+                                     dfg::OpKind::And, dfg::OpKind::Or,
+                                     dfg::OpKind::Xor, dfg::OpKind::Lt};
+  int made = 0;
+  int layer = 0;
+  std::vector<dfg::NodeId> lastLayerOut = pool;
+  while (made < opt.numOps) {
+    ++layer;
+    std::vector<dfg::NodeId> thisLayer;
+    const int width = std::uniform_int_distribution<int>(
+        1, std::max(1, opt.layerWidth))(rng);
+    for (int w = 0; w < width && made < opt.numOps; ++w, ++made) {
+      auto pick = [&]() {
+        return pool[std::uniform_int_distribution<std::size_t>(
+            0, pool.size() - 1)(rng)];
+      };
+      dfg::OpKind kind =
+          pct(opt.mulPercent)
+              ? dfg::OpKind::Mul
+              : binaryKinds[std::uniform_int_distribution<int>(0, 5)(rng)];
+      const int cycles =
+          kind == dfg::OpKind::Mul && pct(opt.twoCyclePercent) ? 2 : 1;
+      const double delay =
+          opt.randomDelays && cycles == 1
+              ? static_cast<double>(std::uniform_int_distribution<int>(10, 60)(rng))
+              : -1.0;
+      // Bias one operand to the previous layer so depth actually grows.
+      dfg::NodeId x = lastLayerOut[std::uniform_int_distribution<std::size_t>(
+          0, lastLayerOut.size() - 1)(rng)];
+      dfg::NodeId y = pick();
+      if (pct(opt.branchPercent)) {
+        b.pushBranch(util::format("c%d", layer), pct(50) ? "t" : "e");
+        thisLayer.push_back(
+            b.op(kind, {x, y}, util::format("n%d", made), cycles, delay));
+        b.popBranch();
+      } else {
+        thisLayer.push_back(
+            b.op(kind, {x, y}, util::format("n%d", made), cycles, delay));
+      }
+    }
+    for (dfg::NodeId id : thisLayer) pool.push_back(id);
+    lastLayerOut = thisLayer.empty() ? lastLayerOut : thisLayer;
+  }
+  // Mark sinks as outputs so lifetimes reach the end of the schedule.
+  b.output(pool.back(), "out");
+  return std::move(b).build();
+}
+
+}  // namespace mframe::workloads

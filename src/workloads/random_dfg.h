@@ -1,0 +1,34 @@
+// Deterministic random DFG generation for property tests and the runtime
+// scaling bench.
+#pragma once
+
+#include <cstdint>
+
+#include "dfg/dfg.h"
+
+namespace mframe::workloads {
+
+struct RandomDfgOptions {
+  std::uint32_t seed = 1;
+  int numOps = 20;
+  int numInputs = 4;
+  /// Average number of operations per dependency layer (controls width vs
+  /// depth).
+  int layerWidth = 4;
+  /// Probability (percent) that an eligible binary op is a multiplication.
+  int mulPercent = 25;
+  /// Probability (percent) that a multiplication takes two cycles.
+  int twoCyclePercent = 0;
+  /// Probability (percent) that an op lands in one of two branch arms of a
+  /// conditional (mutual exclusion coverage).
+  int branchPercent = 0;
+  /// When true, single-cycle ops get random combinational delays in
+  /// [10, 60] ns so chaining under a 100 ns clock has real structure.
+  bool randomDelays = false;
+};
+
+/// Build a random layered DAG: every op reads from earlier layers or primary
+/// inputs, so the result always validates. Deterministic in the options.
+dfg::Dfg randomDfg(const RandomDfgOptions& opt);
+
+}  // namespace mframe::workloads

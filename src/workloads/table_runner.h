@@ -1,0 +1,47 @@
+// Programmatic Table-1/Table-2 reproduction: the same sweeps the benches
+// print, exposed as data so tests can assert reproduction properties (FU
+// monotonicity, verification cleanliness, style-2 relation) and downstream
+// tools can consume the results.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "celllib/cell_library.h"
+#include "rtl/cost.h"
+#include "workloads/benchmarks.h"
+
+namespace mframe::workloads {
+
+struct Table1Row {
+  std::string exampleId;
+  std::string design;
+  std::string variant;  ///< "plain", "F (L=k)", "S"
+  int timeSteps = 0;
+  bool feasible = false;
+  bool verified = false;
+  std::map<dfg::FuType, int> fuCount;
+  double milliseconds = 0.0;
+};
+
+/// Run the full Table-1 sweep (plain + F + S variants per case).
+std::vector<Table1Row> runTable1(const std::vector<BenchmarkCase>& suite);
+
+struct Table2Row {
+  std::string exampleId;
+  std::string design;
+  int style = 1;
+  int timeSteps = 0;
+  bool feasible = false;
+  bool verified = false;
+  std::string aluSummary;
+  rtl::CostBreakdown cost;
+  double milliseconds = 0.0;
+};
+
+/// Run the full Table-2 sweep (both styles per case).
+std::vector<Table2Row> runTable2(const std::vector<BenchmarkCase>& suite,
+                                 const celllib::CellLibrary& lib);
+
+}  // namespace mframe::workloads

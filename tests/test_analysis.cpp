@@ -1,0 +1,78 @@
+#include "pipeline/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "workloads/benchmarks.h"
+
+namespace mframe::pipeline {
+namespace {
+
+using dfg::FuType;
+
+TEST(Analysis, LowerBoundCountsBusyCycles) {
+  // AR lattice: 16 two-cycle muls = 32 busy cycles; 12 adds.
+  const dfg::Dfg g = workloads::arLattice();
+  const auto lb4 = fuDemandLowerBound(g, 4);
+  EXPECT_EQ(lb4.at(FuType::Multiplier), 8);  // ceil(32/4)
+  EXPECT_EQ(lb4.at(FuType::Adder), 3);       // ceil(12/4)
+}
+
+TEST(Analysis, PipelinedUnitsCountInitiationsOnly) {
+  const dfg::Dfg g = workloads::arLattice();
+  const auto lb = fuDemandLowerBound(g, 4, {FuType::Multiplier});
+  EXPECT_EQ(lb.at(FuType::Multiplier), 4);  // ceil(16/4) initiations
+}
+
+TEST(Analysis, AchievedDemandNeverBelowTheBound) {
+  const dfg::Dfg g = workloads::fir8();
+  for (const auto& p : latencySweep(g, 8)) {
+    if (!p.feasible) continue;
+    for (const auto& [t, bound] : p.lowerBound)
+      EXPECT_GE(p.fuCount.at(t), bound)
+          << "L=" << p.latency << " type " << dfg::fuTypeName(t);
+  }
+}
+
+TEST(Analysis, IndependentOpsReachTheBoundExactly) {
+  const dfg::Dfg g = test::addParallel(8);
+  for (const auto& p : latencySweep(g, 8)) {
+    ASSERT_TRUE(p.feasible) << p.latency;
+    EXPECT_EQ(p.fuCount.at(FuType::Adder), p.lowerBound.at(FuType::Adder))
+        << "L=" << p.latency;
+  }
+}
+
+TEST(Analysis, MinimumLatencyForUnitOpsIsOne) {
+  EXPECT_EQ(minimumLatency(test::addParallel(4), 4), 1);
+}
+
+TEST(Analysis, MulticycleOpsFloorTheLatency) {
+  // 2-cycle multiplies cannot fold below L=2 on non-pipelined units.
+  EXPECT_EQ(minimumLatency(workloads::arLattice(), 13), 2);
+}
+
+TEST(Analysis, StructuralPipeliningUnlocksLatencyOne) {
+  core::MfsOptions base;
+  base.constraints.pipelinedFus.insert(FuType::Multiplier);
+  EXPECT_EQ(minimumLatency(workloads::arLattice(), 13, base), 1);
+}
+
+TEST(Analysis, InfeasibleWindowReportsZero) {
+  // timeSteps below the critical path: no latency works.
+  EXPECT_EQ(minimumLatency(workloads::ewfLike(), 5), 0);
+}
+
+TEST(Analysis, DemandFallsAsLatencyGrows) {
+  const dfg::Dfg g = workloads::fir8();
+  const auto sweep = latencySweep(g, 8);
+  int prev = 1 << 20;
+  for (const auto& p : sweep) {
+    if (!p.feasible) continue;
+    EXPECT_LE(p.fuCount.at(FuType::Multiplier), prev);
+    prev = p.fuCount.at(FuType::Multiplier);
+  }
+}
+
+}  // namespace
+}  // namespace mframe::pipeline

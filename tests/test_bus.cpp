@@ -1,0 +1,79 @@
+#include "rtl/bus.h"
+
+#include <gtest/gtest.h>
+
+#include "celllib/ncr_like.h"
+#include "core/mfsa.h"
+#include "helpers.h"
+#include "workloads/benchmarks.h"
+
+namespace mframe::rtl {
+namespace {
+
+core::MfsaResult synth(const dfg::Dfg& g, int cs) {
+  static const celllib::CellLibrary lib = celllib::ncrLike();
+  core::MfsaOptions o;
+  o.constraints.timeSteps = cs;
+  return core::runMfsa(g, lib, o);
+}
+
+TEST(Bus, PlanCoversEveryStep) {
+  const auto r = synth(workloads::diffeq(), 4);
+  ASSERT_TRUE(r.feasible) << r.error;
+  const auto fsm = buildController(r.datapath);
+  const BusPlan plan = planBuses(r.datapath, fsm);
+  EXPECT_EQ(plan.transfersPerStep.size(), 5u);  // index 0 unused + 4 steps
+  EXPECT_GT(plan.busCount, 0);
+  EXPECT_GT(plan.driverCount, 0);
+  EXPECT_GT(plan.totalCost, 0.0);
+}
+
+TEST(Bus, BusCountIsPeakConcurrentSources) {
+  // Peak transfers in any step bounds the bus count from above; shared
+  // sources can lower it below the raw transfer count.
+  const auto r = synth(workloads::fir8(), 8);
+  ASSERT_TRUE(r.feasible);
+  const auto fsm = buildController(r.datapath);
+  const BusPlan plan = planBuses(r.datapath, fsm);
+  int peakTransfers = 0;
+  for (int t : plan.transfersPerStep) peakTransfers = std::max(peakTransfers, t);
+  EXPECT_LE(plan.busCount, peakTransfers);
+  EXPECT_GE(plan.busCount, 1);
+}
+
+TEST(Bus, ConstantsRideNoBus) {
+  // A design whose second operands are all constants: only the left
+  // (register) operands transfer.
+  const auto g = workloads::fir8();  // h taps are constants
+  const auto r = synth(g, 9);
+  ASSERT_TRUE(r.feasible);
+  const auto fsm = buildController(r.datapath);
+  const BusPlan plan = planBuses(r.datapath, fsm);
+  int totalTransfers = 0;
+  for (int t : plan.transfersPerStep) totalTransfers += t;
+  // 8 muls read (x_i, const) and 7 adds read two bused values: <= 8 + 14.
+  EXPECT_LE(totalTransfers, 22);
+  EXPECT_GE(totalTransfers, 15);
+}
+
+TEST(Bus, CostModelScales) {
+  const auto r = synth(test::smallDiamond(), 3);
+  ASSERT_TRUE(r.feasible);
+  const auto fsm = buildController(r.datapath);
+  const BusPlan cheap = planBuses(r.datapath, fsm, {.busWireUm2 = 1, .driverUm2 = 1, .receiverUm2 = 1});
+  const BusPlan dear = planBuses(r.datapath, fsm, {.busWireUm2 = 2, .driverUm2 = 2, .receiverUm2 = 2});
+  EXPECT_DOUBLE_EQ(dear.totalCost, 2.0 * cheap.totalCost);
+  EXPECT_EQ(cheap.busCount, dear.busCount);
+}
+
+TEST(Bus, ToStringSummarizes) {
+  const auto r = synth(test::smallDiamond(), 3);
+  ASSERT_TRUE(r.feasible);
+  const auto fsm = buildController(r.datapath);
+  const std::string s = planBuses(r.datapath, fsm).toString();
+  EXPECT_NE(s.find("bus"), std::string::npos);
+  EXPECT_NE(s.find("driver"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mframe::rtl

@@ -1,0 +1,105 @@
+#include "rtl/datapath.h"
+
+#include <gtest/gtest.h>
+
+#include "celllib/ncr_like.h"
+#include "core/mfsa.h"
+#include "helpers.h"
+#include "rtl/cost.h"
+#include "rtl/verify.h"
+#include "workloads/benchmarks.h"
+
+namespace mframe::rtl {
+namespace {
+
+core::MfsaResult synth(const dfg::Dfg& g, int cs) {
+  static const celllib::CellLibrary lib = celllib::ncrLike();
+  core::MfsaOptions o;
+  o.constraints.timeSteps = cs;
+  return core::runMfsa(g, lib, o);
+}
+
+TEST(Datapath, AluOfCoversEveryOperation) {
+  const auto r = synth(workloads::diffeq(), 4);
+  ASSERT_TRUE(r.feasible) << r.error;
+  for (dfg::NodeId op : r.datapath.graph->operations())
+    EXPECT_TRUE(r.datapath.aluOf.count(op));
+}
+
+TEST(Datapath, RegOfSignalMatchesAllocation) {
+  const auto r = synth(workloads::diffeq(), 4);
+  ASSERT_TRUE(r.feasible);
+  const Datapath& d = r.datapath;
+  for (std::size_t reg = 0; reg < d.regs.registers.size(); ++reg)
+    for (std::size_t i : d.regs.registers[reg])
+      EXPECT_EQ(d.regOfSignal.at(d.lifetimes[i].producer),
+                static_cast<int>(reg));
+}
+
+TEST(Datapath, PortWiringExistsPerAlu) {
+  const auto r = synth(test::smallDiamond(), 3);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.datapath.leftPort.size(), r.datapath.alus.size());
+  EXPECT_EQ(r.datapath.rightPort.size(), r.datapath.alus.size());
+  EXPECT_EQ(r.datapath.arrangement.size(), r.datapath.alus.size());
+}
+
+TEST(Datapath, AluSummaryGroupsIdenticalSignatures) {
+  Datapath d;
+  d.lib = std::make_shared<celllib::CellLibrary>(celllib::ncrLike());
+  AluInstance a;
+  a.module = *d.lib->cheapestFor(dfg::FuType::Adder);
+  d.alus = {a, a};
+  EXPECT_EQ(d.aluSummary(), "2(+)");
+}
+
+TEST(Cost, BreakdownSumsAndCounts) {
+  const auto r = synth(workloads::tseng(), 4);
+  ASSERT_TRUE(r.feasible);
+  const CostBreakdown c = evaluateCost(r.datapath);
+  EXPECT_DOUBLE_EQ(c.total, c.aluArea + c.regArea + c.muxArea);
+  EXPECT_EQ(c.aluCount, static_cast<int>(r.datapath.alus.size()));
+  EXPECT_EQ(c.regCount, static_cast<int>(r.datapath.regs.count()));
+  EXPECT_GE(c.muxInputCount, 2 * c.muxCount);  // every mux has >= 2 inputs
+  const std::string s = c.toString();
+  EXPECT_NE(s.find("um^2"), std::string::npos);
+}
+
+TEST(Cost, SinglePortWiresAreFree) {
+  const auto r = synth(test::addChain(2), 2);
+  ASSERT_TRUE(r.feasible);
+  const CostBreakdown c = evaluateCost(r.datapath);
+  // Two chained adds on one ALU: left port sees two signals but possibly one
+  // register; either way, cost accounting never counts 1-input muxes.
+  for (const auto& w : r.datapath.leftPort)
+    if (w.sources.size() < 2)
+      SUCCEED();
+  EXPECT_GE(c.muxArea, 0.0);
+}
+
+TEST(Datapath, VerifierCatchesForeignBinding) {
+  const auto r = synth(test::smallDiamond(), 3);
+  ASSERT_TRUE(r.feasible);
+  Datapath broken = r.datapath;
+  // Move the multiplication into an adder-only ALU if one exists.
+  const dfg::NodeId y = broken.graph->findByName("y");
+  for (auto& a : broken.alus) {
+    if (!broken.lib->module(a.module).supports(dfg::FuType::Multiplier)) {
+      // strip y from its owner, then misbind
+      for (auto& other : broken.alus)
+        other.ops.erase(std::remove(other.ops.begin(), other.ops.end(), y),
+                        other.ops.end());
+      a.ops.push_back(y);
+      broken.aluOf[y] = a.index;
+      sched::Constraints c;
+      c.timeSteps = 3;
+      const auto v = verifyDatapath(broken, c, DesignStyle::Unrestricted);
+      EXPECT_FALSE(v.empty());
+      return;
+    }
+  }
+  GTEST_SKIP() << "no adder-only ALU in this synthesis";
+}
+
+}  // namespace
+}  // namespace mframe::rtl

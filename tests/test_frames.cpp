@@ -1,0 +1,171 @@
+#include "core/frames.h"
+
+#include <gtest/gtest.h>
+
+#include "dfg/builder.h"
+#include "helpers.h"
+#include "sched/timeframes.h"
+
+namespace mframe::core {
+namespace {
+
+using dfg::NodeId;
+
+struct Fixture {
+  dfg::Dfg g = test::smallDiamond();
+  sched::Constraints c;
+  std::optional<sched::TimeFrames> tf;
+  Fixture(int cs = 4) {
+    c.timeSteps = cs;
+    tf = computeTimeFrames(g, c);
+  }
+};
+
+TEST(Frames, PrimaryFrameIsAsapAlapTimesMaxCols) {
+  Fixture fx;
+  FrameCalculator fc(fx.g, fx.c, *fx.tf);
+  sched::Schedule s(fx.g);
+  ColumnOccupancy occ(fx.g, fx.c);
+  const NodeId y = fx.g.findByName("y");
+  const auto f = fc.compute(s, occ, y, /*currentCols=*/2, /*maxCols=*/3);
+  EXPECT_EQ(f.pfStepLo, fx.tf->asap(y));
+  EXPECT_EQ(f.pfStepHi, fx.tf->alap(y));
+  EXPECT_EQ(f.pfColLo, 1);
+  EXPECT_EQ(f.pfColHi, 3);
+  EXPECT_EQ(f.rfColLo, 3);  // columns >= current+1 are redundant
+}
+
+TEST(Frames, MoveFrameExcludesRedundantColumns) {
+  Fixture fx;
+  FrameCalculator fc(fx.g, fx.c, *fx.tf);
+  sched::Schedule s(fx.g);
+  ColumnOccupancy occ(fx.g, fx.c);
+  const NodeId sum = fx.g.findByName("s");
+  const auto f = fc.compute(s, occ, sum, /*currentCols=*/1, /*maxCols=*/4);
+  for (const auto& cell : f.moveFrame) EXPECT_EQ(cell.column, 1);
+  EXPECT_FALSE(f.moveFrame.empty());
+}
+
+TEST(Frames, ForbiddenFrameBlocksPredecessorSteps) {
+  Fixture fx;
+  FrameCalculator fc(fx.g, fx.c, *fx.tf);
+  sched::Schedule s(fx.g);
+  ColumnOccupancy occ(fx.g, fx.c);
+  const NodeId sum = fx.g.findByName("s");
+  const NodeId diff = fx.g.findByName("t");
+  const NodeId y = fx.g.findByName("y");
+  // Place the predecessors late: steps 1 and 2.
+  s.place(sum, 2, 1);
+  fc.recordPlacement(s, sum, 2);
+  s.place(diff, 1, 1);
+  fc.recordPlacement(s, diff, 1);
+  const auto f = fc.compute(s, occ, y, 2, 2);
+  EXPECT_EQ(f.ffBelowStep, 3);  // steps <= 2 are forbidden
+  for (const auto& cell : f.moveFrame) EXPECT_GE(cell.step, 3);
+  EXPECT_FALSE(f.moveFrame.empty());
+}
+
+TEST(Frames, MoveFrameExcludesOccupiedCells) {
+  const dfg::Dfg g = test::addParallel(2);
+  sched::Constraints c;
+  c.timeSteps = 1;
+  const auto tf = *computeTimeFrames(g, c);
+  FrameCalculator fc(g, c, tf);
+  sched::Schedule s(g);
+  ColumnOccupancy occ(g, c);
+  const auto ops = g.operations();
+  occ.place(ops[0], 1, 1);
+  s.place(ops[0], 1, 1);
+  const auto f = fc.compute(s, occ, ops[1], 2, 2);
+  ASSERT_EQ(f.moveFrame.size(), 1u);
+  EXPECT_EQ(f.moveFrame[0].column, 2);
+}
+
+TEST(Frames, DepOkRejectsBusyPredecessor) {
+  dfg::Builder b("mc");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto m = b.mul(x, y, "m", 2);
+  const auto a = b.add(m, x, "a");
+  b.output(a, "o");
+  const dfg::Dfg g = std::move(b).build();
+  sched::Constraints c;
+  c.timeSteps = 4;
+  const auto tf = *computeTimeFrames(g, c);
+  FrameCalculator fc(g, c, tf);
+  sched::Schedule s(g);
+  s.place(g.findByName("m"), 1, 1);  // busy through step 2
+  fc.recordPlacement(s, g.findByName("m"), 1);
+  EXPECT_FALSE(fc.depOk(s, g.findByName("a"), 2).ok);
+  EXPECT_TRUE(fc.depOk(s, g.findByName("a"), 3).ok);
+}
+
+TEST(Frames, ChainingRelaxesTheForbiddenFrame) {
+  const dfg::Dfg g = test::addChain(2);
+  sched::Constraints c;
+  c.timeSteps = 2;
+  c.allowChaining = true;
+  c.clockNs = 100.0;
+  const auto tf = *computeTimeFrames(g, c);
+  FrameCalculator fc(g, c, tf);
+  sched::Schedule s(g);
+  const NodeId c1 = g.findByName("c1");
+  const NodeId c2 = g.findByName("c2");
+  s.place(c1, 1, 1);
+  fc.recordPlacement(s, c1, 1);
+  const auto d = fc.depOk(s, c2, 1);  // same step, 40+40 <= 100
+  EXPECT_TRUE(d.ok);
+  EXPECT_DOUBLE_EQ(d.startOffsetNs, 40.0);
+}
+
+TEST(Frames, ChainingBudgetExhaustionForbids) {
+  const dfg::Dfg g = test::addChain(3);
+  sched::Constraints c;
+  c.timeSteps = 3;
+  c.allowChaining = true;
+  c.clockNs = 100.0;
+  const auto tf = *computeTimeFrames(g, c);
+  FrameCalculator fc(g, c, tf);
+  sched::Schedule s(g);
+  s.place(g.findByName("c1"), 1, 1);
+  fc.recordPlacement(s, g.findByName("c1"), 1);
+  s.place(g.findByName("c2"), 1, 2);
+  fc.recordPlacement(s, g.findByName("c2"), 1);
+  // c3 at step 1 would need 120ns.
+  EXPECT_FALSE(fc.depOk(s, g.findByName("c3"), 1).ok);
+  EXPECT_TRUE(fc.depOk(s, g.findByName("c3"), 2).ok);
+}
+
+TEST(Frames, ChainOffsetsAccumulateAlongThePlacementOrder) {
+  const dfg::Dfg g = test::addChain(2);
+  sched::Constraints c;
+  c.timeSteps = 1;
+  c.allowChaining = true;
+  c.clockNs = 100.0;
+  const auto tf = *computeTimeFrames(g, c);
+  FrameCalculator fc(g, c, tf);
+  sched::Schedule s(g);
+  s.place(g.findByName("c1"), 1, 1);
+  fc.recordPlacement(s, g.findByName("c1"), 1);
+  s.place(g.findByName("c2"), 1, 2);
+  fc.recordPlacement(s, g.findByName("c2"), 1);
+  EXPECT_DOUBLE_EQ(fc.chainOffsetOf(g.findByName("c1")), 40.0);
+  EXPECT_DOUBLE_EQ(fc.chainOffsetOf(g.findByName("c2")), 80.0);
+}
+
+TEST(Frames, ResetClearsChainState) {
+  const dfg::Dfg g = test::addChain(1);
+  sched::Constraints c;
+  c.timeSteps = 1;
+  c.allowChaining = true;
+  const auto tf = *computeTimeFrames(g, c);
+  FrameCalculator fc(g, c, tf);
+  sched::Schedule s(g);
+  s.place(g.findByName("c1"), 1, 1);
+  fc.recordPlacement(s, g.findByName("c1"), 1);
+  fc.reset();
+  EXPECT_DOUBLE_EQ(fc.chainOffsetOf(g.findByName("c1")), 0.0);
+}
+
+}  // namespace
+}  // namespace mframe::core

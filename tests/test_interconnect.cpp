@@ -1,0 +1,123 @@
+#include "alloc/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dfg/builder.h"
+#include "helpers.h"
+
+namespace mframe::alloc {
+namespace {
+
+using dfg::NodeId;
+
+struct Fixture {
+  dfg::Dfg g;
+  sched::Schedule s;
+  std::vector<Lifetime> lifetimes;
+  RegAllocation regs;
+  std::map<NodeId, int> aluOf;
+
+  Fixture() : g(test::smallDiamond()), s(g) {
+    s.setNumSteps(3);
+    s.place(g.findByName("s"), 1, 1);
+    s.place(g.findByName("t"), 1, 1);
+    s.place(g.findByName("y"), 2, 1);
+    s.place(g.findByName("f"), 3, 1);
+    lifetimes = computeLifetimes(g, s);
+    regs = allocateRegisters(lifetimes);
+    aluOf[g.findByName("s")] = 0;
+    aluOf[g.findByName("t")] = 1;
+    aluOf[g.findByName("y")] = 2;
+    aluOf[g.findByName("f")] = 3;
+  }
+};
+
+TEST(Interconnect, RegisteredSignalResolvesToItsRegister) {
+  Fixture fx;
+  const SourceResolver r(fx.g, fx.s, fx.lifetimes, fx.regs, fx.aluOf);
+  const Source src =
+      r.resolve(fx.g.findByName("y"), fx.g.findByName("s"));  // s born 1, read 2
+  EXPECT_EQ(src.kind, Source::Kind::Register);
+}
+
+TEST(Interconnect, ChainedReadResolvesToAluOutput) {
+  dfg::Builder b("chain");
+  const auto x = b.input("x");
+  const auto yy = b.input("y");
+  const auto c1 = b.add(x, yy, "c1");
+  const auto c2 = b.add(c1, yy, "c2");
+  b.output(c2, "o");
+  const dfg::Dfg g = std::move(b).build();
+  sched::Schedule s(g);
+  s.setNumSteps(1);
+  s.place(c1, 1, 1);
+  s.place(c2, 1, 2);  // same step: chained
+  const auto lts = computeLifetimes(g, s);
+  const auto regs = allocateRegisters(lts);
+  std::map<NodeId, int> aluOf{{c1, 0}, {c2, 1}};
+  const SourceResolver r(g, s, lts, regs, aluOf);
+  const Source src = r.resolve(c2, c1);
+  EXPECT_EQ(src.kind, Source::Kind::AluOut);
+  EXPECT_EQ(src.index, 0);
+}
+
+TEST(Interconnect, ConstantsAreHardwired) {
+  dfg::Builder b("k");
+  const auto x = b.input("x");
+  const auto k = b.constant(5, "k5");
+  const auto a = b.add(x, k, "a");
+  b.output(a, "o");
+  const dfg::Dfg g = std::move(b).build();
+  sched::Schedule s(g);
+  s.setNumSteps(1);
+  s.place(a, 1, 1);
+  const auto lts = computeLifetimes(g, s);
+  const auto regs = allocateRegisters(lts);
+  std::map<NodeId, int> aluOf{{a, 0}};
+  const SourceResolver r(g, s, lts, regs, aluOf);
+  const Source src = r.resolve(a, k);
+  EXPECT_EQ(src.kind, Source::Kind::Constant);
+  EXPECT_EQ(src.toString(g), "const:5");
+}
+
+TEST(Interconnect, InputsComeFromTheirRegisters) {
+  Fixture fx;
+  const SourceResolver r(fx.g, fx.s, fx.lifetimes, fx.regs, fx.aluOf);
+  const Source src = r.resolve(fx.g.findByName("s"), fx.g.findByName("a"));
+  EXPECT_EQ(src.kind, Source::Kind::Register);
+}
+
+TEST(Interconnect, WirePortDeduplicatesSharedSources) {
+  // Two signals stored in the same register arrive on one wire
+  // (Section 5.7 line sharing).
+  Fixture fx;
+  const SourceResolver r(fx.g, fx.s, fx.lifetimes, fx.regs, fx.aluOf);
+  const NodeId y = fx.g.findByName("y");
+  const NodeId f = fx.g.findByName("f");
+  const NodeId sSig = fx.g.findByName("s");
+  const NodeId tSig = fx.g.findByName("t");
+  // The number of wires equals the number of *distinct* physical sources —
+  // signals that share a register over time share a wire (Section 5.7).
+  std::set<Source> distinct{r.resolve(y, sSig), r.resolve(y, tSig),
+                            r.resolve(f, fx.g.findByName("y"))};
+  const auto w = wirePort(r, {{y, sSig}, {y, tSig}, {f, fx.g.findByName("y")}});
+  EXPECT_EQ(w.sources.size(), distinct.size());
+  EXPECT_LT(w.sources.size(), 3u);  // s=(1,2] and y=(2,4] share a register
+  EXPECT_EQ(w.selectOf.size(), 3u);
+  for (const auto& [key, idx] : w.selectOf) EXPECT_LT(idx, w.sources.size());
+}
+
+TEST(Interconnect, SourceOrderingIsFirstUse) {
+  Fixture fx;
+  const SourceResolver r(fx.g, fx.s, fx.lifetimes, fx.regs, fx.aluOf);
+  const NodeId y = fx.g.findByName("y");
+  const NodeId sSig = fx.g.findByName("s");
+  const auto w = wirePort(r, {{y, sSig}});
+  ASSERT_EQ(w.sources.size(), 1u);
+  EXPECT_EQ(w.selectOf.at({y, sSig}), 0u);
+}
+
+}  // namespace
+}  // namespace mframe::alloc

@@ -1,0 +1,74 @@
+#include "core/liapunov.h"
+
+#include <gtest/gtest.h>
+
+#include "celllib/ncr_like.h"
+
+namespace mframe::core {
+namespace {
+
+TEST(MfsLiapunov, TimeModeStepDominatesColumn) {
+  // Section 3.1: position (FU_max, t) must be cheaper than (FU_1, t+1).
+  const int n = 6;
+  const MfsLiapunov v(MfsLiapunov::Mode::TimeConstrained, n, 20);
+  for (int t = 1; t < 20; ++t)
+    EXPECT_LT(v.value(n, t), v.value(1, t + 1));
+}
+
+TEST(MfsLiapunov, TimeModePrefersLowerColumnWithinAStep) {
+  const MfsLiapunov v(MfsLiapunov::Mode::TimeConstrained, 6, 20);
+  EXPECT_LT(v.value(1, 3), v.value(2, 3));
+}
+
+TEST(MfsLiapunov, ResourceModeColumnDominatesStep) {
+  // Section 3.1: an existing FU in step t+1 beats a new FU in step t.
+  const int cs = 12;
+  const MfsLiapunov v(MfsLiapunov::Mode::ResourceConstrained, 6, cs);
+  for (int col = 1; col < 6; ++col)
+    EXPECT_LT(v.value(col, cs), v.value(col + 1, 1));
+}
+
+TEST(MfsLiapunov, ValuesArePositiveAndWorstIsCorner) {
+  const MfsLiapunov v(MfsLiapunov::Mode::TimeConstrained, 4, 8);
+  EXPECT_GT(v.value(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(v.worstValue(4, 8), v.value(4, 8));
+  for (int c = 1; c <= 4; ++c)
+    for (int s = 1; s <= 8; ++s) EXPECT_LE(v.value(c, s), v.worstValue(4, 8));
+}
+
+TEST(MfsaWeights, DefaultIsUnweighted) {
+  const MfsaTerms t{.fTime = 1, .fAlu = 2, .fMux = 3, .fReg = 4};
+  EXPECT_DOUBLE_EQ(t.weighted(MfsaWeights{}), 10.0);
+}
+
+TEST(MfsaWeights, WeightsScaleTerms) {
+  const MfsaTerms t{.fTime = 1, .fAlu = 2, .fMux = 3, .fReg = 4};
+  const MfsaWeights w{.time = 0.0, .alu = 2.0, .mux = 1.0, .reg = 0.5};
+  EXPECT_DOUBLE_EQ(t.weighted(w), 0.0 + 4.0 + 3.0 + 2.0);
+}
+
+TEST(MfsaTimeConstant, DominatesHardwareTerms) {
+  // Section 4.1: C > f^ALU_max + f^MUX_max + f^REG_max, so one step later
+  // can never be cheaper than any hardware configuration.
+  const celllib::CellLibrary lib = celllib::ncrLike();
+  const MfsaWeights w{};
+  const double C = mfsaTimeConstant(lib, w);
+  const double worstHardware =
+      lib.maxModuleArea() + lib.maxMuxIncrement() + 2.0 * lib.regCost();
+  EXPECT_GT(C, worstHardware);
+  // f at (step t+1, zero hardware) > f at (step t, worst hardware):
+  EXPECT_GT(C * 2.0, C * 1.0 + worstHardware);
+}
+
+TEST(MfsaTimeConstant, AccountsForWeights) {
+  const celllib::CellLibrary lib = celllib::ncrLike();
+  const MfsaWeights heavyHw{.time = 0.5, .alu = 2.0, .mux = 2.0, .reg = 2.0};
+  const double C = mfsaTimeConstant(lib, heavyHw);
+  const double worstHardware = 2.0 * lib.maxModuleArea() +
+                               2.0 * lib.maxMuxIncrement() +
+                               2.0 * 2.0 * lib.regCost();
+  EXPECT_GT(0.5 * C, worstHardware);
+}
+
+}  // namespace
+}  // namespace mframe::core

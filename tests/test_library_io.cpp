@@ -1,0 +1,87 @@
+#include "celllib/library_io.h"
+
+#include <gtest/gtest.h>
+
+#include "celllib/ncr_like.h"
+
+namespace mframe::celllib {
+namespace {
+
+constexpr const char* kSample = R"(# a tiny library
+library tiny
+reg 1500
+mux 0 0 500 800 1000
+module add16 area=2900 delay=40 caps=add
+module alu area=4500 delay=45 caps=+,-,cmp
+module mulp area=17000 delay=90 caps=mul stages=2
+)";
+
+TEST(LibraryIo, ParsesModulesAndTables) {
+  const CellLibrary lib = parseLibrary(kSample);
+  EXPECT_DOUBLE_EQ(lib.regCost(), 1500.0);
+  EXPECT_DOUBLE_EQ(lib.muxCost(3), 800.0);
+  ASSERT_EQ(lib.modules().size(), 3u);
+  const Module& alu = lib.module(1);
+  EXPECT_EQ(alu.caps.size(), 3u);
+  EXPECT_TRUE(alu.supports(dfg::FuType::Adder));
+  EXPECT_TRUE(alu.supports(dfg::FuType::Comparator));
+  EXPECT_EQ(lib.module(2).stages, 2);
+}
+
+TEST(LibraryIo, CapabilityTokensAcceptAllSpellings) {
+  const CellLibrary lib = parseLibrary(
+      "library t\nreg 1\nmux 0 0 10\n"
+      "module m area=1 caps=adder,+,sub\n");
+  EXPECT_TRUE(lib.module(0).supports(dfg::FuType::Adder));
+  EXPECT_TRUE(lib.module(0).supports(dfg::FuType::Subtractor));
+}
+
+TEST(LibraryIo, SerializeRoundTrips) {
+  const CellLibrary orig = parseLibrary(kSample);
+  const CellLibrary again = parseLibrary(serializeLibrary(orig, "tiny"));
+  ASSERT_EQ(again.modules().size(), orig.modules().size());
+  for (std::size_t i = 0; i < orig.modules().size(); ++i) {
+    EXPECT_EQ(again.module(static_cast<ModuleId>(i)).caps,
+              orig.module(static_cast<ModuleId>(i)).caps);
+    EXPECT_DOUBLE_EQ(again.module(static_cast<ModuleId>(i)).areaUm2,
+                     orig.module(static_cast<ModuleId>(i)).areaUm2);
+    EXPECT_EQ(again.module(static_cast<ModuleId>(i)).stages,
+              orig.module(static_cast<ModuleId>(i)).stages);
+  }
+  EXPECT_DOUBLE_EQ(again.regCost(), orig.regCost());
+  EXPECT_DOUBLE_EQ(again.muxCost(4), orig.muxCost(4));
+}
+
+TEST(LibraryIo, NcrLikeRoundTrips) {
+  const CellLibrary orig = ncrLike();
+  const CellLibrary again = parseLibrary(serializeLibrary(orig, "ncr_like"));
+  EXPECT_EQ(again.modules().size(), orig.modules().size());
+  EXPECT_DOUBLE_EQ(again.maxModuleArea(), orig.maxModuleArea());
+  EXPECT_DOUBLE_EQ(again.muxCost(6), orig.muxCost(6));
+}
+
+TEST(LibraryIo, ErrorsCarryLineNumbers) {
+  try {
+    parseLibrary("library t\nreg 1\nmux 0 0 10\nmodule m area=1 caps=wibble\n");
+    FAIL();
+  } catch (const LibraryError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("wibble"), std::string::npos);
+  }
+}
+
+TEST(LibraryIo, StructuralErrorsRejected) {
+  EXPECT_THROW(parseLibrary("reg 1\n"), LibraryError);             // no header
+  EXPECT_THROW(parseLibrary("library t\nmux 0 0 5\nmodule m area=1 caps=add\n"),
+               LibraryError);                                      // no reg
+  EXPECT_THROW(parseLibrary("library t\nreg 1\nmodule m area=1 caps=add\n"),
+               LibraryError);                                      // no mux
+  EXPECT_THROW(parseLibrary("library t\nreg 1\nmux 0 0 5\n"), LibraryError);
+  EXPECT_THROW(parseLibrary("library t\nreg 1\nmux 1 0 5\nmodule m area=1 caps=add\n"),
+               LibraryError);  // mux[0] != 0
+  EXPECT_THROW(parseLibrary("library t\nreg 1\nmux 0 0 5\nmodule m caps=add\n"),
+               LibraryError);  // missing area
+}
+
+}  // namespace
+}  // namespace mframe::celllib

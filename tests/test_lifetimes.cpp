@@ -1,0 +1,131 @@
+#include "alloc/lifetimes.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dfg/builder.h"
+#include "helpers.h"
+
+namespace mframe::alloc {
+namespace {
+
+using dfg::NodeId;
+
+std::map<NodeId, Lifetime> byProducer(const std::vector<Lifetime>& v) {
+  std::map<NodeId, Lifetime> m;
+  for (const Lifetime& lt : v) m[lt.producer] = lt;
+  return m;
+}
+
+TEST(Lifetimes, ValueCrossingOneBoundaryNeedsARegister) {
+  const dfg::Dfg g = test::smallDiamond();
+  sched::Schedule s(g);
+  s.setNumSteps(3);
+  s.place(g.findByName("s"), 1, 1);
+  s.place(g.findByName("t"), 1, 1);
+  s.place(g.findByName("y"), 2, 1);
+  s.place(g.findByName("f"), 3, 1);
+  const auto m = byProducer(computeLifetimes(g, s));
+
+  const Lifetime& ls = m.at(g.findByName("s"));
+  EXPECT_EQ(ls.birth, 1);
+  EXPECT_EQ(ls.death, 2);  // consumed by y at step 2
+  EXPECT_TRUE(ls.needsRegister);
+}
+
+TEST(Lifetimes, PrimaryInputsBornBeforeStepOne) {
+  const dfg::Dfg g = test::smallDiamond();
+  sched::Schedule s(g);
+  s.setNumSteps(3);
+  s.place(g.findByName("s"), 1, 1);
+  s.place(g.findByName("t"), 1, 1);
+  s.place(g.findByName("y"), 2, 1);
+  s.place(g.findByName("f"), 3, 1);
+  const auto m = byProducer(computeLifetimes(g, s));
+  const Lifetime& la = m.at(g.findByName("a"));
+  EXPECT_EQ(la.birth, 0);
+  EXPECT_EQ(la.death, 1);
+  EXPECT_TRUE(la.needsRegister);
+}
+
+TEST(Lifetimes, PrimaryOutputsSurviveToTheEnd) {
+  const dfg::Dfg g = test::smallDiamond();
+  sched::Schedule s(g);
+  s.setNumSteps(3);
+  s.place(g.findByName("s"), 1, 1);
+  s.place(g.findByName("t"), 1, 1);
+  s.place(g.findByName("y"), 2, 1);
+  s.place(g.findByName("f"), 3, 1);
+  const auto m = byProducer(computeLifetimes(g, s));
+  EXPECT_EQ(m.at(g.findByName("y")).death, 4);  // numSteps + 1
+  EXPECT_EQ(m.at(g.findByName("f")).death, 4);
+}
+
+TEST(Lifetimes, ChainedConsumerNeedsNoStorage) {
+  const dfg::Dfg g = test::addChain(2);
+  sched::Schedule s(g);
+  s.setNumSteps(1);
+  s.place(g.findByName("c1"), 1, 1);
+  s.place(g.findByName("c2"), 1, 2);  // chained: same step
+  const auto m = byProducer(computeLifetimes(g, s));
+  const Lifetime& l1 = m.at(g.findByName("c1"));
+  EXPECT_EQ(l1.birth, l1.death);  // no cross-step consumer, no output mark
+  EXPECT_FALSE(l1.needsRegister);
+}
+
+TEST(Lifetimes, MulticycleProducerBornAtItsLastStep) {
+  dfg::Builder b("mc");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto mm = b.mul(x, y, "m", 2);
+  const auto a = b.add(mm, x, "a");
+  b.output(a, "o");
+  const dfg::Dfg g = std::move(b).build();
+  sched::Schedule s(g);
+  s.setNumSteps(4);
+  s.place(g.findByName("m"), 1, 1);  // occupies 1-2, ready end of 2
+  s.place(g.findByName("a"), 3, 1);
+  const auto m = byProducer(computeLifetimes(g, s));
+  EXPECT_EQ(m.at(g.findByName("m")).birth, 2);
+  EXPECT_EQ(m.at(g.findByName("m")).death, 3);
+}
+
+TEST(Lifetimes, ConstantsNeverAppear) {
+  dfg::Builder b("k");
+  const auto x = b.input("x");
+  const auto k = b.constant(7, "k7");
+  const auto a = b.add(x, k, "a");
+  b.output(a, "o");
+  const dfg::Dfg g = std::move(b).build();
+  sched::Schedule s(g);
+  s.setNumSteps(1);
+  s.place(g.findByName("a"), 1, 1);
+  for (const Lifetime& lt : computeLifetimes(g, s))
+    EXPECT_NE(lt.producer, g.findByName("k7"));
+}
+
+TEST(Lifetimes, OverlapSemanticsAreHalfOpen) {
+  Lifetime a{.producer = 0, .birth = 1, .death = 3};
+  Lifetime b{.producer = 1, .birth = 3, .death = 5};
+  EXPECT_FALSE(a.overlaps(b));  // back-to-back is compatible
+  EXPECT_FALSE(b.overlaps(a));
+  Lifetime c{.producer = 2, .birth = 2, .death = 4};
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+}
+
+TEST(Lifetimes, UnplacedOpsSkippedOnPartialSchedules) {
+  const dfg::Dfg g = test::smallDiamond();
+  sched::Schedule s(g);
+  s.setNumSteps(3);
+  s.place(g.findByName("s"), 1, 1);
+  const auto v = computeLifetimes(g, s);
+  for (const Lifetime& lt : v) {
+    EXPECT_NE(lt.producer, g.findByName("y"));
+    EXPECT_NE(lt.producer, g.findByName("f"));
+  }
+}
+
+}  // namespace
+}  // namespace mframe::alloc

@@ -1,0 +1,116 @@
+#include "alloc/muxopt.h"
+
+#include <gtest/gtest.h>
+
+#include "celllib/ncr_like.h"
+#include "dfg/builder.h"
+
+namespace mframe::alloc {
+namespace {
+
+using dfg::NodeId;
+
+TEST(MuxOpt, NonCommutativeOperandsPinnedToPorts) {
+  dfg::Builder b("nc");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto s1 = b.sub(x, y, "s1");
+  const auto s2 = b.sub(x, y, "s2");
+  b.output(s1, "o1");
+  b.output(s2, "o2");
+  const dfg::Dfg g = std::move(b).build();
+  const auto a = arrangeInputs(g, {s1, s2});
+  EXPECT_EQ(a.left, std::vector<NodeId>{x});
+  EXPECT_EQ(a.right, std::vector<NodeId>{y});
+  EXPECT_EQ(a.totalInputs(), 2u);
+}
+
+TEST(MuxOpt, CommutativeSwapImprovesSharing) {
+  // sub pins x->L, y->R; the add (y, x) should swap to reuse both.
+  dfg::Builder b("sw");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto s = b.sub(x, y, "s");
+  const auto a = b.add(y, x, "a");
+  b.output(s, "o1");
+  b.output(a, "o2");
+  const dfg::Dfg g = std::move(b).build();
+  const auto arr = arrangeInputs(g, {s, a});
+  EXPECT_EQ(arr.totalInputs(), 2u);
+  EXPECT_TRUE(arr.swapped.at(a));
+  EXPECT_FALSE(arr.swapped.at(s));
+}
+
+TEST(MuxOpt, NoSwapWhenNaturalOrderIsAsGood) {
+  dfg::Builder b("nat");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto a1 = b.add(x, y, "a1");
+  const auto a2 = b.add(x, y, "a2");
+  b.output(a1, "o1");
+  b.output(a2, "o2");
+  const dfg::Dfg g = std::move(b).build();
+  const auto arr = arrangeInputs(g, {a1, a2});
+  EXPECT_FALSE(arr.swapped.at(a2));
+  EXPECT_EQ(arr.totalInputs(), 2u);
+}
+
+TEST(MuxOpt, UnaryOpsUseTheLeftPort) {
+  dfg::Builder b("un");
+  const auto x = b.input("x");
+  const auto n = b.bnot(x, "n");
+  b.output(n, "o");
+  const dfg::Dfg g = std::move(b).build();
+  const auto arr = arrangeInputs(g, {n});
+  EXPECT_EQ(arr.left.size(), 1u);
+  EXPECT_TRUE(arr.right.empty());
+}
+
+TEST(MuxOpt, SignalsDeduplicatedPerPort) {
+  dfg::Builder b("dup");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto z = b.input("z");
+  const auto s1 = b.sub(x, y, "s1");
+  const auto s2 = b.sub(x, z, "s2");  // x reused on the left port
+  b.output(s1, "o1");
+  b.output(s2, "o2");
+  const dfg::Dfg g = std::move(b).build();
+  const auto arr = arrangeInputs(g, {s1, s2});
+  EXPECT_EQ(arr.left.size(), 1u);
+  EXPECT_EQ(arr.right.size(), 2u);
+}
+
+TEST(MuxOpt, CostUsesTheNonlinearTable) {
+  const celllib::CellLibrary lib = celllib::ncrLike();
+  MuxArrangement one;
+  one.left = {0};
+  one.right = {1};
+  EXPECT_DOUBLE_EQ(muxCostOf(lib, one), 0.0);  // wires
+
+  MuxArrangement two;
+  two.left = {0, 1};
+  two.right = {2};
+  EXPECT_DOUBLE_EQ(muxCostOf(lib, two), lib.muxCost(2));
+}
+
+TEST(MuxOpt, DeterministicInOpOrder) {
+  dfg::Builder b("det");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto z = b.input("z");
+  const auto a1 = b.add(x, y, "a1");
+  const auto a2 = b.add(z, x, "a2");
+  const auto a3 = b.add(y, z, "a3");
+  b.output(a3, "o");
+  (void)a1;
+  (void)a2;
+  const dfg::Dfg g = std::move(b).build();
+  const auto r1 = arrangeInputs(g, {a1, a2, a3});
+  const auto r2 = arrangeInputs(g, {a1, a2, a3});
+  EXPECT_EQ(r1.left, r2.left);
+  EXPECT_EQ(r1.right, r2.right);
+}
+
+}  // namespace
+}  // namespace mframe::alloc

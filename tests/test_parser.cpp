@@ -1,0 +1,119 @@
+#include "dfg/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "dfg/builder.h"
+#include "helpers.h"
+
+namespace mframe::dfg {
+namespace {
+
+constexpr const char* kSample = R"(# a small example
+dfg sample
+input a
+input b
+const 3 k
+op add s a b
+op mul p s k cycles=2 delay=150
+output y p
+)";
+
+TEST(Parser, ParsesBasicGraph) {
+  const Dfg g = parse(kSample);
+  EXPECT_EQ(g.name(), "sample");
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.operations().size(), 2u);
+  const NodeId p = g.findByName("p");
+  ASSERT_NE(p, kNoNode);
+  EXPECT_EQ(g.node(p).cycles, 2);
+  EXPECT_DOUBLE_EQ(g.node(p).delayNs, 150.0);
+  ASSERT_EQ(g.outputs().size(), 1u);
+  EXPECT_EQ(g.outputs()[0].second, "y");
+  EXPECT_EQ(g.outputs()[0].first, p);
+}
+
+TEST(Parser, ParsesConstValue) {
+  const Dfg g = parse(kSample);
+  const NodeId k = g.findByName("k");
+  EXPECT_EQ(g.node(k).kind, OpKind::Const);
+  EXPECT_EQ(g.node(k).constValue, 3);
+}
+
+TEST(Parser, AcceptsSymbolKinds) {
+  const Dfg g = parse("dfg s\ninput a\ninput b\nop * m a b\n");
+  EXPECT_EQ(g.node(g.findByName("m")).kind, OpKind::Mul);
+}
+
+TEST(Parser, ParsesBranchAttribute) {
+  const Dfg g = parse(
+      "dfg s\ninput a\ninput b\n"
+      "op add t a b branch=c1.t\n"
+      "op add e a b branch=c1.e\n");
+  EXPECT_TRUE(g.mutuallyExclusive(g.findByName("t"), g.findByName("e")));
+}
+
+TEST(Parser, SerializeRoundTrips) {
+  const Dfg g1 = test::smallDiamond();
+  const Dfg g2 = parse(serialize(g1));
+  EXPECT_EQ(g2.name(), g1.name());
+  ASSERT_EQ(g2.size(), g1.size());
+  for (NodeId i = 0; i < g1.size(); ++i) {
+    EXPECT_EQ(g2.node(i).kind, g1.node(i).kind);
+    EXPECT_EQ(g2.node(i).name, g1.node(i).name);
+    EXPECT_EQ(g2.node(i).inputs, g1.node(i).inputs);
+  }
+  EXPECT_EQ(g2.outputs().size(), g1.outputs().size());
+}
+
+TEST(Parser, RoundTripsAttributes) {
+  Builder b("attrs");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  b.pushBranch("c9", "z");
+  b.op(OpKind::Mul, {x, y}, "m", 2, 123.0);
+  b.popBranch();
+  const Dfg g = parse(serialize(std::move(b).build()));
+  const Node& m = g.node(g.findByName("m"));
+  EXPECT_EQ(m.cycles, 2);
+  EXPECT_DOUBLE_EQ(m.delayNs, 123.0);
+  EXPECT_EQ(m.branchPath, "c9.z");
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse("dfg s\ninput a\nop add x a missing\n");
+    FAIL() << "expected DfgError";
+  } catch (const DfgError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownKind) {
+  EXPECT_THROW(parse("dfg s\ninput a\nop frobnicate x a\n"), DfgError);
+}
+
+TEST(Parser, RejectsUnknownStatement) {
+  EXPECT_THROW(parse("dfg s\nwibble\n"), DfgError);
+}
+
+TEST(Parser, RejectsMissingHeader) {
+  EXPECT_THROW(parse("input a\n"), DfgError);
+}
+
+TEST(Parser, RejectsBadAttribute) {
+  EXPECT_THROW(parse("dfg s\ninput a\ninput b\nop add x a b zap=1\n"), DfgError);
+  EXPECT_THROW(parse("dfg s\ninput a\ninput b\nop add x a b cycles=0\n"), DfgError);
+}
+
+TEST(Parser, RejectsOutputOfUnknownSignal) {
+  EXPECT_THROW(parse("dfg s\noutput y nothere\n"), DfgError);
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  const Dfg g = parse("\n# hi\ndfg s\n\ninput a # trailing\n");
+  EXPECT_EQ(g.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mframe::dfg

@@ -1,0 +1,126 @@
+#include "sched/priority.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mfs.h"
+#include "dfg/builder.h"
+#include "helpers.h"
+#include "workloads/random_dfg.h"
+
+namespace mframe::sched {
+namespace {
+
+using dfg::NodeId;
+
+std::size_t posOf(const std::vector<NodeId>& v, NodeId x) {
+  return static_cast<std::size_t>(
+      std::find(v.begin(), v.end(), x) - v.begin());
+}
+
+TEST(Priority, AlapStepIsTheOuterKey) {
+  const dfg::Dfg g = test::addChain(3);  // c1 -> c2 -> c3
+  Constraints c;
+  c.timeSteps = 5;
+  const auto tf = *computeTimeFrames(g, c);
+  const auto order = priorityOrder(g, tf);
+  EXPECT_LT(posOf(order, g.findByName("c1")), posOf(order, g.findByName("c2")));
+  EXPECT_LT(posOf(order, g.findByName("c2")), posOf(order, g.findByName("c3")));
+}
+
+TEST(Priority, LowerMobilityWinsWithinAStep) {
+  // Both ops have ALAP = 2; the chained one (mobility 0 at cs=2) must come
+  // before the free one (mobility 1).
+  dfg::Builder b("mob");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto head = b.add(x, y, "head");
+  const auto tail = b.add(head, y, "tail");  // asap 2, alap 2
+  const auto freeOp = b.sub(x, y, "freeOp"); // asap 1, alap 2
+  b.output(tail, "o1");
+  b.output(freeOp, "o2");
+  const dfg::Dfg g = std::move(b).build();
+
+  Constraints c;
+  c.timeSteps = 2;
+  const auto tf = *computeTimeFrames(g, c);
+  ASSERT_EQ(tf.alap(tail), 2);
+  ASSERT_EQ(tf.alap(freeOp), 2);
+  const auto order = priorityOrder(g, tf);
+  EXPECT_LT(posOf(order, tail), posOf(order, freeOp));
+}
+
+TEST(Priority, MulticycleReversalRule) {
+  // Two 2-cycle multiplications with ALAP equal and mobilities differing by
+  // one (< k = 2): the paper reverses the rule — higher mobility first.
+  dfg::Builder b("rev");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto m1 = b.mul(x, y, "m1", 2);      // free: asap 1
+  const auto pre = b.add(x, y, "pre");
+  const auto m2 = b.mul(pre, y, "m2", 2);    // asap 2
+  const auto join = b.add(m1, m2, "join");
+  b.output(join, "o");
+  const dfg::Dfg g = std::move(b).build();
+
+  Constraints c;
+  c.timeSteps = 5;
+  const auto tf = *computeTimeFrames(g, c);
+  ASSERT_EQ(tf.alap(m1), tf.alap(m2));
+  ASSERT_EQ(std::abs(tf.mobility(m1) - tf.mobility(m2)), 1);
+  const bool m1MoreMobile = tf.mobility(m1) > tf.mobility(m2);
+
+  const auto rev = priorityOrder(g, tf, PriorityRule::Mobility);
+  const auto plain = priorityOrder(g, tf, PriorityRule::MobilityNoReverse);
+  // Reversed rule: the more mobile multiplication first...
+  EXPECT_EQ(posOf(rev, m1) < posOf(rev, m2), m1MoreMobile);
+  // ...while the plain rule puts the less mobile one first.
+  EXPECT_EQ(posOf(plain, m1) < posOf(plain, m2), !m1MoreMobile);
+}
+
+TEST(Priority, InsertionOrderAblationIsIdentity) {
+  const dfg::Dfg g = test::smallDiamond();
+  Constraints c;
+  c.timeSteps = 4;
+  const auto tf = *computeTimeFrames(g, c);
+  EXPECT_EQ(priorityOrder(g, tf, PriorityRule::InsertionOrder), g.operations());
+}
+
+TEST(Priority, CoversEveryOperationExactlyOnce) {
+  const dfg::Dfg g = test::smallDiamond();
+  Constraints c;
+  c.timeSteps = 4;
+  const auto tf = *computeTimeFrames(g, c);
+  auto order = priorityOrder(g, tf);
+  std::sort(order.begin(), order.end());
+  auto ops = g.operations();
+  std::sort(ops.begin(), ops.end());
+  EXPECT_EQ(order, ops);
+}
+
+class TopoConsistency : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TopoConsistency, TopoConsistentOrderNeverInvertsDependencies) {
+  workloads::RandomDfgOptions o;
+  o.seed = GetParam();
+  o.numOps = 30;
+  o.twoCyclePercent = 25;
+  const dfg::Dfg g = workloads::randomDfg(o);
+  Constraints c;
+  const auto probe = computeTimeFrames(g, c);
+  ASSERT_TRUE(probe.has_value());
+  c.timeSteps = probe->criticalSteps() + 2;
+  const auto tf = *computeTimeFrames(g, c);
+
+  const auto order = core::topoConsistentOrder(g, priorityOrder(g, tf));
+  ASSERT_EQ(order.size(), g.operations().size());
+  std::map<NodeId, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId id : order)
+    for (NodeId p : g.opPreds(id)) EXPECT_LT(pos[p], pos[id]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopoConsistency,
+                         ::testing::Range<std::uint32_t>(1, 9));
+
+}  // namespace
+}  // namespace mframe::sched

@@ -1,0 +1,103 @@
+#include "alloc/regalloc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace mframe::alloc {
+namespace {
+
+Lifetime lt(dfg::NodeId p, int birth, int death) {
+  Lifetime l;
+  l.producer = p;
+  l.birth = birth;
+  l.death = death;
+  l.needsRegister = death > birth;
+  return l;
+}
+
+/// Maximum number of simultaneously live signals — the lower bound (and,
+/// for interval graphs, the optimum) of the register count.
+std::size_t cliqueBound(const std::vector<Lifetime>& v) {
+  std::size_t best = 0;
+  for (const Lifetime& probe : v) {
+    if (!probe.needsRegister) continue;
+    std::size_t live = 0;
+    for (const Lifetime& o : v)
+      if (o.needsRegister && o.birth <= probe.birth && probe.birth < o.death)
+        ++live;
+    best = std::max(best, live);
+  }
+  return best;
+}
+
+TEST(RegAlloc, DisjointLifetimesShareOneRegister) {
+  const std::vector<Lifetime> v{lt(0, 0, 2), lt(1, 2, 4), lt(2, 4, 6)};
+  const auto ra = allocateRegisters(v);
+  EXPECT_EQ(ra.count(), 1u);
+  EXPECT_EQ(ra.registers[0].size(), 3u);
+}
+
+TEST(RegAlloc, OverlappingLifetimesSplit) {
+  const std::vector<Lifetime> v{lt(0, 0, 3), lt(1, 1, 4), lt(2, 2, 5)};
+  EXPECT_EQ(allocateRegisters(v).count(), 3u);
+}
+
+TEST(RegAlloc, MixedCaseIsOptimal) {
+  // Two overlapping pairs, but pairs are disjoint from each other: 2 regs.
+  const std::vector<Lifetime> v{lt(0, 0, 2), lt(1, 1, 3), lt(2, 3, 5),
+                                lt(3, 4, 6)};
+  EXPECT_EQ(allocateRegisters(v).count(), 2u);
+}
+
+TEST(RegAlloc, SignalsWithoutRegisterNeedAreIgnored) {
+  std::vector<Lifetime> v{lt(0, 1, 1), lt(1, 2, 2)};
+  for (auto& l : v) l.needsRegister = false;
+  EXPECT_EQ(allocateRegisters(v).count(), 0u);
+}
+
+TEST(RegAlloc, RegisterOfFindsAssignment) {
+  const std::vector<Lifetime> v{lt(0, 0, 2), lt(1, 1, 3)};
+  const auto ra = allocateRegisters(v);
+  EXPECT_NE(ra.registerOf(0), -1);
+  EXPECT_NE(ra.registerOf(1), -1);
+  EXPECT_NE(ra.registerOf(0), ra.registerOf(1));
+  EXPECT_EQ(ra.registerOf(99), -1);
+}
+
+TEST(RegAlloc, NoRegisterHoldsOverlappingSignals) {
+  const std::vector<Lifetime> v{lt(0, 0, 5), lt(1, 1, 2), lt(2, 2, 3),
+                                lt(3, 3, 7), lt(4, 0, 1)};
+  const auto ra = allocateRegisters(v);
+  for (const auto& reg : ra.registers)
+    for (std::size_t i = 0; i < reg.size(); ++i)
+      for (std::size_t j = i + 1; j < reg.size(); ++j)
+        EXPECT_FALSE(v[reg[i]].overlaps(v[reg[j]]));
+}
+
+class RegAllocOptimality : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RegAllocOptimality, ActivitySelectionMatchesTheCliqueBound) {
+  // For interval conflicts the greedy is optimal: register count equals the
+  // maximum overlap depth. The paper relies on this (REAL/left-edge).
+  std::mt19937 rng(GetParam());
+  std::vector<Lifetime> v;
+  for (dfg::NodeId i = 0; i < 40; ++i) {
+    const int birth = std::uniform_int_distribution<int>(0, 20)(rng);
+    const int death = birth + std::uniform_int_distribution<int>(1, 6)(rng);
+    v.push_back(lt(i, birth, death));
+  }
+  const auto ra = allocateRegisters(v);
+  EXPECT_EQ(ra.count(), cliqueBound(v));
+  // Every register-needing lifetime is assigned exactly once.
+  std::size_t assigned = 0;
+  for (const auto& reg : ra.registers) assigned += reg.size();
+  EXPECT_EQ(assigned, v.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegAllocOptimality,
+                         ::testing::Range<std::uint32_t>(1, 17));
+
+}  // namespace
+}  // namespace mframe::alloc

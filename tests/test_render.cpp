@@ -1,0 +1,72 @@
+// Direct tests for the two renderers that back the figure reproductions:
+// util::GridRender (Figures 1-2) and dfg::toDot.
+#include <gtest/gtest.h>
+
+#include "dfg/dot.h"
+#include "helpers.h"
+#include "util/grid_render.h"
+
+namespace mframe {
+namespace {
+
+TEST(GridRender, LabelsAndMarksAppear) {
+  util::GridRender g(3, 2);
+  g.setTitle("demo");
+  g.setLabel(2, 1, "Oip");
+  g.addMark(2, 1, 'P');
+  g.addMark(2, 1, 'M');
+  g.addMark(2, 1, 'P');  // duplicates collapse
+  const std::string out = g.render();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("Oip[PM]"), std::string::npos);
+}
+
+TEST(GridRender, AxesAndLegendPrinted) {
+  util::GridRender g(2, 2);
+  g.setAxisNames("FU", "step");
+  g.addLegend("legend line");
+  const std::string out = g.render();
+  EXPECT_NE(out.find("step (rows) vs FU (cols)"), std::string::npos);
+  EXPECT_NE(out.find("legend line"), std::string::npos);
+}
+
+TEST(GridRender, EveryRowRendered) {
+  util::GridRender g(4, 3);
+  const std::string out = g.render();
+  for (const char* row : {"   1 |", "   2 |", "   3 |", "   4 |"})
+    EXPECT_NE(out.find(row), std::string::npos) << row;
+}
+
+TEST(DfgDot, NodesEdgesAndShapes) {
+  const dfg::Dfg g = test::smallDiamond();
+  const std::string dot = dfg::toDot(g);
+  EXPECT_NE(dot.find("digraph \"diamond\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=invtriangle"), std::string::npos);  // inputs
+  // One edge per operand of every node.
+  std::size_t edges = 0;
+  for (std::size_t p = dot.find(" -> "); p != std::string::npos;
+       p = dot.find(" -> ", p + 1))
+    ++edges;
+  std::size_t expected = 0;
+  for (const dfg::Node& n : g.nodes()) expected += n.inputs.size();
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(DfgDot, ScheduleAnnotationAddsRanks) {
+  const dfg::Dfg g = test::smallDiamond();
+  std::map<dfg::NodeId, int> steps{{g.findByName("s"), 1},
+                                   {g.findByName("t"), 1},
+                                   {g.findByName("y"), 2}};
+  const std::string dot = dfg::toDot(g, steps);
+  EXPECT_NE(dot.find("@1"), std::string::npos);
+  EXPECT_NE(dot.find("@2"), std::string::npos);
+  // Two distinct steps -> two rank groups.
+  std::size_t ranks = 0;
+  for (std::size_t p = dot.find("rank=same"); p != std::string::npos;
+       p = dot.find("rank=same", p + 1))
+    ++ranks;
+  EXPECT_EQ(ranks, 2u);
+}
+
+}  // namespace
+}  // namespace mframe

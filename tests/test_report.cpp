@@ -1,0 +1,80 @@
+#include "sched/report.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/regalloc.h"
+#include "core/mfs.h"
+#include "helpers.h"
+#include "workloads/benchmarks.h"
+
+namespace mframe::sched {
+namespace {
+
+core::MfsResult timeRun(const dfg::Dfg& g, int cs) {
+  core::MfsOptions o;
+  o.constraints.timeSteps = cs;
+  return core::runMfs(g, o);
+}
+
+TEST(Report, UtilizationCountsBusySlots) {
+  // 4 independent adds in 2 steps on 2 adders: 100% utilization.
+  const auto r = timeRun(test::addParallel(4), 2);
+  ASSERT_TRUE(r.feasible);
+  const auto rep = analyzeSchedule(r.schedule);
+  ASSERT_EQ(rep.utilization.size(), 1u);
+  EXPECT_EQ(rep.utilization[0].instances, 2);
+  EXPECT_EQ(rep.utilization[0].busySlots, 4);
+  EXPECT_DOUBLE_EQ(rep.utilization[0].utilization, 1.0);
+}
+
+TEST(Report, MulticycleOpsOccupyAllTheirSlots) {
+  const auto r = timeRun(workloads::arLattice(), 13);
+  ASSERT_TRUE(r.feasible);
+  const auto rep = analyzeSchedule(r.schedule);
+  for (const auto& u : rep.utilization) {
+    if (u.type != dfg::FuType::Multiplier) continue;
+    EXPECT_EQ(u.busySlots, 32);  // 16 two-cycle multiplications
+  }
+}
+
+TEST(Report, PeakLiveMatchesRegisterAllocation) {
+  // The register-pressure peak must equal the optimal left-edge count.
+  const auto r = timeRun(workloads::diffeq(), 4);
+  ASSERT_TRUE(r.feasible);
+  const auto rep = analyzeSchedule(r.schedule);
+  const auto lts =
+      mframe::alloc::computeLifetimes(r.schedule.graph(), r.schedule);
+  const auto regs = mframe::alloc::allocateRegisters(lts);
+  EXPECT_EQ(static_cast<std::size_t>(rep.peakLive), regs.count());
+}
+
+TEST(Report, GanttMentionsEveryInstance) {
+  const auto r = timeRun(workloads::diffeq(), 4);
+  ASSERT_TRUE(r.feasible);
+  const auto rep = analyzeSchedule(r.schedule);
+  EXPECT_NE(rep.gantt.find("multiplier#1"), std::string::npos);
+  EXPECT_NE(rep.gantt.find("multiplier#2"), std::string::npos);
+  EXPECT_NE(rep.gantt.find("adder#1"), std::string::npos);
+}
+
+TEST(Report, ToStringIsSelfContained) {
+  const auto r = timeRun(test::smallDiamond(), 3);
+  ASSERT_TRUE(r.feasible);
+  const std::string s = analyzeSchedule(r.schedule).toString();
+  EXPECT_NE(s.find("Gantt"), std::string::npos);
+  EXPECT_NE(s.find("utilization"), std::string::npos);
+  EXPECT_NE(s.find("register pressure"), std::string::npos);
+}
+
+TEST(Report, BalancedSchedulesBeatAsapOnPeakPressure) {
+  // A balanced MFS schedule spreads work, so its peak register pressure is
+  // no worse than the total-value count.
+  const auto r = timeRun(workloads::fir8(), 9);
+  ASSERT_TRUE(r.feasible);
+  const auto rep = analyzeSchedule(r.schedule);
+  EXPECT_GT(rep.peakLive, 0);
+  EXPECT_LE(rep.peakLive, 16);
+}
+
+}  // namespace
+}  // namespace mframe::sched

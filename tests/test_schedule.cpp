@@ -1,0 +1,98 @@
+#include "sched/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "dfg/builder.h"
+#include "helpers.h"
+
+namespace mframe::sched {
+namespace {
+
+using dfg::NodeId;
+
+TEST(Schedule, PlaceAndQuery) {
+  const dfg::Dfg g = test::smallDiamond();
+  Schedule s(g);
+  s.setNumSteps(3);
+  const NodeId sum = g.findByName("s");
+  EXPECT_FALSE(s.isPlaced(sum));
+  s.place(sum, 1, 2);
+  EXPECT_TRUE(s.isPlaced(sum));
+  EXPECT_EQ(s.stepOf(sum), 1);
+  EXPECT_EQ(s.columnOf(sum), 2);
+  EXPECT_EQ(s.placedCount(), 1u);
+}
+
+TEST(Schedule, UnplaceReverts) {
+  const dfg::Dfg g = test::smallDiamond();
+  Schedule s(g);
+  const NodeId sum = g.findByName("s");
+  s.place(sum, 1, 1);
+  s.unplace(sum);
+  EXPECT_FALSE(s.isPlaced(sum));
+  EXPECT_EQ(s.placedCount(), 0u);
+}
+
+TEST(Schedule, FuCountIsMaxColumnPerType) {
+  const dfg::Dfg g = test::addParallel(4);
+  Schedule s(g);
+  s.setNumSteps(2);
+  const auto ops = g.operations();
+  s.place(ops[0], 1, 1);
+  s.place(ops[1], 1, 2);
+  s.place(ops[2], 2, 1);
+  s.place(ops[3], 2, 2);
+  const auto fu = s.fuCount();
+  EXPECT_EQ(fu.at(dfg::FuType::Adder), 2);
+}
+
+TEST(Schedule, PeakConcurrencyCountsMulticycleOccupancy) {
+  dfg::Builder b("mc");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  b.mul(x, y, "m1", 2);
+  b.mul(x, y, "m2", 2);
+  const dfg::Dfg g = std::move(b).build();
+  Schedule s(g);
+  s.setNumSteps(3);
+  // m1 occupies steps 1-2, m2 steps 2-3: overlap of 2 in step 2.
+  s.place(g.findByName("m1"), 1, 1);
+  s.place(g.findByName("m2"), 2, 2);
+  EXPECT_EQ(s.peakConcurrency().at(dfg::FuType::Multiplier), 2);
+}
+
+TEST(Schedule, OpsInStepSpansMulticycle) {
+  dfg::Builder b("mc2");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  b.mul(x, y, "m", 3);
+  const dfg::Dfg g = std::move(b).build();
+  Schedule s(g);
+  s.setNumSteps(4);
+  s.place(g.findByName("m"), 2, 1);
+  EXPECT_TRUE(s.opsInStep(1).empty());
+  EXPECT_EQ(s.opsInStep(2).size(), 1u);
+  EXPECT_EQ(s.opsInStep(4).size(), 1u);
+}
+
+TEST(Schedule, StepMapCoversPlacedOpsOnly) {
+  const dfg::Dfg g = test::smallDiamond();
+  Schedule s(g);
+  s.place(g.findByName("s"), 1, 1);
+  const auto m = s.stepMap();
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(g.findByName("s")), 1);
+}
+
+TEST(Schedule, ToStringMentionsOpsAndSteps) {
+  const dfg::Dfg g = test::smallDiamond();
+  Schedule s(g);
+  s.setNumSteps(2);
+  s.place(g.findByName("s"), 1, 1);
+  const std::string out = s.toString();
+  EXPECT_NE(out.find("step  1"), std::string::npos);
+  EXPECT_NE(out.find("s(+)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mframe::sched

@@ -1,0 +1,57 @@
+#include "dfg/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "workloads/benchmarks.h"
+
+namespace mframe::dfg {
+namespace {
+
+TEST(Stats, CountsDiamond) {
+  const auto st = computeStats(test::smallDiamond());
+  EXPECT_EQ(st.nodes, 9u);
+  EXPECT_EQ(st.operations, 4u);
+  EXPECT_EQ(st.inputs, 5u);
+  EXPECT_EQ(st.constants, 0u);
+  EXPECT_EQ(st.outputs, 2u);
+  EXPECT_EQ(st.criticalPath, 3);
+  EXPECT_EQ(st.opMix.at(OpKind::Mul), 1);
+}
+
+TEST(Stats, MulticycleLengthensCriticalPath) {
+  const auto st = computeStats(workloads::arLattice());
+  EXPECT_EQ(st.criticalPath, 13);
+  EXPECT_EQ(st.multicycleOps, 16u);
+}
+
+TEST(Stats, ConditionalOpsCounted) {
+  const auto st = computeStats(test::branchy());
+  EXPECT_EQ(st.conditionalOps, 2u);
+}
+
+TEST(Stats, FanoutTracksConsumers) {
+  // In the diamond, inputs a..d feed one op each; `y` feeds one; the widest
+  // is... every node has fanout 1 except outputs with none.
+  const auto st = computeStats(test::smallDiamond());
+  EXPECT_EQ(st.maxFanout, 1);
+  // EWF's spine taps fan out to several consumers.
+  const auto ewf = computeStats(workloads::ewfLike());
+  EXPECT_GT(ewf.maxFanout, 2);
+}
+
+TEST(Stats, ParallelismRatio) {
+  const auto st = computeStats(workloads::fir8());
+  // 15 ops over a 4-step critical path.
+  EXPECT_NEAR(st.parallelism, 15.0 / 4.0, 1e-9);
+}
+
+TEST(Stats, ToStringContainsHeadlines) {
+  const std::string s = computeStats(workloads::diffeq()).toString();
+  EXPECT_NE(s.find("11 ops"), std::string::npos);
+  EXPECT_NE(s.find("critical path 4"), std::string::npos);
+  EXPECT_NE(s.find("6*"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mframe::dfg

@@ -1,0 +1,72 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace mframe::util {
+namespace {
+
+TEST(Strings, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  const auto p = split("a,,b", ',');
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], "a");
+  EXPECT_EQ(p[1], "");
+  EXPECT_EQ(p[2], "b");
+}
+
+TEST(Strings, SplitTrimsPieces) {
+  const auto p = split(" a . b ", '.');
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], "a");
+  EXPECT_EQ(p[1], "b");
+}
+
+TEST(Strings, SplitWsDropsEmpties) {
+  const auto p = splitWs("  one\ttwo   three ");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[2], "three");
+}
+
+TEST(Strings, SplitWsEmptyInput) { EXPECT_TRUE(splitWs("   ").empty()); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("abcdef", "abc"));
+  EXPECT_FALSE(startsWith("ab", "abc"));
+  EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> v{"p", "q", "r"};
+  EXPECT_EQ(join(v, "."), "p.q.r");
+  EXPECT_EQ(split(join(v, "."), '.'), v);
+}
+
+TEST(Strings, JoinEmpty) { EXPECT_EQ(join({}, ","), ""); }
+
+TEST(Strings, FormatBehavesLikePrintf) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 1.5), "1.50");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(Strings, ParseLong) {
+  EXPECT_EQ(parseLong("123"), 123);
+  EXPECT_EQ(parseLong("0"), 0);
+  EXPECT_EQ(parseLong(""), -1);
+  EXPECT_EQ(parseLong("12x"), -1);
+  EXPECT_EQ(parseLong("-3"), -1);
+}
+
+}  // namespace
+}  // namespace mframe::util

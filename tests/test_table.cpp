@@ -1,0 +1,55 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mframe::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("title");
+  t.setHeader({"col1", "c2"});
+  t.addRow({"a", "bbbb"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("| col1 |"), std::string::npos);
+  EXPECT_NE(out.find("| bbbb |"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t;
+  t.setHeader({"h"});
+  t.addRow({"wide-cell"});
+  const std::string out = t.render();
+  // Header cell padded to the data width.
+  EXPECT_NE(out.find("| h         |"), std::string::npos);
+}
+
+TEST(Table, RaggedRowsPadWithEmptyCells) {
+  Table t;
+  t.addRow({"a", "b", "c"});
+  t.addRow({"only"});
+  EXPECT_NO_FATAL_FAILURE(t.render());
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, SeparatorInsertedBetweenRows) {
+  Table t;
+  t.addRow({"r1"});
+  t.addSeparator();
+  t.addRow({"r2"});
+  const std::string out = t.render();
+  // rule, r1, rule (separator), r2, rule -> at least 3 rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find('+'); pos != std::string::npos;
+       pos = out.find("\n+", pos + 1))
+    ++rules;
+  EXPECT_GE(rules, 3u);
+}
+
+TEST(Table, EmptyTableRendersNothingButTitle) {
+  Table t("only-title");
+  EXPECT_EQ(t.render(), "only-title\n");
+}
+
+}  // namespace
+}  // namespace mframe::util

@@ -1,0 +1,131 @@
+// Reproduction-property tests over the programmatic Table-1/Table-2 runs:
+// these encode the *shape* claims EXPERIMENTS.md makes, so a regression in
+// any engine breaks a test rather than silently bending a bench table.
+#include "workloads/table_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "celllib/ncr_like.h"
+
+namespace mframe::workloads {
+namespace {
+
+using dfg::FuType;
+
+const std::vector<Table1Row>& table1() {
+  static const auto rows = runTable1(paperSuite());
+  return rows;
+}
+
+const std::vector<Table2Row>& table2() {
+  static const celllib::CellLibrary lib = celllib::ncrLike();
+  static const auto rows = runTable2(paperSuite(), lib);
+  return rows;
+}
+
+int fuOf(const Table1Row& r, FuType t) {
+  auto it = r.fuCount.find(t);
+  return it == r.fuCount.end() ? 0 : it->second;
+}
+
+TEST(Table1, EveryRowFeasibleAndVerified) {
+  for (const auto& r : table1()) {
+    EXPECT_TRUE(r.feasible) << r.exampleId << " " << r.variant << " T=" << r.timeSteps;
+    EXPECT_TRUE(r.verified) << r.exampleId << " " << r.variant << " T=" << r.timeSteps;
+  }
+}
+
+TEST(Table1, FuCountsMonotoneInTimeWithinVariant) {
+  // Within one example+variant, more control steps never demand more total
+  // FUs.
+  std::map<std::pair<std::string, std::string>, std::vector<const Table1Row*>> groups;
+  for (const auto& r : table1()) groups[{r.exampleId, r.variant}].push_back(&r);
+  for (const auto& [key, rows] : groups) {
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      int prev = 0, cur = 0;
+      for (const auto& [t, n] : rows[i - 1]->fuCount) prev += n;
+      for (const auto& [t, n] : rows[i]->fuCount) cur += n;
+      EXPECT_LE(cur, prev) << key.first << " " << key.second;
+    }
+  }
+}
+
+TEST(Table1, ClassicDataPoints) {
+  for (const auto& r : table1()) {
+    if (r.exampleId == "ex3" && r.variant == "plain" && r.timeSteps == 4) {
+      EXPECT_EQ(fuOf(r, FuType::Multiplier), 2);  // the HAL result
+    }
+    if (r.exampleId == "ex6" && r.variant == "plain") {
+      EXPECT_LE(fuOf(r, FuType::Multiplier), 3);  // the EWF band
+    }
+    if (r.exampleId == "ex6" && r.variant == "S") {
+      EXPECT_EQ(fuOf(r, FuType::Multiplier), 1);  // pipelined multiplier
+    }
+  }
+}
+
+TEST(Table1, StructuralVariantNeverWorseOnMultipliers) {
+  std::map<std::pair<std::string, int>, int> plainMuls;
+  for (const auto& r : table1())
+    if (r.variant == "plain") plainMuls[{r.exampleId, r.timeSteps}] = fuOf(r, FuType::Multiplier);
+  for (const auto& r : table1()) {
+    if (r.variant != "S") continue;
+    auto it = plainMuls.find({r.exampleId, r.timeSteps});
+    if (it == plainMuls.end()) continue;
+    EXPECT_LE(fuOf(r, FuType::Multiplier), it->second)
+        << r.exampleId << " T=" << r.timeSteps;
+  }
+}
+
+TEST(Table1, RuntimeStaysInThePaperBudget) {
+  // The paper: < 200 ms per example on a 1992 SPARC. Give ourselves the
+  // same budget per *row* on modern hardware — failing this means an
+  // accidental complexity explosion.
+  for (const auto& r : table1())
+    EXPECT_LT(r.milliseconds, 200.0) << r.exampleId << " " << r.variant;
+}
+
+TEST(Table2, EveryRowFeasibleVerifiedAndCosted) {
+  for (const auto& r : table2()) {
+    EXPECT_TRUE(r.feasible) << r.exampleId << " style " << r.style;
+    EXPECT_TRUE(r.verified) << r.exampleId << " style " << r.style;
+    EXPECT_GT(r.cost.total, 0.0);
+    EXPECT_FALSE(r.aluSummary.empty());
+  }
+}
+
+TEST(Table2, StyleTwoWithinSaneBandOfStyleOne) {
+  auto rows = table2();
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    ASSERT_EQ(rows[i].style, 1);
+    ASSERT_EQ(rows[i + 1].style, 2);
+    // Style 2 never dramatically cheaper, never more than ~35% dearer.
+    EXPECT_GE(rows[i + 1].cost.total, 0.95 * rows[i].cost.total)
+        << rows[i].exampleId;
+    EXPECT_LE(rows[i + 1].cost.total, 1.35 * rows[i].cost.total)
+        << rows[i].exampleId;
+  }
+}
+
+TEST(Table2, Ex1CountsMatchThePaperExactly) {
+  for (const auto& r : table2()) {
+    if (r.exampleId != "ex1" || r.style != 1) continue;
+    EXPECT_EQ(r.cost.regCount, 8);
+    EXPECT_EQ(r.cost.muxCount, 4);
+    EXPECT_EQ(r.cost.muxInputCount, 9);
+  }
+}
+
+TEST(Table2, MultifunctionAlusAppear) {
+  bool any = false;
+  for (const auto& r : table2())
+    if (r.aluSummary.find("(+-") != std::string::npos ||
+        r.aluSummary.find("(+*") != std::string::npos ||
+        r.aluSummary.find("(-*") != std::string::npos ||
+        r.aluSummary.find("(+<") != std::string::npos)
+      any = true;
+  EXPECT_TRUE(any);
+}
+
+}  // namespace
+}  // namespace mframe::workloads

@@ -1,0 +1,69 @@
+#include "rtl/testability.h"
+
+#include <gtest/gtest.h>
+
+#include "celllib/ncr_like.h"
+#include "core/mfsa.h"
+#include "helpers.h"
+#include "workloads/benchmarks.h"
+
+namespace mframe::rtl {
+namespace {
+
+core::MfsaResult synth(const dfg::Dfg& g, int cs, DesignStyle style,
+                       sched::Constraints base = {}) {
+  static const celllib::CellLibrary lib = celllib::ncrLike();
+  core::MfsaOptions o;
+  o.constraints = base;
+  o.constraints.timeSteps = cs;
+  o.style = style;
+  return core::runMfsa(g, lib, o);
+}
+
+TEST(Testability, Style2IsAlwaysSelfTestable) {
+  for (const auto& bc : workloads::paperSuite()) {
+    const auto r = synth(bc.graph, bc.timeSweep.front(), DesignStyle::NoSelfLoop,
+                         bc.constraints);
+    ASSERT_TRUE(r.feasible) << bc.id << ": " << r.error;
+    const auto rep = analyzeTestability(r.datapath);
+    EXPECT_TRUE(rep.selfTestable()) << bc.id << ": " << rep.toString();
+    EXPECT_EQ(rep.selfLoopPairs, 0) << bc.id;
+  }
+}
+
+TEST(Testability, Style1UsuallyHasSelfLoops) {
+  // Unrestricted binding merges chains into one ALU somewhere in the suite.
+  int loops = 0;
+  for (const auto& bc : workloads::paperSuite()) {
+    const auto r = synth(bc.graph, bc.timeSweep.front(), DesignStyle::Unrestricted,
+                         bc.constraints);
+    ASSERT_TRUE(r.feasible);
+    loops += analyzeTestability(r.datapath).selfLoopPairs;
+  }
+  EXPECT_GT(loops, 0);
+}
+
+TEST(Testability, CrossAluEdgesCounted) {
+  const auto r = synth(workloads::diffeq(), 4, DesignStyle::NoSelfLoop);
+  ASSERT_TRUE(r.feasible);
+  const auto rep = analyzeTestability(r.datapath);
+  EXPECT_GT(rep.crossAluEdges, 0);  // dataflow must cross units in style 2
+}
+
+TEST(Testability, ReportStringStatesTheVerdict) {
+  const auto r2 = synth(workloads::tseng(), 4, DesignStyle::NoSelfLoop);
+  ASSERT_TRUE(r2.feasible);
+  EXPECT_NE(analyzeTestability(r2.datapath).toString().find("self-testable"),
+            std::string::npos);
+}
+
+TEST(Testability, SelfLoopRegistersSubsetOfPairs) {
+  const auto r = synth(workloads::ewfLike(), 17, DesignStyle::Unrestricted);
+  ASSERT_TRUE(r.feasible);
+  const auto rep = analyzeTestability(r.datapath);
+  EXPECT_LE(rep.selfLoopRegisters, rep.selfLoopPairs);
+  EXPECT_LE(rep.selfLoopAlus, static_cast<int>(r.datapath.alus.size()));
+}
+
+}  // namespace
+}  // namespace mframe::rtl

@@ -1,0 +1,149 @@
+#include "sched/timeframes.h"
+
+#include <gtest/gtest.h>
+
+#include "dfg/builder.h"
+#include "helpers.h"
+#include "workloads/random_dfg.h"
+
+namespace mframe::sched {
+namespace {
+
+using dfg::NodeId;
+
+TEST(TimeFrames, ChainAsapAlapAndMobility) {
+  const dfg::Dfg g = test::addChain(3);
+  Constraints c;
+  c.timeSteps = 5;
+  const auto tf = computeTimeFrames(g, c);
+  ASSERT_TRUE(tf.has_value());
+  EXPECT_EQ(tf->criticalSteps(), 3);
+
+  const NodeId c1 = g.findByName("c1");
+  const NodeId c3 = g.findByName("c3");
+  EXPECT_EQ(tf->asap(c1), 1);
+  EXPECT_EQ(tf->alap(c1), 3);  // 2 ops must still follow
+  EXPECT_EQ(tf->asap(c3), 3);
+  EXPECT_EQ(tf->alap(c3), 5);
+  EXPECT_EQ(tf->mobility(c1), 2);
+}
+
+TEST(TimeFrames, ZeroMobilityOnCriticalPathAtTightConstraint) {
+  const dfg::Dfg g = test::addChain(4);
+  Constraints c;
+  c.timeSteps = 4;
+  const auto tf = computeTimeFrames(g, c);
+  ASSERT_TRUE(tf.has_value());
+  for (NodeId id : g.operations()) EXPECT_EQ(tf->mobility(id), 0);
+}
+
+TEST(TimeFrames, InfeasibleConstraintReported) {
+  const dfg::Dfg g = test::addChain(5);
+  Constraints c;
+  c.timeSteps = 3;
+  std::string err;
+  EXPECT_FALSE(computeTimeFrames(g, c, &err).has_value());
+  EXPECT_NE(err.find("critical path"), std::string::npos);
+}
+
+TEST(TimeFrames, MulticycleStretchesThePath) {
+  dfg::Builder b("mc");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto m = b.mul(x, y, "m", 2);  // 2 cycles
+  const auto a = b.add(m, x, "a");
+  b.output(a, "o");
+  const dfg::Dfg g = std::move(b).build();
+
+  Constraints c;
+  c.timeSteps = 5;
+  const auto tf = computeTimeFrames(g, c);
+  ASSERT_TRUE(tf.has_value());
+  EXPECT_EQ(tf->criticalSteps(), 3);  // mul occupies 1-2, add at 3
+  EXPECT_EQ(tf->asap(g.findByName("a")), 3);
+  // ALAP start of the mul leaves room for its 2 cycles plus the add.
+  EXPECT_EQ(tf->alap(g.findByName("m")), 3);  // occupies 3-4, add at 5
+}
+
+TEST(TimeFrames, ChainingCompressesCriticalPath) {
+  const dfg::Dfg g = test::addChain(4);  // 4 dependent 40ns adds
+  Constraints chained;
+  chained.timeSteps = 2;
+  chained.allowChaining = true;
+  chained.clockNs = 100.0;  // two adds per step
+  const auto tf = computeTimeFrames(g, chained);
+  ASSERT_TRUE(tf.has_value());
+  EXPECT_EQ(tf->criticalSteps(), 2);
+
+  Constraints plain;
+  plain.timeSteps = 2;
+  EXPECT_FALSE(computeTimeFrames(g, plain).has_value());
+}
+
+TEST(TimeFrames, ChainingRespectsClockBudget) {
+  const dfg::Dfg g = test::addChain(4);
+  Constraints c;
+  c.allowChaining = true;
+  c.clockNs = 90.0;  // 2*40 fits, but barely — still two per step
+  const auto tf2 = computeTimeFrames(g, c);
+  ASSERT_TRUE(tf2.has_value());
+  EXPECT_EQ(tf2->criticalSteps(), 2);
+
+  c.clockNs = 79.0;  // only one 40ns add per step
+  const auto tf1 = computeTimeFrames(g, c);
+  ASSERT_TRUE(tf1.has_value());
+  EXPECT_EQ(tf1->criticalSteps(), 4);
+}
+
+TEST(TimeFrames, UpperBoundFromAsapAlapPeaks) {
+  const dfg::Dfg g = test::addParallel(6);
+  Constraints c;
+  c.timeSteps = 2;
+  const auto tf = computeTimeFrames(g, c);
+  ASSERT_TRUE(tf.has_value());
+  // All 6 adds sit in step 1 under ASAP (and step 2 under ALAP).
+  EXPECT_EQ(tf->upperBound(dfg::FuType::Adder), 6);
+}
+
+TEST(TimeFrames, UnconstrainedUsesCriticalPath) {
+  const dfg::Dfg g = test::addChain(3);
+  Constraints c;  // timeSteps = 0
+  const auto tf = computeTimeFrames(g, c);
+  ASSERT_TRUE(tf.has_value());
+  for (NodeId id : g.operations()) EXPECT_EQ(tf->mobility(id), 0);
+}
+
+class TimeFrameInvariants : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TimeFrameInvariants, AlapNeverBeforeAsapAndWithinBounds) {
+  workloads::RandomDfgOptions o;
+  o.seed = GetParam();
+  o.numOps = 24;
+  o.twoCyclePercent = 30;
+  o.mulPercent = 30;
+  const dfg::Dfg g = workloads::randomDfg(o);
+
+  Constraints c;
+  c.timeSteps = 0;
+  const auto probe = computeTimeFrames(g, c);
+  ASSERT_TRUE(probe.has_value());
+  c.timeSteps = probe->criticalSteps() + 3;
+  const auto tf = computeTimeFrames(g, c);
+  ASSERT_TRUE(tf.has_value());
+  for (dfg::NodeId id : g.operations()) {
+    EXPECT_LE(tf->asap(id), tf->alap(id));
+    EXPECT_GE(tf->asap(id), 1);
+    EXPECT_LE(tf->alap(id) + g.node(id).cycles - 1, c.timeSteps);
+    // Precedence on the extreme schedules.
+    for (dfg::NodeId p : g.opPreds(id)) {
+      EXPECT_GE(tf->asap(id), tf->asap(p) + g.node(p).cycles);
+      EXPECT_GE(tf->alap(id), tf->alap(p) + g.node(p).cycles);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeFrameInvariants,
+                         ::testing::Range<std::uint32_t>(1, 13));
+
+}  // namespace
+}  // namespace mframe::sched

@@ -1,0 +1,80 @@
+#include "rtl/verilog.h"
+
+#include <gtest/gtest.h>
+
+#include "celllib/ncr_like.h"
+#include "core/mfsa.h"
+#include "helpers.h"
+#include "workloads/benchmarks.h"
+
+namespace mframe::rtl {
+namespace {
+
+std::string synthVerilog(const dfg::Dfg& g, int cs) {
+  static const celllib::CellLibrary lib = celllib::ncrLike();
+  core::MfsaOptions o;
+  o.constraints.timeSteps = cs;
+  const auto r = core::runMfsa(g, lib, o);
+  EXPECT_TRUE(r.feasible) << r.error;
+  const ControllerFsm fsm = buildController(r.datapath);
+  return toVerilog(r.datapath, fsm);
+}
+
+TEST(Verilog, ModuleSkeleton) {
+  const std::string v = synthVerilog(test::smallDiamond(), 3);
+  EXPECT_NE(v.find("module diamond("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input clk, rst;"), std::string::npos);
+}
+
+TEST(Verilog, PortsForInputsAndOutputs) {
+  const std::string v = synthVerilog(test::smallDiamond(), 3);
+  EXPECT_NE(v.find("in_a"), std::string::npos);
+  EXPECT_NE(v.find("out_y"), std::string::npos);
+  EXPECT_NE(v.find("out_f"), std::string::npos);
+}
+
+TEST(Verilog, StateMachineCasesForEveryActiveStep) {
+  const std::string v = synthVerilog(test::smallDiamond(), 3);
+  EXPECT_NE(v.find("8'd1: begin"), std::string::npos);
+  EXPECT_NE(v.find("8'd2: begin"), std::string::npos);
+  EXPECT_NE(v.find("8'd3: begin"), std::string::npos);
+}
+
+TEST(Verilog, RegistersDeclared) {
+  const std::string v = synthVerilog(test::smallDiamond(), 3);
+  EXPECT_NE(v.find("reg [15:0] R0;"), std::string::npos);
+}
+
+TEST(Verilog, OperationsAppearWithComments) {
+  const std::string v = synthVerilog(test::smallDiamond(), 3);
+  EXPECT_NE(v.find("// y"), std::string::npos);  // the mul op annotated
+}
+
+TEST(Verilog, WidthParameterRespected) {
+  static const celllib::CellLibrary lib = celllib::ncrLike();
+  core::MfsaOptions o;
+  o.constraints.timeSteps = 3;
+  const auto r = core::runMfsa(test::smallDiamond(), lib, o);
+  ASSERT_TRUE(r.feasible);
+  const std::string v = toVerilog(r.datapath, buildController(r.datapath), 32);
+  EXPECT_NE(v.find("[31:0]"), std::string::npos);
+  EXPECT_EQ(v.find("[15:0]"), std::string::npos);
+}
+
+TEST(Verilog, BalancedBeginEnd) {
+  const std::string v = synthVerilog(workloads::diffeq(), 4);
+  std::size_t begins = 0, ends = 0;
+  for (std::size_t p = v.find("begin"); p != std::string::npos;
+       p = v.find("begin", p + 1))
+    ++begins;
+  for (std::size_t p = v.find("end"); p != std::string::npos;
+       p = v.find("end", p + 1))
+    ++ends;
+  // "end", "endcase", "endmodule" all contain "end"; every begin has an end
+  // and there are exactly 2 endcase + 1 endmodule extras.
+  EXPECT_EQ(ends, begins + 3);
+}
+
+}  // namespace
+}  // namespace mframe::rtl

@@ -1,0 +1,332 @@
+// mframe — command-line driver for the libmframe synthesis flow.
+//
+//   mframe schedule <file> --steps N [options]      MFS scheduling
+//   mframe synth    <file> --steps N [options]      MFSA scheduling-allocation
+//
+// <file> is either the behavioral language (.mfb, 'design ...') or the
+// textual DFG format (.dfg, 'dfg ...'); the format is sniffed from the first
+// keyword. Common options:
+//   --steps N            time constraint (control steps)
+//   --resource T=K,...   per-FU-type limits (add, sub, mul, div, cmp, ...)
+//   --mode time|resource MFS objective (default time)
+//   --chaining [--clock NS]
+//   --latency L          functional pipelining (folded)
+//   --pipelined-mults    structurally pipelined multipliers
+//   --priority mobility|noreverse|insertion
+// synth-only:
+//   --style 1|2          RTL design style (2 = no self-loop, self-testable)
+//   --weights T,A,M,R    Liapunov weights
+//   --verilog            print structural Verilog
+//   --controller         print the FSM micro-program
+//   --sim a=1,b=2,...    simulate the RTL and print outputs (checked
+//                        against the behavioral reference)
+// common output options:
+//   --dot                print Graphviz DOT of the scheduled DFG
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "celllib/library_io.h"
+#include "celllib/ncr_like.h"
+#include "rtl/microcode.h"
+#include "rtl/rtl_dot.h"
+#include "rtl/testability.h"
+#include "rtl/testbench.h"
+#include "sched/slack.h"
+#include "core/mfs.h"
+#include "core/mfsa.h"
+#include "dfg/dot.h"
+#include "dfg/parser.h"
+#include "dfg/stats.h"
+#include "lang/lower.h"
+#include "rtl/controller.h"
+#include "rtl/verify.h"
+#include "rtl/verilog.h"
+#include "sched/report.h"
+#include "sched/verify.h"
+#include "sim/dfg_eval.h"
+#include "sim/rtl_sim.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace mframe;
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "mframe: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+struct Cli {
+  std::string command;
+  std::string file;
+  int steps = 0;
+  core::MfsLiapunov::Mode mode = core::MfsLiapunov::Mode::TimeConstrained;
+  sched::Constraints constraints;
+  sched::PriorityRule priority = sched::PriorityRule::Mobility;
+  rtl::DesignStyle style = rtl::DesignStyle::Unrestricted;
+  core::MfsaWeights weights;
+  bool emitVerilog = false;
+  bool emitController = false;
+  bool emitDot = false;
+  bool emitReport = false;
+  bool emitMicrocode = false;
+  bool emitTestability = false;
+  bool emitTestbench = false;
+  bool emitRtlDot = false;
+  bool emitSlack = false;
+  bool emitStats = false;
+  std::string vcdPath;
+  std::string libraryPath;
+  std::map<std::string, sim::Word> simInputs;
+  bool doSim = false;
+};
+
+Cli parseArgs(int argc, char** argv) {
+  Cli c;
+  if (argc < 3) die("usage: mframe <schedule|synth> <file> [options]");
+  c.command = argv[1];
+  c.file = argv[2];
+  if (c.command != "schedule" && c.command != "synth")
+    die("unknown command '" + c.command + "'");
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) die("missing value after " + a);
+      return argv[i];
+    };
+    if (a == "--steps") {
+      c.steps = static_cast<int>(util::parseLong(next()));
+    } else if (a == "--resource") {
+      for (const auto& part : util::split(next(), ',')) {
+        const auto kv = util::split(part, '=');
+        dfg::FuType t;
+        if (kv.size() != 2 || !dfg::parseFuType(kv[0], t))
+          die("bad --resource entry '" + part + "'");
+        c.constraints.fuLimit[t] = static_cast<int>(util::parseLong(kv[1]));
+      }
+    } else if (a == "--mode") {
+      const std::string m = next();
+      if (m == "time") c.mode = core::MfsLiapunov::Mode::TimeConstrained;
+      else if (m == "resource") c.mode = core::MfsLiapunov::Mode::ResourceConstrained;
+      else die("bad --mode '" + m + "'");
+    } else if (a == "--chaining") {
+      c.constraints.allowChaining = true;
+    } else if (a == "--clock") {
+      c.constraints.clockNs = std::strtod(next().c_str(), nullptr);
+    } else if (a == "--latency") {
+      c.constraints.latency = static_cast<int>(util::parseLong(next()));
+    } else if (a == "--pipelined-mults") {
+      c.constraints.pipelinedFus.insert(dfg::FuType::Multiplier);
+    } else if (a == "--priority") {
+      const std::string p = next();
+      if (p == "mobility") c.priority = sched::PriorityRule::Mobility;
+      else if (p == "noreverse") c.priority = sched::PriorityRule::MobilityNoReverse;
+      else if (p == "insertion") c.priority = sched::PriorityRule::InsertionOrder;
+      else die("bad --priority '" + p + "'");
+    } else if (a == "--style") {
+      const std::string s = next();
+      if (s == "1") c.style = rtl::DesignStyle::Unrestricted;
+      else if (s == "2") c.style = rtl::DesignStyle::NoSelfLoop;
+      else die("bad --style '" + s + "'");
+    } else if (a == "--weights") {
+      const auto w = util::split(next(), ',');
+      if (w.size() != 4) die("--weights needs T,A,M,R");
+      c.weights.time = std::strtod(w[0].c_str(), nullptr);
+      c.weights.alu = std::strtod(w[1].c_str(), nullptr);
+      c.weights.mux = std::strtod(w[2].c_str(), nullptr);
+      c.weights.reg = std::strtod(w[3].c_str(), nullptr);
+    } else if (a == "--verilog") {
+      c.emitVerilog = true;
+    } else if (a == "--controller") {
+      c.emitController = true;
+    } else if (a == "--dot") {
+      c.emitDot = true;
+    } else if (a == "--report") {
+      c.emitReport = true;
+    } else if (a == "--microcode") {
+      c.emitMicrocode = true;
+    } else if (a == "--testability") {
+      c.emitTestability = true;
+    } else if (a == "--vcd") {
+      c.vcdPath = next();
+    } else if (a == "--testbench") {
+      c.emitTestbench = true;
+    } else if (a == "--rtl-dot") {
+      c.emitRtlDot = true;
+    } else if (a == "--slack") {
+      c.emitSlack = true;
+    } else if (a == "--stats") {
+      c.emitStats = true;
+    } else if (a == "--library") {
+      c.libraryPath = next();
+    } else if (a == "--sim") {
+      c.doSim = true;
+      for (const auto& part : util::split(next(), ',')) {
+        const auto kv = util::split(part, '=');
+        if (kv.size() != 2) die("bad --sim entry '" + part + "'");
+        c.simInputs[kv[0]] =
+            static_cast<sim::Word>(util::parseLong(kv[1]));
+      }
+    } else {
+      die("unknown option '" + a + "'");
+    }
+  }
+  return c;
+}
+
+dfg::Dfg loadDesign(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) die("cannot open '" + path + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  // Sniff the format from the first keyword on the first non-comment line.
+  std::string firstWord;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto tokens = util::splitWs(line);
+    if (tokens.empty()) continue;
+    firstWord = tokens[0];
+    break;
+  }
+  if (firstWord == "design") {
+    lang::Compiled c = lang::compile(text);
+    if (c.hasLoops()) {
+      // Fold loops with MFS as the body scheduler.
+      return dfg::foldLoopNest(c.nest, [](const dfg::Dfg& body, int cs) {
+        core::MfsOptions o;
+        o.constraints.timeSteps = cs;
+        const auto r = core::runMfs(body, o);
+        if (!r.feasible) throw std::runtime_error("loop body: " + r.error);
+        return r.steps;
+      });
+    }
+    return std::move(c.nest.body);
+  }
+  return dfg::parse(text);
+}
+
+std::string fuSummary(const std::map<dfg::FuType, int>& fus) {
+  std::vector<std::string> parts;
+  for (const auto& [t, n] : fus)
+    parts.push_back(util::format("%d %s", n, std::string(dfg::fuTypeName(t)).c_str()));
+  return util::join(parts, ", ");
+}
+
+int runSchedule(const Cli& cli, const dfg::Dfg& g) {
+  core::MfsOptions o;
+  o.constraints = cli.constraints;
+  o.constraints.timeSteps = cli.steps;
+  o.mode = cli.mode;
+  o.priorityRule = cli.priority;
+  const auto r = core::runMfs(g, o);
+  if (!r.feasible) die("MFS failed: " + r.error);
+  const auto bad = sched::verifySchedule(r.schedule, o.constraints);
+  std::printf("%s", r.schedule.toString().c_str());
+  std::printf("FU allocation: %s\n", fuSummary(r.fuCount).c_str());
+  std::printf("verification: %s\n",
+              bad.empty() ? "clean" : bad.front().c_str());
+  if (cli.emitReport)
+    std::printf("\n%s", sched::analyzeSchedule(r.schedule).toString().c_str());
+  if (cli.emitSlack)
+    std::printf("\n%s",
+                sched::analyzeSlack(r.schedule, o.constraints).toString(g).c_str());
+  if (cli.emitDot) std::printf("\n%s", dfg::toDot(g, r.schedule.stepMap()).c_str());
+  return bad.empty() ? 0 : 1;
+}
+
+celllib::CellLibrary loadLibrary(const Cli& cli) {
+  if (cli.libraryPath.empty())
+    return celllib::ncrLike(
+        {.pipelinedMultiplier =
+             cli.constraints.pipelinedFus.count(dfg::FuType::Multiplier) > 0});
+  std::ifstream in(cli.libraryPath);
+  if (!in) die("cannot open library '" + cli.libraryPath + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return celllib::parseLibrary(ss.str());
+}
+
+int runSynth(const Cli& cli, const dfg::Dfg& g) {
+  const celllib::CellLibrary lib = loadLibrary(cli);
+  core::MfsaOptions o;
+  o.constraints = cli.constraints;
+  o.constraints.timeSteps = cli.steps;
+  o.style = cli.style;
+  o.weights = cli.weights;
+  o.priorityRule = cli.priority;
+  const auto r = core::runMfsa(g, lib, o);
+  if (!r.feasible) die("MFSA failed: " + r.error);
+  const auto bad = rtl::verifyDatapath(r.datapath, o.constraints, cli.style);
+
+  std::printf("%s", r.datapath.schedule.toString().c_str());
+  std::printf("ALUs: %s\n%s\nverification: %s\n",
+              r.datapath.aluSummary().c_str(), r.cost.toString().c_str(),
+              bad.empty() ? "clean" : bad.front().c_str());
+
+  const auto fsm = rtl::buildController(r.datapath);
+  if (cli.emitReport)
+    std::printf("\n%s", sched::analyzeSchedule(r.datapath.schedule).toString().c_str());
+  if (cli.emitController) std::printf("\n%s", fsm.toString(g).c_str());
+  if (cli.emitMicrocode)
+    std::printf("\n%s", rtl::buildMicrocode(r.datapath, fsm).toString().c_str());
+  if (cli.emitTestability)
+    std::printf("\ntestability: %s\n",
+                rtl::analyzeTestability(r.datapath).toString().c_str());
+  if (cli.emitVerilog) std::printf("\n%s", rtl::toVerilog(r.datapath, fsm).c_str());
+  if (cli.emitTestbench)
+    std::printf("\n%s", rtl::toTestbench(r.datapath, fsm, cli.simInputs).c_str());
+  if (cli.emitRtlDot) std::printf("\n%s", rtl::toDot(r.datapath).c_str());
+  if (cli.emitDot)
+    std::printf("\n%s", dfg::toDot(g, r.datapath.schedule.stepMap()).c_str());
+
+  if (cli.doSim) {
+    sim::SimTrace trace;
+    const auto rtlOut = sim::simulateRtl(r.datapath, fsm, cli.simInputs, 16,
+                                         cli.vcdPath.empty() ? nullptr : &trace);
+    if (!rtlOut.ok) die("RTL simulation failed: " + rtlOut.error);
+    if (!cli.vcdPath.empty()) {
+      std::ofstream vcd(cli.vcdPath);
+      if (!vcd) die("cannot write '" + cli.vcdPath + "'");
+      vcd << sim::toVcd(trace, 16, g.name());
+      std::printf("\nwrote waveform to %s\n", cli.vcdPath.c_str());
+    }
+    const auto ref = sim::evalDfg(g, cli.simInputs);
+    if (!ref.ok) die("reference evaluation failed: " + ref.error);
+    std::printf("\nsimulation (RTL vs behavioral reference):\n");
+    bool allMatch = true;
+    for (const auto& [name, value] : ref.outputs) {
+      const sim::Word got = rtlOut.outputs.at(name);
+      const bool match = got == value;
+      allMatch = allMatch && match;
+      std::printf("  %-12s = %llu (%s)\n", name.c_str(),
+                  static_cast<unsigned long long>(got),
+                  match ? "matches reference" : "MISMATCH");
+    }
+    if (!allMatch) return 1;
+  }
+  return bad.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Cli cli = parseArgs(argc, argv);
+    if (cli.steps <= 0 && cli.mode == core::MfsLiapunov::Mode::TimeConstrained)
+      die("--steps is required in time-constrained mode");
+    const dfg::Dfg g = loadDesign(cli.file);
+    std::printf("design '%s': %zu nodes, %zu operations\n\n",
+                g.name().c_str(), g.size(), g.operations().size());
+    if (cli.emitStats)
+      std::printf("%s\n", dfg::computeStats(g).toString().c_str());
+    return cli.command == "schedule" ? runSchedule(cli, g) : runSynth(cli, g);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mframe: %s\n", e.what());
+    return 2;
+  }
+}
