@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behavioral_flow.dir/behavioral_flow.cpp.o"
+  "CMakeFiles/behavioral_flow.dir/behavioral_flow.cpp.o.d"
+  "behavioral_flow"
+  "behavioral_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behavioral_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_pipeline.dir/dct_pipeline.cpp.o"
+  "CMakeFiles/dct_pipeline.dir/dct_pipeline.cpp.o.d"
+  "dct_pipeline"
+  "dct_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffeq_synthesis.dir/diffeq_synthesis.cpp.o"
+  "CMakeFiles/diffeq_synthesis.dir/diffeq_synthesis.cpp.o.d"
+  "diffeq_synthesis"
+  "diffeq_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffeq_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_filter.dir/pipelined_filter.cpp.o"
+  "CMakeFiles/pipelined_filter.dir/pipelined_filter.cpp.o.d"
+  "pipelined_filter"
+  "pipelined_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

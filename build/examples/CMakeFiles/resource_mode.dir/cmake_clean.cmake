@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_mode.dir/resource_mode.cpp.o"
+  "CMakeFiles/resource_mode.dir/resource_mode.cpp.o.d"
+  "resource_mode"
+  "resource_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selftest_style.dir/selftest_style.cpp.o"
+  "CMakeFiles/selftest_style.dir/selftest_style.cpp.o.d"
+  "selftest_style"
+  "selftest_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selftest_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

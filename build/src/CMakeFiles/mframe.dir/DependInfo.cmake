@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/interconnect.cpp" "src/CMakeFiles/mframe.dir/alloc/interconnect.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/alloc/interconnect.cpp.o.d"
+  "/root/repo/src/alloc/lifetimes.cpp" "src/CMakeFiles/mframe.dir/alloc/lifetimes.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/alloc/lifetimes.cpp.o.d"
+  "/root/repo/src/alloc/muxopt.cpp" "src/CMakeFiles/mframe.dir/alloc/muxopt.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/alloc/muxopt.cpp.o.d"
+  "/root/repo/src/alloc/regalloc.cpp" "src/CMakeFiles/mframe.dir/alloc/regalloc.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/alloc/regalloc.cpp.o.d"
+  "/root/repo/src/baseline/asap_sched.cpp" "src/CMakeFiles/mframe.dir/baseline/asap_sched.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/baseline/asap_sched.cpp.o.d"
+  "/root/repo/src/baseline/fds.cpp" "src/CMakeFiles/mframe.dir/baseline/fds.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/baseline/fds.cpp.o.d"
+  "/root/repo/src/baseline/list_sched.cpp" "src/CMakeFiles/mframe.dir/baseline/list_sched.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/baseline/list_sched.cpp.o.d"
+  "/root/repo/src/celllib/cell_library.cpp" "src/CMakeFiles/mframe.dir/celllib/cell_library.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/celllib/cell_library.cpp.o.d"
+  "/root/repo/src/celllib/library_io.cpp" "src/CMakeFiles/mframe.dir/celllib/library_io.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/celllib/library_io.cpp.o.d"
+  "/root/repo/src/celllib/ncr_like.cpp" "src/CMakeFiles/mframe.dir/celllib/ncr_like.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/celllib/ncr_like.cpp.o.d"
+  "/root/repo/src/core/frames.cpp" "src/CMakeFiles/mframe.dir/core/frames.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/core/frames.cpp.o.d"
+  "/root/repo/src/core/grid.cpp" "src/CMakeFiles/mframe.dir/core/grid.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/core/grid.cpp.o.d"
+  "/root/repo/src/core/liapunov.cpp" "src/CMakeFiles/mframe.dir/core/liapunov.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/core/liapunov.cpp.o.d"
+  "/root/repo/src/core/mfs.cpp" "src/CMakeFiles/mframe.dir/core/mfs.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/core/mfs.cpp.o.d"
+  "/root/repo/src/core/mfsa.cpp" "src/CMakeFiles/mframe.dir/core/mfsa.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/core/mfsa.cpp.o.d"
+  "/root/repo/src/dfg/builder.cpp" "src/CMakeFiles/mframe.dir/dfg/builder.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/dfg/builder.cpp.o.d"
+  "/root/repo/src/dfg/dfg.cpp" "src/CMakeFiles/mframe.dir/dfg/dfg.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/dfg/dfg.cpp.o.d"
+  "/root/repo/src/dfg/dot.cpp" "src/CMakeFiles/mframe.dir/dfg/dot.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/dfg/dot.cpp.o.d"
+  "/root/repo/src/dfg/op.cpp" "src/CMakeFiles/mframe.dir/dfg/op.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/dfg/op.cpp.o.d"
+  "/root/repo/src/dfg/parser.cpp" "src/CMakeFiles/mframe.dir/dfg/parser.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/dfg/parser.cpp.o.d"
+  "/root/repo/src/dfg/stats.cpp" "src/CMakeFiles/mframe.dir/dfg/stats.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/dfg/stats.cpp.o.d"
+  "/root/repo/src/dfg/transforms.cpp" "src/CMakeFiles/mframe.dir/dfg/transforms.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/dfg/transforms.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/mframe.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/lower.cpp" "src/CMakeFiles/mframe.dir/lang/lower.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/lang/lower.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/mframe.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/pipeline/analysis.cpp" "src/CMakeFiles/mframe.dir/pipeline/analysis.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/pipeline/analysis.cpp.o.d"
+  "/root/repo/src/pipeline/functional.cpp" "src/CMakeFiles/mframe.dir/pipeline/functional.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/pipeline/functional.cpp.o.d"
+  "/root/repo/src/pipeline/structural.cpp" "src/CMakeFiles/mframe.dir/pipeline/structural.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/pipeline/structural.cpp.o.d"
+  "/root/repo/src/rtl/bus.cpp" "src/CMakeFiles/mframe.dir/rtl/bus.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/rtl/bus.cpp.o.d"
+  "/root/repo/src/rtl/controller.cpp" "src/CMakeFiles/mframe.dir/rtl/controller.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/rtl/controller.cpp.o.d"
+  "/root/repo/src/rtl/cost.cpp" "src/CMakeFiles/mframe.dir/rtl/cost.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/rtl/cost.cpp.o.d"
+  "/root/repo/src/rtl/datapath.cpp" "src/CMakeFiles/mframe.dir/rtl/datapath.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/rtl/datapath.cpp.o.d"
+  "/root/repo/src/rtl/microcode.cpp" "src/CMakeFiles/mframe.dir/rtl/microcode.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/rtl/microcode.cpp.o.d"
+  "/root/repo/src/rtl/rtl_dot.cpp" "src/CMakeFiles/mframe.dir/rtl/rtl_dot.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/rtl/rtl_dot.cpp.o.d"
+  "/root/repo/src/rtl/testability.cpp" "src/CMakeFiles/mframe.dir/rtl/testability.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/rtl/testability.cpp.o.d"
+  "/root/repo/src/rtl/testbench.cpp" "src/CMakeFiles/mframe.dir/rtl/testbench.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/rtl/testbench.cpp.o.d"
+  "/root/repo/src/rtl/verify.cpp" "src/CMakeFiles/mframe.dir/rtl/verify.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/rtl/verify.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/CMakeFiles/mframe.dir/rtl/verilog.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/rtl/verilog.cpp.o.d"
+  "/root/repo/src/sched/clock_explorer.cpp" "src/CMakeFiles/mframe.dir/sched/clock_explorer.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sched/clock_explorer.cpp.o.d"
+  "/root/repo/src/sched/priority.cpp" "src/CMakeFiles/mframe.dir/sched/priority.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sched/priority.cpp.o.d"
+  "/root/repo/src/sched/report.cpp" "src/CMakeFiles/mframe.dir/sched/report.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sched/report.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/mframe.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/schedule_io.cpp" "src/CMakeFiles/mframe.dir/sched/schedule_io.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sched/schedule_io.cpp.o.d"
+  "/root/repo/src/sched/slack.cpp" "src/CMakeFiles/mframe.dir/sched/slack.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sched/slack.cpp.o.d"
+  "/root/repo/src/sched/timeframes.cpp" "src/CMakeFiles/mframe.dir/sched/timeframes.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sched/timeframes.cpp.o.d"
+  "/root/repo/src/sched/verify.cpp" "src/CMakeFiles/mframe.dir/sched/verify.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sched/verify.cpp.o.d"
+  "/root/repo/src/sim/dfg_eval.cpp" "src/CMakeFiles/mframe.dir/sim/dfg_eval.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sim/dfg_eval.cpp.o.d"
+  "/root/repo/src/sim/eval.cpp" "src/CMakeFiles/mframe.dir/sim/eval.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sim/eval.cpp.o.d"
+  "/root/repo/src/sim/rtl_sim.cpp" "src/CMakeFiles/mframe.dir/sim/rtl_sim.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sim/rtl_sim.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/mframe.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/util/grid_render.cpp" "src/CMakeFiles/mframe.dir/util/grid_render.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/util/grid_render.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/mframe.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/mframe.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/util/table.cpp.o.d"
+  "/root/repo/src/workloads/benchmarks.cpp" "src/CMakeFiles/mframe.dir/workloads/benchmarks.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/workloads/benchmarks.cpp.o.d"
+  "/root/repo/src/workloads/random_dfg.cpp" "src/CMakeFiles/mframe.dir/workloads/random_dfg.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/workloads/random_dfg.cpp.o.d"
+  "/root/repo/src/workloads/table_runner.cpp" "src/CMakeFiles/mframe.dir/workloads/table_runner.cpp.o" "gcc" "src/CMakeFiles/mframe.dir/workloads/table_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

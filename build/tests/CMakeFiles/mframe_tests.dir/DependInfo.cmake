@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/mframe_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/mframe_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_baseline2.cpp" "tests/CMakeFiles/mframe_tests.dir/test_baseline2.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_baseline2.cpp.o.d"
+  "/root/repo/tests/test_bus.cpp" "tests/CMakeFiles/mframe_tests.dir/test_bus.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_bus.cpp.o.d"
+  "/root/repo/tests/test_celllib.cpp" "tests/CMakeFiles/mframe_tests.dir/test_celllib.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_celllib.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/mframe_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_datapath.cpp" "tests/CMakeFiles/mframe_tests.dir/test_datapath.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_datapath.cpp.o.d"
+  "/root/repo/tests/test_dct2d.cpp" "tests/CMakeFiles/mframe_tests.dir/test_dct2d.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_dct2d.cpp.o.d"
+  "/root/repo/tests/test_dfg.cpp" "tests/CMakeFiles/mframe_tests.dir/test_dfg.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_dfg.cpp.o.d"
+  "/root/repo/tests/test_frames.cpp" "tests/CMakeFiles/mframe_tests.dir/test_frames.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_frames.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/mframe_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/mframe_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mframe_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interconnect.cpp" "tests/CMakeFiles/mframe_tests.dir/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_interconnect.cpp.o.d"
+  "/root/repo/tests/test_lang.cpp" "tests/CMakeFiles/mframe_tests.dir/test_lang.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_lang.cpp.o.d"
+  "/root/repo/tests/test_liapunov.cpp" "tests/CMakeFiles/mframe_tests.dir/test_liapunov.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_liapunov.cpp.o.d"
+  "/root/repo/tests/test_library_io.cpp" "tests/CMakeFiles/mframe_tests.dir/test_library_io.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_library_io.cpp.o.d"
+  "/root/repo/tests/test_lifetimes.cpp" "tests/CMakeFiles/mframe_tests.dir/test_lifetimes.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_lifetimes.cpp.o.d"
+  "/root/repo/tests/test_mfs.cpp" "tests/CMakeFiles/mframe_tests.dir/test_mfs.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_mfs.cpp.o.d"
+  "/root/repo/tests/test_mfs_features.cpp" "tests/CMakeFiles/mframe_tests.dir/test_mfs_features.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_mfs_features.cpp.o.d"
+  "/root/repo/tests/test_mfsa.cpp" "tests/CMakeFiles/mframe_tests.dir/test_mfsa.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_mfsa.cpp.o.d"
+  "/root/repo/tests/test_microcode.cpp" "tests/CMakeFiles/mframe_tests.dir/test_microcode.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_microcode.cpp.o.d"
+  "/root/repo/tests/test_mutation.cpp" "tests/CMakeFiles/mframe_tests.dir/test_mutation.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_mutation.cpp.o.d"
+  "/root/repo/tests/test_muxopt.cpp" "tests/CMakeFiles/mframe_tests.dir/test_muxopt.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_muxopt.cpp.o.d"
+  "/root/repo/tests/test_op.cpp" "tests/CMakeFiles/mframe_tests.dir/test_op.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_op.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/mframe_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/mframe_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_priority.cpp" "tests/CMakeFiles/mframe_tests.dir/test_priority.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_priority.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/mframe_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_regalloc.cpp" "tests/CMakeFiles/mframe_tests.dir/test_regalloc.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_regalloc.cpp.o.d"
+  "/root/repo/tests/test_render.cpp" "tests/CMakeFiles/mframe_tests.dir/test_render.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_render.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/mframe_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rtl_export.cpp" "tests/CMakeFiles/mframe_tests.dir/test_rtl_export.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_rtl_export.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/mframe_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_schedule_io.cpp" "tests/CMakeFiles/mframe_tests.dir/test_schedule_io.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_schedule_io.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/mframe_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/mframe_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/mframe_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/mframe_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_table_runner.cpp" "tests/CMakeFiles/mframe_tests.dir/test_table_runner.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_table_runner.cpp.o.d"
+  "/root/repo/tests/test_testability.cpp" "tests/CMakeFiles/mframe_tests.dir/test_testability.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_testability.cpp.o.d"
+  "/root/repo/tests/test_timeframes.cpp" "tests/CMakeFiles/mframe_tests.dir/test_timeframes.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_timeframes.cpp.o.d"
+  "/root/repo/tests/test_transforms.cpp" "tests/CMakeFiles/mframe_tests.dir/test_transforms.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_transforms.cpp.o.d"
+  "/root/repo/tests/test_vcd.cpp" "tests/CMakeFiles/mframe_tests.dir/test_vcd.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_vcd.cpp.o.d"
+  "/root/repo/tests/test_verify.cpp" "tests/CMakeFiles/mframe_tests.dir/test_verify.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_verify.cpp.o.d"
+  "/root/repo/tests/test_verilog.cpp" "tests/CMakeFiles/mframe_tests.dir/test_verilog.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_verilog.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/mframe_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/mframe_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mframe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mframe_cli.dir/mframe_cli.cpp.o"
+  "CMakeFiles/mframe_cli.dir/mframe_cli.cpp.o.d"
+  "mframe"
+  "mframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mframe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_schedule_behavioral "/root/repo/build/tools/mframe" "schedule" "/root/repo/tools/designs/diffeq.mfb" "--steps" "4")
+set_tests_properties(cli_schedule_behavioral PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth_behavioral_sim "/root/repo/build/tools/mframe" "synth" "/root/repo/tools/designs/diffeq.mfb" "--steps" "4" "--sim" "x=2,y=5,u=9,dx=1,a=30")
+set_tests_properties(cli_synth_behavioral_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_schedule_dfg_chained "/root/repo/build/tools/mframe" "schedule" "/root/repo/tools/designs/chained.dfg" "--steps" "4" "--chaining" "--clock" "100")
+set_tests_properties(cli_schedule_dfg_chained PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth_style2_verilog "/root/repo/build/tools/mframe" "synth" "/root/repo/tools/designs/diffeq.mfb" "--steps" "5" "--style" "2" "--verilog" "--controller")
+set_tests_properties(cli_synth_style2_verilog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_schedule_resource_mode "/root/repo/build/tools/mframe" "schedule" "/root/repo/tools/designs/diffeq.mfb" "--mode" "resource" "--resource" "mul=1,add=1,sub=1,cmp=1")
+set_tests_properties(cli_schedule_resource_mode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_loop_folding "/root/repo/build/tools/mframe" "schedule" "/root/repo/tools/designs/looped.mfb" "--steps" "8")
+set_tests_properties(cli_loop_folding PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_custom_library "/root/repo/build/tools/mframe" "synth" "/root/repo/tools/designs/diffeq.mfb" "--steps" "4" "--library" "/root/repo/tools/designs/tiny.lib" "--sim" "x=2,y=5,u=9,dx=1,a=30")
+set_tests_properties(cli_custom_library PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_reports_and_exports "/root/repo/build/tools/mframe" "synth" "/root/repo/tools/designs/diffeq.mfb" "--steps" "4" "--report" "--microcode" "--testability" "--rtl-dot" "--testbench")
+set_tests_properties(cli_reports_and_exports PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_schedule_slack_report "/root/repo/build/tools/mframe" "schedule" "/root/repo/tools/designs/diffeq.mfb" "--steps" "6" "--report" "--slack")
+set_tests_properties(cli_schedule_slack_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_functional_pipelining "/root/repo/build/tools/mframe" "schedule" "/root/repo/tools/designs/diffeq.mfb" "--steps" "6" "--latency" "3")
+set_tests_properties(cli_functional_pipelining PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_file "/root/repo/build/tools/mframe" "schedule" "/nonexistent.mfb" "--steps" "4")
+set_tests_properties(cli_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;37;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_option "/root/repo/build/tools/mframe" "schedule" "/root/repo/tools/designs/diffeq.mfb" "--wibble")
+set_tests_properties(cli_bad_option PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;39;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_infeasible_constraint "/root/repo/build/tools/mframe" "schedule" "/root/repo/tools/designs/diffeq.mfb" "--steps" "2")
+set_tests_properties(cli_infeasible_constraint PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;41;add_test;/root/repo/tools/CMakeLists.txt;0;")
