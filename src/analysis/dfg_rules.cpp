@@ -1,0 +1,243 @@
+#include "analysis/dfg_rules.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/rules.h"
+#include "util/strings.h"
+
+namespace mframe::analysis {
+
+namespace {
+
+using dfg::NodeId;
+
+Diagnostic nodeDiag(std::string_view rule, const dfg::Node& n,
+                    std::string message, std::string fixit = "") {
+  Diagnostic d;
+  d.rule = std::string(rule);
+  d.severity = findRule(rule)->severity;
+  d.entity = EntityKind::Node;
+  d.loc.node = n.name.empty() ? util::format("#%u", n.id) : n.name;
+  d.message = std::move(message);
+  d.fixit = std::move(fixit);
+  return d;
+}
+
+/// Follow in-range input edges depth-first and reconstruct one dependence
+/// cycle as "a -> b -> a". Returns "" when the graph is acyclic.
+std::string findCyclePath(const dfg::Dfg& g) {
+  enum class Color : unsigned char { White, Grey, Black };
+  std::vector<Color> color(g.size(), Color::White);
+  std::vector<NodeId> parent(g.size(), dfg::kNoNode);
+
+  for (NodeId root = 0; root < g.size(); ++root) {
+    if (color[root] != Color::White) continue;
+    std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+    color[root] = Color::Grey;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const auto& ins = g.node(id).inputs;
+      if (next >= ins.size()) {
+        color[id] = Color::Black;
+        stack.pop_back();
+        continue;
+      }
+      const NodeId in = ins[next++];
+      if (in >= g.size()) continue;  // dangling: reported by DFG001
+      if (color[in] == Color::Grey) {
+        // Back edge id -> in closes a cycle; walk parents from id back to in.
+        std::vector<std::string> path{g.node(in).name};
+        for (NodeId walk = id; walk != in; walk = parent[walk])
+          path.push_back(g.node(walk).name);
+        path.push_back(g.node(in).name);
+        std::reverse(path.begin() + 1, path.end() - 1);
+        return util::join(path, " -> ");
+      }
+      if (color[in] == Color::White) {
+        color[in] = Color::Grey;
+        parent[in] = id;
+        stack.push_back({in, 0});
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+LintReport lintDfg(const dfg::Dfg& g) {
+  LintReport r;
+  const std::size_t n = g.size();
+
+  // -- per-node structural rules (robust against any malformation) ----------
+  std::unordered_map<std::string, NodeId> firstByName;
+  bool refsInRange = true;
+  for (NodeId id = 0; id < n; ++id) {
+    const dfg::Node& node = g.node(id);
+
+    // DFG008: names must be present and unique (they are the signal space).
+    if (node.name.empty()) {
+      r.add(nodeDiag(kDfgDuplicateName, node, "node has an empty signal name",
+                     "give every node a unique signal name"));
+    } else {
+      auto [it, inserted] = firstByName.try_emplace(node.name, id);
+      if (!inserted)
+        r.add(nodeDiag(kDfgDuplicateName, node,
+                       util::format("duplicate signal name '%s' (first defined by node #%u)",
+                                    node.name.c_str(), it->second),
+                       "rename one of the colliding signals"));
+    }
+
+    // DFG001 / DFG010: every input must reference an existing, older node.
+    for (NodeId in : node.inputs) {
+      if (in >= n) {
+        refsInRange = false;
+        r.add(nodeDiag(kDfgDanglingInput, node,
+                       util::format("input id %u is out of range (graph has %zu nodes)",
+                                    in, n),
+                       "define the operand signal before using it"));
+      } else if (in >= id) {
+        r.add(nodeDiag(kDfgForwardRef, node,
+                       util::format("input '%s' is not older than the node "
+                                    "(graph must be built in topological order)",
+                                    g.node(in).name.c_str())));
+      }
+    }
+
+    // DFG002: arity must match the kind (every op takes at most 2 inputs).
+    if (node.kind != dfg::OpKind::LoopSuper &&
+        static_cast<int>(node.inputs.size()) != dfg::arity(node.kind))
+      r.add(nodeDiag(kDfgArityMismatch, node,
+                     util::format("%s expects %d input(s), has %zu",
+                                  std::string(dfg::kindName(node.kind)).c_str(),
+                                  dfg::arity(node.kind), node.inputs.size()),
+                     "split wide expressions into two-input operations"));
+
+    // DFG005: multicycle attribute must be at least one control step.
+    if (node.cycles < 1)
+      r.add(nodeDiag(kDfgBadCycles, node,
+                     util::format("cycles=%d must be >= 1", node.cycles),
+                     "drop the attribute or set cycles>=1"));
+
+    // DFG006: a delay override must be positive and only makes sense on
+    // single-cycle schedulable ops (chaining never applies elsewhere).
+    if (node.delayNs >= 0) {
+      if (node.delayNs == 0.0)
+        r.add(nodeDiag(kDfgBadDelayOverride, node,
+                       "zero combinational delay override (chaining would be free)",
+                       "remove delay= or give a positive value"));
+      else if (!dfg::isSchedulable(node.kind))
+        r.add(nodeDiag(kDfgBadDelayOverride, node,
+                       "delay override on a non-operation node is ignored",
+                       "remove the delay= attribute"));
+      else if (node.cycles > 1)
+        r.add(nodeDiag(kDfgBadDelayOverride, node,
+                       util::format("delay override on a multicycle op (cycles=%d) is "
+                                    "ignored by chaining", node.cycles),
+                       "remove the delay= attribute"));
+    }
+
+    // DFG007: branch paths are alternating cond/arm pairs, none empty.
+    if (!node.branchPath.empty()) {
+      const auto parts = util::split(node.branchPath, '.');
+      const bool emptyPart =
+          std::any_of(parts.begin(), parts.end(),
+                      [](const std::string& p) { return p.empty(); });
+      if (parts.size() % 2 != 0 || emptyPart)
+        r.add(nodeDiag(kDfgBadBranchPath, node,
+                       util::format("malformed branch path '%s'", node.branchPath.c_str()),
+                       "use alternating cond/arm pairs, e.g. 'c1.t' or 'c1.e.c2.t'"));
+    }
+  }
+
+  // DFG011: primary outputs must name existing nodes.
+  for (const auto& [id, ext] : g.outputs()) {
+    if (id >= n) {
+      Diagnostic d;
+      d.rule = std::string(kDfgBadOutputRef);
+      d.severity = findRule(kDfgBadOutputRef)->severity;
+      d.entity = EntityKind::Design;
+      d.loc.node = ext;
+      d.message = util::format("output '%s': node id %u out of range", ext.c_str(), id);
+      r.add(d);
+    }
+  }
+
+  // -- graph-level rules (need in-range edges) ------------------------------
+  if (!refsInRange) return r;
+
+  // DFG003: dependence cycles, with one offending path spelled out.
+  const std::string cycle = findCyclePath(g);
+  if (!cycle.empty()) {
+    Diagnostic d;
+    d.rule = std::string(kDfgCycle);
+    d.severity = findRule(kDfgCycle)->severity;
+    d.entity = EntityKind::Design;
+    d.loc.detail = cycle;
+    d.message = "data dependences form a cycle: " + cycle;
+    d.fixit = "break the cycle; a DFG must be a DAG";
+    r.add(d);
+  }
+
+  // DFG004 / DFG009: reverse reachability from the primary outputs.
+  std::vector<bool> reaches(n, false);
+  std::vector<NodeId> work;
+  for (const auto& [id, ext] : g.outputs())
+    if (id < n && !reaches[id]) {
+      reaches[id] = true;
+      work.push_back(id);
+    }
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    for (NodeId in : g.node(id).inputs)
+      if (!reaches[in]) {
+        reaches[in] = true;
+        work.push_back(in);
+      }
+  }
+  if (g.outputs().empty() && n > 0) {
+    Diagnostic d;
+    d.rule = std::string(kDfgUnreachableOp);
+    d.severity = findRule(kDfgUnreachableOp)->severity;
+    d.entity = EntityKind::Design;
+    d.message = "design has no primary outputs; every operation is dead";
+    d.fixit = "mark at least one signal as an output";
+    r.add(d);
+  } else {
+    for (NodeId id = 0; id < n; ++id) {
+      const dfg::Node& node = g.node(id);
+      if (dfg::isSchedulable(node.kind) && !reaches[id])
+        r.add(nodeDiag(kDfgUnreachableOp, node,
+                       util::format("result of '%s' never reaches a primary output",
+                                    node.name.c_str()),
+                       "remove the operation or route it to an output"));
+    }
+  }
+
+  // DFG009: Input/Const leaves nobody consumes (and that are not outputs).
+  std::vector<bool> consumed(n, false);
+  for (NodeId id = 0; id < n; ++id)
+    for (NodeId in : g.node(id).inputs) consumed[in] = true;
+  std::set<NodeId> outputIds;
+  for (const auto& [id, ext] : g.outputs())
+    if (id < n) outputIds.insert(id);
+  for (NodeId id = 0; id < n; ++id) {
+    const dfg::Node& node = g.node(id);
+    const bool leaf =
+        node.kind == dfg::OpKind::Input || node.kind == dfg::OpKind::Const;
+    if (leaf && !consumed[id] && !outputIds.count(id))
+      r.add(nodeDiag(kDfgDeadLeaf, node,
+                     util::format("dead %s '%s': no consumers and not an output",
+                                  node.kind == dfg::OpKind::Input ? "input" : "const",
+                                  node.name.c_str()),
+                     "remove the unused node"));
+  }
+
+  return r;
+}
+
+}  // namespace mframe::analysis

@@ -1,0 +1,17 @@
+// DFG rule family: structural lint of a data-flow graph, the front line the
+// schedulers rely on (a DAG of <=2-input ops with consistent multicycle /
+// chaining / branch attributes). Unlike Dfg::validate(), which stops at the
+// first problem and returns a bare string, lintDfg reports *every* problem
+// as a structured Diagnostic and survives arbitrarily malformed graphs
+// (out-of-range input ids included).
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "dfg/dfg.h"
+
+namespace mframe::analysis {
+
+/// Run every DFG rule over `g`. Safe on graphs that Dfg::validate() rejects.
+LintReport lintDfg(const dfg::Dfg& g);
+
+}  // namespace mframe::analysis

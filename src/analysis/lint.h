@@ -1,0 +1,20 @@
+// Umbrella header for the lint engine: structured diagnostics, the rule
+// registry and the three rule families (DFG, schedule, RTL). The CLI's
+// `mframe lint` subcommand and the automatic pre-flight checks before
+// `schedule`/`synth` are built on exactly these entry points:
+//
+//   analysis::lintDfg(g)                      — DFG structural rules
+//   analysis::lintSchedule(s, constraints)    — schedule rules
+//   analysis::lintDatapath(d, constraints, s) — RTL binding/register/wiring
+//   analysis::lintBusPlan / lintMicrocode     — derived-artifact rules
+//
+// Reports render as text (LintReport::renderText) or JSON
+// (LintReport::renderJson); see docs/LINT.md for the rule catalogue and
+// docs/FORMATS.md for the JSON schema.
+#pragma once
+
+#include "analysis/dfg_rules.h"
+#include "analysis/diagnostic.h"
+#include "analysis/rtl_rules.h"
+#include "analysis/rules.h"
+#include "analysis/sched_rules.h"

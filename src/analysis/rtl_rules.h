@@ -1,0 +1,36 @@
+// RTL rule family: structural lint of the allocated datapath and its
+// derived artifacts. lintDatapath is the structured re-implementation of
+// rtl::verifyDatapath (binding, ALU occupancy, style-2, registers, port
+// wiring); lintBusPlan checks a shared-bus interconnect plan for
+// under/over-provisioning against the actual per-step transfer demand; and
+// lintMicrocode cross-checks a microcode ROM against the datapath it claims
+// to control (field references and value widths).
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "rtl/bus.h"
+#include "rtl/controller.h"
+#include "rtl/datapath.h"
+#include "rtl/microcode.h"
+
+namespace mframe::analysis {
+
+/// Run the datapath rules. Mirrors the legacy contract: when binding rules
+/// fire, the remaining passes are skipped (they assume a total binding).
+LintReport lintDatapath(const rtl::Datapath& d, const sched::Constraints& c,
+                        rtl::DesignStyle style);
+
+/// Check `plan` against the transfer demand derived from `d`/`fsm`:
+/// a step needing more simultaneous sources than the plan has buses means
+/// some bus is driven by multiple sources (RTL010); buses no step ever
+/// drives are flagged as idle (RTL011).
+LintReport lintBusPlan(const rtl::Datapath& d, const rtl::ControllerFsm& fsm,
+                       const rtl::BusPlan& plan);
+
+/// Check `rom` against `d`/`fsm`: every field must reference an existing
+/// ALU or register (RTL012), and every row value must fit its field width
+/// with consistent row/field shapes (RTL013).
+LintReport lintMicrocode(const rtl::Datapath& d, const rtl::ControllerFsm& fsm,
+                         const rtl::MicrocodeRom& rom);
+
+}  // namespace mframe::analysis

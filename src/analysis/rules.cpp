@@ -1,0 +1,88 @@
+#include "analysis/rules.h"
+
+namespace mframe::analysis {
+
+const std::vector<RuleInfo>& allRules() {
+  static const std::vector<RuleInfo> rules = {
+      // DFG family: structural well-formedness of the input graph.
+      {kDfgParseFailure, "dfg", Severity::Error,
+       "design fails to parse or compile"},
+      {kDfgDanglingInput, "dfg", Severity::Error,
+       "operation references an unknown or out-of-range input signal"},
+      {kDfgArityMismatch, "dfg", Severity::Error,
+       "operation has the wrong number of inputs for its kind (ops take at most 2)"},
+      {kDfgCycle, "dfg", Severity::Error,
+       "data dependences form a cycle (the DFG must be a DAG)"},
+      {kDfgUnreachableOp, "dfg", Severity::Warning,
+       "operation result never reaches a primary output"},
+      {kDfgBadCycles, "dfg", Severity::Error,
+       "multicycle attribute cycles < 1"},
+      {kDfgBadDelayOverride, "dfg", Severity::Warning,
+       "nonsensical chaining-delay override (non-positive, or on a multicycle op)"},
+      {kDfgBadBranchPath, "dfg", Severity::Error,
+       "malformed branchPath encoding (components must alternate cond/arm pairs)"},
+      {kDfgDuplicateName, "dfg", Severity::Error,
+       "duplicate or empty signal name"},
+      {kDfgDeadLeaf, "dfg", Severity::Warning,
+       "Input/Const node has no consumers and is not an output"},
+      {kDfgForwardRef, "dfg", Severity::Error,
+       "input reference is not older than the node (graph not topological)"},
+      {kDfgBadOutputRef, "dfg", Severity::Error,
+       "primary output references a nonexistent node"},
+      // Schedule family: the structured re-implementation of verifySchedule.
+      {kSchedParseFailure, "sched", Severity::Error,
+       "schedule file fails to parse against the design"},
+      {kSchedUnplaced, "sched", Severity::Error,
+       "schedulable operation is not placed"},
+      {kSchedOutOfRange, "sched", Severity::Error,
+       "operation occupies steps outside [1, cs]"},
+      {kSchedBadColumn, "sched", Severity::Error,
+       "operation has an invalid FU column (< 1)"},
+      {kSchedPrecedence, "sched", Severity::Error,
+       "successor starts before a predecessor's result is available"},
+      {kSchedChainOverflow, "sched", Severity::Error,
+       "chained combinational path exceeds the clock period"},
+      {kSchedMidStepStart, "sched", Severity::Error,
+       "chained input into a multicycle op or with chaining disabled"},
+      {kSchedOccupancy, "sched", Severity::Error,
+       "two non-exclusive operations occupy one FU instance simultaneously"},
+      {kSchedResourceLimit, "sched", Severity::Error,
+       "FU instances used exceed the per-type resource limit"},
+      // RTL family: structural checks over the allocated datapath.
+      {kRtlDoubleBinding, "rtl", Severity::Error,
+       "operation bound to more than one ALU"},
+      {kRtlNonOpBound, "rtl", Severity::Error,
+       "non-operation node bound to an ALU"},
+      {kRtlUnsupportedOp, "rtl", Severity::Error,
+       "ALU module lacks the capability for a bound operation"},
+      {kRtlUnboundOp, "rtl", Severity::Error,
+       "operation not bound to any ALU"},
+      {kRtlAluOverlap, "rtl", Severity::Error,
+       "ALU executes two non-exclusive operations concurrently"},
+      {kRtlSelfLoop, "rtl", Severity::Error,
+       "style-2 violation: dependent operations share an ALU"},
+      {kRtlRegisterOverlap, "rtl", Severity::Error,
+       "register holds two signals with overlapping lifetimes"},
+      {kRtlMissingRegister, "rtl", Severity::Error,
+       "cross-step signal has no register"},
+      {kRtlUnconnectedPort, "rtl", Severity::Error,
+       "ALU port mux cannot deliver a required operand (unconnected mux input)"},
+      {kRtlBusContention, "rtl", Severity::Error,
+       "a bus would be driven by multiple sources in one step (plan underprovisioned)"},
+      {kRtlBusIdle, "rtl", Severity::Warning,
+       "bus is driven by zero sources in every step (plan overprovisioned)"},
+      {kRtlBadFieldRef, "rtl", Severity::Error,
+       "microcode field references a nonexistent datapath component"},
+      {kRtlFieldOverflow, "rtl", Severity::Error,
+       "microcode row value does not fit its field width (or shape mismatch)"},
+  };
+  return rules;
+}
+
+const RuleInfo* findRule(std::string_view id) {
+  for (const RuleInfo& r : allRules())
+    if (r.id == id) return &r;
+  return nullptr;
+}
+
+}  // namespace mframe::analysis

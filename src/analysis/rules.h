@@ -1,0 +1,66 @@
+// The lint rule registry: every rule the engine can emit, with its stable
+// id, family, default severity and a one-line summary. docs/LINT.md is the
+// human-readable catalogue of the same table; tests iterate allRules() to
+// guarantee each id has coverage.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+
+namespace mframe::analysis {
+
+struct RuleInfo {
+  std::string_view id;       ///< stable id, e.g. "DFG003"
+  std::string_view family;   ///< "dfg", "sched" or "rtl"
+  Severity severity;         ///< default severity of emissions
+  std::string_view summary;  ///< one-line description
+};
+
+/// Every registered rule, in id order within family.
+const std::vector<RuleInfo>& allRules();
+
+/// Lookup by id; nullptr when unknown.
+const RuleInfo* findRule(std::string_view id);
+
+// Stable rule ids. Rules are never renumbered; retired ids are not reused.
+// -- DFG family --------------------------------------------------------------
+inline constexpr std::string_view kDfgParseFailure = "DFG000";
+inline constexpr std::string_view kDfgDanglingInput = "DFG001";
+inline constexpr std::string_view kDfgArityMismatch = "DFG002";
+inline constexpr std::string_view kDfgCycle = "DFG003";
+inline constexpr std::string_view kDfgUnreachableOp = "DFG004";
+inline constexpr std::string_view kDfgBadCycles = "DFG005";
+inline constexpr std::string_view kDfgBadDelayOverride = "DFG006";
+inline constexpr std::string_view kDfgBadBranchPath = "DFG007";
+inline constexpr std::string_view kDfgDuplicateName = "DFG008";
+inline constexpr std::string_view kDfgDeadLeaf = "DFG009";
+inline constexpr std::string_view kDfgForwardRef = "DFG010";
+inline constexpr std::string_view kDfgBadOutputRef = "DFG011";
+// -- schedule family ---------------------------------------------------------
+inline constexpr std::string_view kSchedParseFailure = "SCH000";
+inline constexpr std::string_view kSchedUnplaced = "SCH001";
+inline constexpr std::string_view kSchedOutOfRange = "SCH002";
+inline constexpr std::string_view kSchedBadColumn = "SCH003";
+inline constexpr std::string_view kSchedPrecedence = "SCH004";
+inline constexpr std::string_view kSchedChainOverflow = "SCH005";
+inline constexpr std::string_view kSchedMidStepStart = "SCH006";
+inline constexpr std::string_view kSchedOccupancy = "SCH007";
+inline constexpr std::string_view kSchedResourceLimit = "SCH008";
+// -- RTL family --------------------------------------------------------------
+inline constexpr std::string_view kRtlDoubleBinding = "RTL001";
+inline constexpr std::string_view kRtlNonOpBound = "RTL002";
+inline constexpr std::string_view kRtlUnsupportedOp = "RTL003";
+inline constexpr std::string_view kRtlUnboundOp = "RTL004";
+inline constexpr std::string_view kRtlAluOverlap = "RTL005";
+inline constexpr std::string_view kRtlSelfLoop = "RTL006";
+inline constexpr std::string_view kRtlRegisterOverlap = "RTL007";
+inline constexpr std::string_view kRtlMissingRegister = "RTL008";
+inline constexpr std::string_view kRtlUnconnectedPort = "RTL009";
+inline constexpr std::string_view kRtlBusContention = "RTL010";
+inline constexpr std::string_view kRtlBusIdle = "RTL011";
+inline constexpr std::string_view kRtlBadFieldRef = "RTL012";
+inline constexpr std::string_view kRtlFieldOverflow = "RTL013";
+
+}  // namespace mframe::analysis

@@ -1,0 +1,20 @@
+// Schedule rule family: the structured re-implementation of
+// sched::verifySchedule. Emits one Diagnostic per violation — completeness,
+// range, precedence (with chaining), occupancy (multicycle, pipelined,
+// latency-folded) and resource limits — with the offending node, step and
+// FU column attached. sched::verifySchedule is now a thin adapter over this
+// pass, so the legacy string API (and every test written against it) keeps
+// working unchanged.
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "sched/schedule.h"
+
+namespace mframe::analysis {
+
+/// Run every schedule rule over `s` against `c`. Mirrors the legacy
+/// contract: when completeness/range rules fire, the remaining passes are
+/// skipped (they assume a complete placement).
+LintReport lintSchedule(const sched::Schedule& s, const sched::Constraints& c);
+
+}  // namespace mframe::analysis

@@ -14,15 +14,36 @@ namespace {
   throw DfgError(util::format("dfg parse error at line %d: %s", line, msg.c_str()));
 }
 
-}  // namespace
-
-Dfg parse(std::string_view text) {
+/// Shared grammar walk. In strict mode (issues == nullptr) every problem
+/// throws DfgError; in lenient mode it is recorded and the statement is
+/// repaired or skipped. Attribute *values* are stored as written in lenient
+/// mode (cycles=0, delay=0, bad branch paths) so the lint rules can report
+/// them with their proper rule ids.
+Dfg parseImpl(std::string_view text, std::vector<ParseIssue>* issues) {
   Dfg g;
   std::unordered_map<std::string, NodeId> byName;
   std::istringstream in{std::string(text)};
   std::string rawLine;
   int lineNo = 0;
   bool sawHeader = false;
+
+  auto problem = [&](int line, const std::string& msg, bool unknownSignal = false) {
+    if (!issues) fail(line, msg);
+    issues->push_back({line, msg, unknownSignal});
+  };
+  // Resolve an operand name; in lenient mode an unknown name materializes an
+  // implicit Input node so downstream references still connect.
+  auto resolve = [&](const std::string& name, const char* what) -> NodeId {
+    auto it = byName.find(name);
+    if (it != byName.end()) return it->second;
+    problem(lineNo, std::string("unknown ") + what + " '" + name + "'", true);
+    Node placeholder;
+    placeholder.kind = OpKind::Input;
+    placeholder.name = name;
+    const NodeId id = g.addNode(std::move(placeholder));
+    byName[name] = id;
+    return id;
+  };
 
   while (std::getline(in, rawLine)) {
     ++lineNo;
@@ -32,66 +53,104 @@ Dfg parse(std::string_view text) {
     if (tok.empty()) continue;
 
     if (tok[0] == "dfg") {
-      if (tok.size() != 2) fail(lineNo, "expected: dfg <name>");
+      if (tok.size() != 2) {
+        problem(lineNo, "expected: dfg <name>");
+        continue;
+      }
       g.setName(tok[1]);
       sawHeader = true;
     } else if (tok[0] == "input") {
-      if (tok.size() != 2) fail(lineNo, "expected: input <signal>");
+      if (tok.size() != 2) {
+        problem(lineNo, "expected: input <signal>");
+        continue;
+      }
       Node n;
       n.kind = OpKind::Input;
       n.name = tok[1];
       byName[tok[1]] = g.addNode(std::move(n));
     } else if (tok[0] == "const") {
-      if (tok.size() != 3) fail(lineNo, "expected: const <value> <signal>");
+      if (tok.size() != 3) {
+        problem(lineNo, "expected: const <value> <signal>");
+        continue;
+      }
       Node n;
       n.kind = OpKind::Const;
       n.constValue = std::strtol(tok[1].c_str(), nullptr, 10);
       n.name = tok[2];
       byName[tok[2]] = g.addNode(std::move(n));
     } else if (tok[0] == "op") {
-      if (tok.size() < 4) fail(lineNo, "expected: op <kind> <signal> <in...> [attrs]");
+      if (tok.size() < 4) {
+        problem(lineNo, "expected: op <kind> <signal> <in...> [attrs]");
+        continue;
+      }
       OpKind kind;
-      if (!parseKind(tok[1], kind)) fail(lineNo, "unknown op kind '" + tok[1] + "'");
+      if (!parseKind(tok[1], kind)) {
+        problem(lineNo, "unknown op kind '" + tok[1] + "'");
+        continue;
+      }
       Node n;
       n.kind = kind;
       n.name = tok[2];
       std::size_t i = 3;
-      for (; i < tok.size() && tok[i].find('=') == std::string::npos; ++i) {
-        auto it = byName.find(tok[i]);
-        if (it == byName.end()) fail(lineNo, "unknown input signal '" + tok[i] + "'");
-        n.inputs.push_back(it->second);
-      }
+      for (; i < tok.size() && tok[i].find('=') == std::string::npos; ++i)
+        n.inputs.push_back(resolve(tok[i], "input signal"));
+      bool badAttrs = false;
       for (; i < tok.size(); ++i) {
         const auto eq = tok[i].find('=');
-        if (eq == std::string::npos) fail(lineNo, "operands must precede attributes");
+        if (eq == std::string::npos) {
+          problem(lineNo, "operands must precede attributes");
+          badAttrs = true;
+          break;
+        }
         const std::string key = tok[i].substr(0, eq);
         const std::string val = tok[i].substr(eq + 1);
         if (key == "cycles") {
           const long c = util::parseLong(val);
-          if (c < 1) fail(lineNo, "bad cycles value '" + val + "'");
+          if (c < 1 && !issues) fail(lineNo, "bad cycles value '" + val + "'");
           n.cycles = static_cast<int>(c);
         } else if (key == "delay") {
           n.delayNs = std::strtod(val.c_str(), nullptr);
         } else if (key == "branch") {
           n.branchPath = val;
         } else {
-          fail(lineNo, "unknown attribute '" + key + "'");
+          problem(lineNo, "unknown attribute '" + key + "'");
+          badAttrs = true;
+          break;
         }
       }
+      if (badAttrs) continue;
       const std::string name = n.name;  // addNode consumes n
       byName[name] = g.addNode(std::move(n));
     } else if (tok[0] == "output") {
-      if (tok.size() != 3) fail(lineNo, "expected: output <external-name> <signal>");
+      if (tok.size() != 3) {
+        problem(lineNo, "expected: output <external-name> <signal>");
+        continue;
+      }
       auto it = byName.find(tok[2]);
-      if (it == byName.end()) fail(lineNo, "unknown signal '" + tok[2] + "'");
+      if (it == byName.end()) {
+        problem(lineNo, "unknown signal '" + tok[2] + "'", true);
+        continue;
+      }
       g.markOutput(it->second, tok[1]);
     } else {
-      fail(lineNo, "unknown statement '" + tok[0] + "'");
+      problem(lineNo, "unknown statement '" + tok[0] + "'");
     }
   }
-  if (!sawHeader) throw DfgError("dfg parse error: missing 'dfg <name>' header");
-  if (auto err = g.validate()) throw DfgError(g.name() + ": " + *err);
+  if (!sawHeader) {
+    if (!issues) throw DfgError("dfg parse error: missing 'dfg <name>' header");
+    issues->push_back({0, "missing 'dfg <name>' header", false});
+  }
+  if (!issues)
+    if (auto err = g.validate()) throw DfgError(g.name() + ": " + *err);
   return g;
+}
+
+}  // namespace
+
+Dfg parse(std::string_view text) { return parseImpl(text, nullptr); }
+
+Dfg parseLenient(std::string_view text, std::vector<ParseIssue>& issues) {
+  return parseImpl(text, &issues);
 }
 
 std::string serialize(const Dfg& g) {

@@ -15,6 +15,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "dfg/dfg.h"
 
@@ -23,6 +24,20 @@ namespace mframe::dfg {
 /// Parse the textual format. Throws DfgError with a line number on any
 /// syntactic or structural problem.
 Dfg parse(std::string_view text);
+
+/// One problem recorded by parseLenient.
+struct ParseIssue {
+  int line = 0;              ///< 1-based source line (0 = file level)
+  std::string message;
+  bool unknownSignal = false;  ///< a dangling operand reference (lint DFG001)
+};
+
+/// Lenient parse for the lint engine: never throws. Problems are recorded
+/// as issues and repaired where possible — an unknown operand becomes an
+/// implicit Input node so later statements still resolve; unparseable
+/// statements are skipped. Final structural validation is NOT run (that is
+/// analysis::lintDfg's job on the returned graph).
+Dfg parseLenient(std::string_view text, std::vector<ParseIssue>& issues);
 
 /// Serialize back to the textual format (round-trips through parse()).
 std::string serialize(const Dfg& g);

@@ -1,6 +1,7 @@
 #include "rtl/bus.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "util/strings.h"
@@ -18,10 +19,11 @@ struct Transfer {
   bool leftPort = true;
 };
 
-}  // namespace
-
-BusPlan planBuses(const Datapath& d, const ControllerFsm& fsm,
-                  const BusCostModel& model) {
+/// Every operand value that rides a shared wire: constants and primary
+/// inputs are hardwired and excluded. Shared by planBuses (which assigns
+/// buses) and busDemandPerStep (which only counts concurrent sources).
+std::vector<Transfer> collectTransfers(const Datapath& d,
+                                       const ControllerFsm& fsm) {
   const dfg::Dfg& g = *d.graph;
   std::vector<Transfer> transfers;
 
@@ -47,6 +49,25 @@ BusPlan planBuses(const Datapath& d, const ControllerFsm& fsm,
     if (n.inputs.size() >= 2)
       addRead(false, swap ? n.inputs[0] : n.inputs[1]);
   }
+  return transfers;
+}
+
+}  // namespace
+
+std::vector<int> busDemandPerStep(const Datapath& d, const ControllerFsm& fsm) {
+  std::vector<int> demand(static_cast<std::size_t>(fsm.numSteps) + 1, 0);
+  std::map<int, std::set<alloc::Source>> byStep;
+  for (const Transfer& t : collectTransfers(d, fsm))
+    byStep[t.step].insert(t.source);
+  for (const auto& [step, sources] : byStep)
+    if (step >= 1 && step <= fsm.numSteps)
+      demand[static_cast<std::size_t>(step)] = static_cast<int>(sources.size());
+  return demand;
+}
+
+BusPlan planBuses(const Datapath& d, const ControllerFsm& fsm,
+                  const BusCostModel& model) {
+  const std::vector<Transfer> transfers = collectTransfers(d, fsm);
 
   BusPlan plan;
   plan.transfersPerStep.assign(static_cast<std::size_t>(fsm.numSteps) + 1, 0);

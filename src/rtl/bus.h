@@ -44,4 +44,9 @@ struct BusPlan {
 BusPlan planBuses(const Datapath& d, const ControllerFsm& fsm,
                   const BusCostModel& model = {});
 
+/// Distinct shared sources transferring in each step (index 1..numSteps;
+/// index 0 unused) — the per-step bus demand planBuses provisions for. The
+/// lint engine checks externally supplied plans against this demand.
+std::vector<int> busDemandPerStep(const Datapath& d, const ControllerFsm& fsm);
+
 }  // namespace mframe::rtl

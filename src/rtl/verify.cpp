@@ -1,129 +1,17 @@
 #include "rtl/verify.h"
 
-#include <algorithm>
-#include <set>
-
-#include "util/strings.h"
+#include "analysis/rtl_rules.h"
 
 namespace mframe::rtl {
 
-namespace {
-
-using dfg::NodeId;
-
-/// Folded steps occupied by `n` on a (possibly pipelined) ALU.
-std::vector<int> occupied(const dfg::Dfg& g, const sched::Schedule& s,
-                          NodeId n, bool pipelined, int latency) {
-  auto fold = [&](int st) { return latency > 0 ? (st - 1) % latency : st; };
-  std::vector<int> out;
-  const int start = s.stepOf(n);
-  const int cycles = pipelined ? 1 : g.node(n).cycles;
-  for (int st = start; st < start + cycles; ++st) out.push_back(fold(st));
-  return out;
-}
-
-}  // namespace
-
+// Thin adapter over the structured RTL lint pass: the checking logic lives
+// in analysis::lintDatapath, which emits typed Diagnostics; this legacy
+// entry point keeps the historical string contract (same messages, same
+// order, same early-out on binding failures).
 std::vector<std::string> verifyDatapath(const Datapath& d,
                                         const sched::Constraints& c,
                                         DesignStyle style) {
-  std::vector<std::string> v;
-  const dfg::Dfg& g = *d.graph;
-
-  // -- binding --------------------------------------------------------------
-  std::map<NodeId, int> seen;
-  for (const AluInstance& a : d.alus) {
-    const celllib::Module& m = d.lib->module(a.module);
-    for (NodeId op : a.ops) {
-      if (seen.count(op))
-        v.push_back(util::format("op '%s' bound to ALU%d and ALU%d",
-                                 g.node(op).name.c_str(), seen[op], a.index));
-      seen[op] = a.index;
-      if (!dfg::isSchedulable(g.node(op).kind))
-        v.push_back(util::format("non-operation '%s' bound to an ALU",
-                                 g.node(op).name.c_str()));
-      else if (!m.supports(dfg::fuTypeOf(g.node(op).kind)))
-        v.push_back(util::format("ALU%d (%s) cannot perform '%s'", a.index,
-                                 m.signature().c_str(), g.node(op).name.c_str()));
-    }
-  }
-  for (NodeId op : g.operations())
-    if (!seen.count(op))
-      v.push_back(util::format("op '%s' is not bound to any ALU",
-                               g.node(op).name.c_str()));
-  if (!v.empty()) return v;
-
-  // -- ALU occupancy ---------------------------------------------------------
-  for (const AluInstance& a : d.alus) {
-    const bool pipelined = d.lib->module(a.module).stages > 1;
-    for (std::size_t i = 0; i < a.ops.size(); ++i) {
-      for (std::size_t j = i + 1; j < a.ops.size(); ++j) {
-        const NodeId x = a.ops[i];
-        const NodeId y = a.ops[j];
-        if (g.mutuallyExclusive(x, y)) continue;
-        const auto ox = occupied(g, d.schedule, x, pipelined, c.latency);
-        const auto oy = occupied(g, d.schedule, y, pipelined, c.latency);
-        const bool clash = std::any_of(ox.begin(), ox.end(), [&](int st) {
-          return std::find(oy.begin(), oy.end(), st) != oy.end();
-        });
-        if (clash)
-          v.push_back(util::format("ALU%d executes '%s' and '%s' concurrently",
-                                   a.index, g.node(x).name.c_str(),
-                                   g.node(y).name.c_str()));
-      }
-    }
-  }
-
-  // -- style 2: no self loop around ALUs --------------------------------------
-  if (style == DesignStyle::NoSelfLoop) {
-    for (const AluInstance& a : d.alus) {
-      const std::set<NodeId> inAlu(a.ops.begin(), a.ops.end());
-      for (NodeId op : a.ops)
-        for (NodeId p : g.opPreds(op))
-          if (inAlu.count(p))
-            v.push_back(util::format(
-                "style-2 violation: '%s' and its predecessor '%s' share ALU%d",
-                g.node(op).name.c_str(), g.node(p).name.c_str(), a.index));
-    }
-  }
-
-  // -- registers ---------------------------------------------------------------
-  for (std::size_t r = 0; r < d.regs.registers.size(); ++r) {
-    const auto& reg = d.regs.registers[r];
-    for (std::size_t i = 0; i < reg.size(); ++i)
-      for (std::size_t j = i + 1; j < reg.size(); ++j)
-        if (d.lifetimes[reg[i]].overlaps(d.lifetimes[reg[j]]))
-          v.push_back(util::format(
-              "register R%zu holds overlapping signals '%s' and '%s'", r,
-              g.node(d.lifetimes[reg[i]].producer).name.c_str(),
-              g.node(d.lifetimes[reg[j]].producer).name.c_str()));
-  }
-  for (const alloc::Lifetime& lt : d.lifetimes)
-    if (lt.needsRegister && !d.regOfSignal.count(lt.producer))
-      v.push_back(util::format("signal '%s' crosses steps but has no register",
-                               g.node(lt.producer).name.c_str()));
-
-  // -- wiring -------------------------------------------------------------------
-  for (const AluInstance& a : d.alus) {
-    const auto& arr = d.arrangement[static_cast<std::size_t>(a.index)];
-    for (NodeId op : a.ops) {
-      const dfg::Node& n = g.node(op);
-      if (n.inputs.empty()) continue;
-      const bool swap = arr.swapped.count(op) ? arr.swapped.at(op) : false;
-      const dfg::NodeId l = swap && n.inputs.size() == 2 ? n.inputs[1] : n.inputs[0];
-      if (!d.leftPort[static_cast<std::size_t>(a.index)].selectOf.count({op, l}))
-        v.push_back(util::format("ALU%d left port cannot deliver '%s' to '%s'",
-                                 a.index, g.node(l).name.c_str(), n.name.c_str()));
-      if (n.inputs.size() >= 2) {
-        const dfg::NodeId rsig = swap ? n.inputs[0] : n.inputs[1];
-        if (!d.rightPort[static_cast<std::size_t>(a.index)].selectOf.count({op, rsig}))
-          v.push_back(util::format("ALU%d right port cannot deliver '%s' to '%s'",
-                                   a.index, g.node(rsig).name.c_str(),
-                                   n.name.c_str()));
-      }
-    }
-  }
-  return v;
+  return analysis::lintDatapath(d, c, style).messages();
 }
 
 }  // namespace mframe::rtl

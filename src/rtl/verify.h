@@ -1,5 +1,9 @@
 // Independent structural verification of a Datapath — the RTL counterpart of
 // sched::verifySchedule. Every MFSA result is re-checked here by the tests.
+//
+// This is now a thin adapter over analysis::lintDatapath (the structured
+// diagnostics engine in src/analysis/); tools that want rule ids, severities
+// and locations instead of bare strings should call that directly.
 #pragma once
 
 #include <string>

@@ -1,6 +1,10 @@
 // Independent schedule verification. Every schedule produced anywhere in the
 // library (MFS, MFSA, baselines, pipelining transforms) is re-checked here;
 // the tests and benches treat a non-empty violation list as failure.
+//
+// This is now a thin adapter over analysis::lintSchedule (the structured
+// diagnostics engine in src/analysis/); tools that want rule ids, severities
+// and locations instead of bare strings should call that directly.
 #pragma once
 
 #include <string>

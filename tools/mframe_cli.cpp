@@ -2,10 +2,13 @@
 //
 //   mframe schedule <file> --steps N [options]      MFS scheduling
 //   mframe synth    <file> --steps N [options]      MFSA scheduling-allocation
+//   mframe lint     <file> [options]                structural diagnostics
 //
 // <file> is either the behavioral language (.mfb, 'design ...') or the
 // textual DFG format (.dfg, 'dfg ...'); the format is sniffed from the first
-// keyword. Common options:
+// keyword. Every command runs the DFG lint rules up front; `lint` runs them
+// alone (plus schedule rules with --schedule) and reports structured
+// diagnostics as text or JSON (see docs/LINT.md). Common options:
 //   --steps N            time constraint (control steps)
 //   --resource T=K,...   per-FU-type limits (add, sub, mul, div, cmp, ...)
 //   --mode time|resource MFS objective (default time)
@@ -20,12 +23,17 @@
 //   --controller         print the FSM micro-program
 //   --sim a=1,b=2,...    simulate the RTL and print outputs (checked
 //                        against the behavioral reference)
+// lint-only:
+//   --json               emit diagnostics as JSON instead of text
+//   --fail-on SEV        exit nonzero at error|warning|note (default error)
+//   --schedule FILE      also lint a saved schedule against the design
 // common output options:
 //   --dot                print Graphviz DOT of the scheduled DFG
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "analysis/lint.h"
 #include "celllib/library_io.h"
 #include "celllib/ncr_like.h"
 #include "rtl/microcode.h"
@@ -43,6 +51,7 @@
 #include "rtl/verify.h"
 #include "rtl/verilog.h"
 #include "sched/report.h"
+#include "sched/schedule_io.h"
 #include "sched/verify.h"
 #include "sim/dfg_eval.h"
 #include "sim/rtl_sim.h"
@@ -52,8 +61,26 @@ namespace {
 
 using namespace mframe;
 
+constexpr const char* kUsage =
+    "usage: mframe <schedule|synth|lint> <file> [options]\n"
+    "  schedule <file> --steps N    MFS scheduling\n"
+    "  synth    <file> --steps N    MFSA scheduling-allocation\n"
+    "  lint     <file>              structural diagnostics (no scheduling)\n"
+    "common options: --resource T=K,... --mode time|resource --chaining\n"
+    "  --clock NS --latency L --pipelined-mults --priority RULE --report --dot\n"
+    "synth options:  --style 1|2 --weights T,A,M,R --library FILE --verilog\n"
+    "  --controller --microcode --testability --testbench --rtl-dot\n"
+    "  --sim a=1,b=2 [--vcd FILE]\n"
+    "lint options:   --json --fail-on error|warning|note --schedule FILE\n";
+
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "mframe: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+/// Argument errors additionally print the usage string.
+[[noreturn]] void dieUsage(const std::string& msg) {
+  std::fprintf(stderr, "mframe: %s\n%s", msg.c_str(), kUsage);
   std::exit(2);
 }
 
@@ -80,20 +107,39 @@ struct Cli {
   std::string libraryPath;
   std::map<std::string, sim::Word> simInputs;
   bool doSim = false;
+  // lint-only options
+  bool jsonOut = false;
+  analysis::Severity failOn = analysis::Severity::Error;
+  std::string schedulePath;
 };
 
 Cli parseArgs(int argc, char** argv) {
   Cli c;
-  if (argc < 3) die("usage: mframe <schedule|synth> <file> [options]");
+  if (argc < 3) dieUsage("expected a command and an input file");
   c.command = argv[1];
   c.file = argv[2];
-  if (c.command != "schedule" && c.command != "synth")
-    die("unknown command '" + c.command + "'");
+  if (c.command != "schedule" && c.command != "synth" && c.command != "lint")
+    dieUsage("unknown command '" + c.command + "'");
 
   for (int i = 3; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    // Accept both "--opt value" and "--opt=value".
+    std::string inlineValue;
+    bool hasInline = false;
+    if (a.rfind("--", 0) == 0) {
+      const auto eq = a.find('=');
+      if (eq != std::string::npos) {
+        inlineValue = a.substr(eq + 1);
+        a.erase(eq);
+        hasInline = true;
+      }
+    }
     auto next = [&]() -> std::string {
-      if (++i >= argc) die("missing value after " + a);
+      if (hasInline) {
+        hasInline = false;
+        return inlineValue;
+      }
+      if (++i >= argc) dieUsage("missing value after " + a);
       return argv[i];
     };
     if (a == "--steps") {
@@ -161,6 +207,14 @@ Cli parseArgs(int argc, char** argv) {
       c.emitStats = true;
     } else if (a == "--library") {
       c.libraryPath = next();
+    } else if (a == "--json") {
+      c.jsonOut = true;
+    } else if (a == "--fail-on") {
+      const std::string s = next();
+      if (!analysis::parseSeverity(s, c.failOn))
+        dieUsage("bad --fail-on '" + s + "' (use error|warning|note)");
+    } else if (a == "--schedule") {
+      c.schedulePath = next();
     } else if (a == "--sim") {
       c.doSim = true;
       for (const auto& part : util::split(next(), ',')) {
@@ -170,44 +224,64 @@ Cli parseArgs(int argc, char** argv) {
             static_cast<sim::Word>(util::parseLong(kv[1]));
       }
     } else {
-      die("unknown option '" + a + "'");
+      dieUsage("unknown option '" + a + "'");
     }
+    if (hasInline) dieUsage("option " + a + " does not take a value");
   }
   return c;
 }
 
-dfg::Dfg loadDesign(const std::string& path) {
+std::string readFileOrDie(const std::string& path) {
   std::ifstream in(path);
   if (!in) die("cannot open '" + path + "'");
   std::stringstream ss;
   ss << in.rdbuf();
-  const std::string text = ss.str();
-  // Sniff the format from the first keyword on the first non-comment line.
-  std::string firstWord;
+  return ss.str();
+}
+
+/// The first keyword on the first non-comment line decides the format.
+std::string sniffFirstWord(const std::string& text) {
   std::istringstream lines(text);
   for (std::string line; std::getline(lines, line);) {
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     const auto tokens = util::splitWs(line);
     if (tokens.empty()) continue;
-    firstWord = tokens[0];
-    break;
+    return tokens[0];
   }
-  if (firstWord == "design") {
-    lang::Compiled c = lang::compile(text);
-    if (c.hasLoops()) {
-      // Fold loops with MFS as the body scheduler.
-      return dfg::foldLoopNest(c.nest, [](const dfg::Dfg& body, int cs) {
-        core::MfsOptions o;
-        o.constraints.timeSteps = cs;
-        const auto r = core::runMfs(body, o);
-        if (!r.feasible) throw std::runtime_error("loop body: " + r.error);
-        return r.steps;
-      });
-    }
-    return std::move(c.nest.body);
+  return "";
+}
+
+dfg::Dfg compileBehavioral(const std::string& text) {
+  lang::Compiled c = lang::compile(text);
+  if (c.hasLoops()) {
+    // Fold loops with MFS as the body scheduler.
+    return dfg::foldLoopNest(c.nest, [](const dfg::Dfg& body, int cs) {
+      core::MfsOptions o;
+      o.constraints.timeSteps = cs;
+      const auto r = core::runMfs(body, o);
+      if (!r.feasible) throw std::runtime_error("loop body: " + r.error);
+      return r.steps;
+    });
   }
+  return std::move(c.nest.body);
+}
+
+dfg::Dfg loadDesign(const std::string& path) {
+  const std::string text = readFileOrDie(path);
+  if (sniffFirstWord(text) == "design") return compileBehavioral(text);
   return dfg::parse(text);
+}
+
+/// Front-line check every command runs after loading a design: lint the DFG
+/// and refuse to schedule/synthesize on errors. Warnings go to stderr.
+void preflightLint(const dfg::Dfg& g) {
+  const analysis::LintReport r = analysis::lintDfg(g);
+  if (r.empty()) return;
+  std::fprintf(stderr, "%s", r.renderText().c_str());
+  if (r.hasErrors())
+    die(util::format("design '%s' fails lint with %zu error(s)",
+                     g.name().c_str(), r.count(analysis::Severity::Error)));
 }
 
 std::string fuSummary(const std::map<dfg::FuType, int>& fus) {
@@ -312,14 +386,75 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
   return bad.empty() ? 0 : 1;
 }
 
+int runLint(const Cli& cli) {
+  const std::string text = readFileOrDie(cli.file);
+  analysis::LintReport report;
+  dfg::Dfg g;
+  bool haveGraph = false;
+
+  auto parseFailure = [&](std::string_view rule, const std::string& msg,
+                          int line) {
+    analysis::Diagnostic d;
+    d.rule = std::string(rule);
+    d.severity = analysis::Severity::Error;
+    d.entity = analysis::EntityKind::Design;
+    d.loc.line = line;
+    d.message = msg;
+    report.add(std::move(d));
+  };
+
+  if (sniffFirstWord(text) == "design") {
+    // The behavioral front-end has no lenient mode; a compile failure
+    // becomes a single parse-failure diagnostic.
+    try {
+      g = compileBehavioral(text);
+      haveGraph = true;
+    } catch (const std::exception& e) {
+      parseFailure(analysis::kDfgParseFailure, e.what(), -1);
+    }
+  } else {
+    std::vector<dfg::ParseIssue> issues;
+    g = dfg::parseLenient(text, issues);
+    haveGraph = true;
+    for (const dfg::ParseIssue& issue : issues)
+      parseFailure(issue.unknownSignal ? analysis::kDfgDanglingInput
+                                       : analysis::kDfgParseFailure,
+                   issue.message, issue.line > 0 ? issue.line : -1);
+  }
+
+  if (haveGraph) report.merge(analysis::lintDfg(g));
+
+  if (!cli.schedulePath.empty()) {
+    if (!haveGraph) {
+      die("cannot lint schedule '" + cli.schedulePath + "': design failed to parse");
+    } else {
+      std::string err;
+      const auto sched =
+          sched::parseSchedule(g, readFileOrDie(cli.schedulePath), &err);
+      if (!sched)
+        parseFailure(analysis::kSchedParseFailure, err, -1);
+      else
+        report.merge(analysis::lintSchedule(*sched, cli.constraints));
+    }
+  }
+
+  if (cli.jsonOut)
+    std::printf("%s", report.renderJson(g.name()).c_str());
+  else
+    std::printf("%s", report.renderText().c_str());
+  return report.hasAtOrAbove(cli.failOn) ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Cli cli = parseArgs(argc, argv);
+    if (cli.command == "lint") return runLint(cli);
     if (cli.steps <= 0 && cli.mode == core::MfsLiapunov::Mode::TimeConstrained)
       die("--steps is required in time-constrained mode");
     const dfg::Dfg g = loadDesign(cli.file);
+    preflightLint(g);
     std::printf("design '%s': %zu nodes, %zu operations\n\n",
                 g.name().c_str(), g.size(), g.operations().size());
     if (cli.emitStats)

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Run clang-tidy over the library and tool sources using the compile database
+# of an existing build tree.
+#
+# Usage: tools/run-tidy.sh [build-dir] [extra clang-tidy args...]
+#
+# The build tree must have been configured with
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# so that <build-dir>/compile_commands.json exists.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+[ $# -gt 0 ] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run-tidy.sh: clang-tidy not found in PATH; skipping" >&2
+  exit 0
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "run-tidy.sh: $build/compile_commands.json missing." >&2
+  echo "Configure with: cmake -B $build -S $repo -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+# Sources in listing order; headers ride along through HeaderFilterRegex in
+# .clang-tidy. (No spaces in repo paths, so word splitting is safe.)
+status=0
+for f in $(find "$repo/src" "$repo/tools" -name '*.cpp' | sort); do
+  echo "== $f"
+  clang-tidy -p "$build" "$@" "$f" || status=1
+done
+exit "$status"
