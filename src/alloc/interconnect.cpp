@@ -39,7 +39,7 @@ Source SourceResolver::resolve(dfg::NodeId reader, dfg::NodeId signal) const {
   }
 
   // Chained read: the reader starts in the step where the producer finishes.
-  const int producerEnd = s_->stepOf(signal) + sig.cycles - 1;
+  const int producerEnd = s_->endStepOf(signal);
   if (s_->isPlaced(reader) && s_->stepOf(reader) == producerEnd) {
     auto alu = aluOf_->find(signal);
     if (alu != aluOf_->end())

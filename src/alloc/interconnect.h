@@ -55,6 +55,13 @@ struct PortWiring {
   std::vector<Source> sources;  ///< distinct wires into the mux, in first-use order
   /// (reader op, signal) -> index into `sources` (the mux select value).
   std::map<std::pair<dfg::NodeId, dfg::NodeId>, std::size_t> selectOf;
+
+  /// The source wired for `reader`'s consumption of `signal`, or nullptr when
+  /// this port never carries that read.
+  const Source* sourceFor(dfg::NodeId reader, dfg::NodeId signal) const {
+    auto it = selectOf.find({reader, signal});
+    return it == selectOf.end() ? nullptr : &sources[it->second];
+  }
 };
 
 /// Collapse per-operation reads into shared wires.

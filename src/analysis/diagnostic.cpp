@@ -64,6 +64,7 @@ std::string Diagnostic::toText() const {
                                  std::string(severityName(severity)).c_str(),
                                  rule.c_str(), where.c_str(), message.c_str());
   if (!fixit.empty()) out += " (fix: " + fixit + ")";
+  for (const std::string& p : provenance) out += "\n    via: " + p;
   return out;
 }
 
@@ -136,6 +137,7 @@ std::string quoted(std::string_view s) { return "\"" + jsonEscape(s) + "\""; }
 
 std::string LintReport::renderJson(std::string_view designName) const {
   std::string out = "{\n";
+  out += "  \"schema\": 2,\n";
   out += "  \"design\": " + quoted(designName) + ",\n";
   out += util::format(
       "  \"counts\": {\"error\": %zu, \"warning\": %zu, \"note\": %zu},\n",
@@ -163,6 +165,14 @@ std::string LintReport::renderJson(std::string_view designName) const {
     out += "}";
     out += ", \"message\": " + quoted(d.message);
     if (!d.fixit.empty()) out += ", \"fixit\": " + quoted(d.fixit);
+    if (!d.provenance.empty()) {
+      out += ", \"provenance\": [";
+      for (std::size_t p = 0; p < d.provenance.size(); ++p) {
+        if (p != 0) out += ", ";
+        out += quoted(d.provenance[p]);
+      }
+      out += "]";
+    }
     out += "}";
   }
   out += diags_.empty() ? "]\n" : "\n  ]\n";
@@ -289,6 +299,15 @@ bool parseDiagnostic(JsonCursor& c, Diagnostic& d) {
       if (!c.parseString(d.message)) return false;
     } else if (key == "fixit") {
       if (!c.parseString(d.fixit)) return false;
+    } else if (key == "provenance") {
+      if (!c.eat('[')) return false;
+      while (!c.peek(']')) {
+        std::string entry;
+        if (!c.parseString(entry)) return false;
+        d.provenance.push_back(std::move(entry));
+        if (c.peek(',')) c.eat(',');
+      }
+      if (!c.eat(']')) return false;
     } else {
       return c.fail("unknown diagnostic key '" + key + "'");
     }
@@ -315,6 +334,13 @@ std::optional<std::vector<Diagnostic>> parseDiagnosticsJson(
     if (key == "design") {
       std::string ignored;
       if (!c.parseString(ignored)) return bail();
+    } else if (key == "schema") {
+      int v;
+      if (!c.parseInt(v)) return bail();
+      if (v != 2) {
+        c.fail(util::format("unsupported schema version %d", v));
+        return bail();
+      }
     } else if (key == "counts") {
       // Skip the tallies object; it is derivable from the diagnostics.
       if (!c.eat('{')) return bail();

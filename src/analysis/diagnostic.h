@@ -57,8 +57,13 @@ struct Diagnostic {
   Location loc;
   std::string message;
   std::string fixit;                   ///< optional suggested fix ("" = none)
+  /// Provenance chain, outermost first — e.g. the validator's
+  /// op -> step -> FU -> port -> bus -> register trail. Empty for rules
+  /// whose location says everything.
+  std::vector<std::string> provenance;
 
-  /// One-line rendering: "error[DFG003] node 'y': message (fix: ...)".
+  /// One-line rendering: "error[DFG003] node 'y': message (fix: ...)",
+  /// followed by one indented "via: ..." line per provenance entry.
   std::string toText() const;
 
   bool operator==(const Diagnostic&) const = default;

@@ -1,0 +1,17 @@
+// LIB rule family: sanity checks over a cell library, optionally against
+// the FU types a design actually needs. See docs/LINT.md for the catalogue.
+#pragma once
+
+#include <set>
+
+#include "analysis/diagnostic.h"
+#include "celllib/cell_library.h"
+
+namespace mframe::analysis {
+
+/// Lint `lib`. When `needed` is non-empty, LIB004 fires for each FU type in
+/// it that no module implements (pass the design's type mix).
+LintReport lintLibrary(const celllib::CellLibrary& lib,
+                       const std::set<dfg::FuType>& needed = {});
+
+}  // namespace mframe::analysis

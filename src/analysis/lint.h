@@ -7,6 +7,9 @@
 //   analysis::lintSchedule(s, constraints)    — schedule rules
 //   analysis::lintDatapath(d, constraints, s) — RTL binding/register/wiring
 //   analysis::lintBusPlan / lintMicrocode     — derived-artifact rules
+//   analysis::lintLibrary(lib, needed)        — cell-library rules (LIB)
+//   analysis::proveDatapath(d, fsm, rom)      — translation validator (EQV),
+//                                               see analysis/validate/
 //
 // Reports render as text (LintReport::renderText) or JSON
 // (LintReport::renderJson); see docs/LINT.md for the rule catalogue and
@@ -15,6 +18,8 @@
 
 #include "analysis/dfg_rules.h"
 #include "analysis/diagnostic.h"
+#include "analysis/lib_rules.h"
 #include "analysis/rtl_rules.h"
 #include "analysis/rules.h"
 #include "analysis/sched_rules.h"
+#include "analysis/validate/validate.h"

@@ -13,7 +13,7 @@ namespace mframe::analysis {
 
 struct RuleInfo {
   std::string_view id;       ///< stable id, e.g. "DFG003"
-  std::string_view family;   ///< "dfg", "sched" or "rtl"
+  std::string_view family;   ///< "dfg", "sched", "rtl", "eqv" or "lib"
   Severity severity;         ///< default severity of emissions
   std::string_view summary;  ///< one-line description
 };
@@ -62,5 +62,20 @@ inline constexpr std::string_view kRtlBusContention = "RTL010";
 inline constexpr std::string_view kRtlBusIdle = "RTL011";
 inline constexpr std::string_view kRtlBadFieldRef = "RTL012";
 inline constexpr std::string_view kRtlFieldOverflow = "RTL013";
+// -- EQV family (translation validator, src/analysis/validate/) --------------
+inline constexpr std::string_view kEqvParseFailure = "EQV000";
+inline constexpr std::string_view kEqvOperandMismatch = "EQV001";
+inline constexpr std::string_view kEqvRegisterClobber = "EQV002";
+inline constexpr std::string_view kEqvOutputUnreachable = "EQV003";
+inline constexpr std::string_view kEqvMuxRoute = "EQV004";
+inline constexpr std::string_view kEqvStepDisagreement = "EQV005";
+// -- LIB family (cell libraries) ---------------------------------------------
+inline constexpr std::string_view kLibParseFailure = "LIB000";
+inline constexpr std::string_view kLibDuplicateCell = "LIB001";
+inline constexpr std::string_view kLibBadArea = "LIB002";
+inline constexpr std::string_view kLibBadDelay = "LIB003";
+inline constexpr std::string_view kLibMissingCell = "LIB004";
+inline constexpr std::string_view kLibBadStages = "LIB005";
+inline constexpr std::string_view kLibMuxTable = "LIB006";
 
 }  // namespace mframe::analysis

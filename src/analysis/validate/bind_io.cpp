@@ -1,0 +1,190 @@
+#include "analysis/validate/bind_io.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "alloc/regalloc.h"
+#include "util/strings.h"
+
+namespace mframe::analysis {
+
+std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
+                                           const celllib::CellLibrary& lib,
+                                           std::string_view text,
+                                           std::string* error) {
+  auto fail = [&](int line, const std::string& msg) {
+    if (error)
+      *error = util::format("bind parse error at line %d: %s", line,
+                            msg.c_str());
+    return std::nullopt;
+  };
+
+  sched::Schedule s(g);
+  std::map<int, celllib::ModuleId> aluModule;
+  std::map<int, std::vector<dfg::NodeId>> aluOps;     // parse order per ALU
+  std::map<dfg::NodeId, int> pinnedReg;
+  struct Route { dfg::NodeId op; bool left; int sel; };
+  std::vector<Route> routes;
+  struct Load { dfg::NodeId signal; int step; };
+  std::vector<Load> loads;
+
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int lineNo = 0;
+  bool sawHeader = false;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const auto tok = util::splitWs(raw);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "bind") {
+      if (tok.size() != 3 || !util::startsWith(tok[2], "steps="))
+        return fail(lineNo, "expected: bind <name> steps=<cs>");
+      if (tok[1] != g.name())
+        return fail(lineNo, "design name '" + tok[1] + "' does not match '" +
+                                g.name() + "'");
+      const long cs = util::parseLong(tok[2].substr(6));
+      if (cs < 1) return fail(lineNo, "bad steps value");
+      s.setNumSteps(static_cast<int>(cs));
+      sawHeader = true;
+      continue;
+    }
+    if (!sawHeader) return fail(lineNo, "statement before 'bind' header");
+
+    if (tok[0] == "alu") {
+      if (tok.size() != 3) return fail(lineNo, "expected: alu <k> <module>");
+      const long k = util::parseLong(tok[1]);
+      if (k < 0) return fail(lineNo, "bad ALU index");
+      if (aluModule.count(static_cast<int>(k)))
+        return fail(lineNo, util::format("duplicate alu %ld", k));
+      celllib::ModuleId found = -1;
+      for (std::size_t i = 0; i < lib.modules().size(); ++i)
+        if (lib.modules()[i].name == tok[2])
+          found = static_cast<celllib::ModuleId>(i);
+      if (found < 0)
+        return fail(lineNo, "unknown library module '" + tok[2] + "'");
+      aluModule[static_cast<int>(k)] = found;
+    } else if (tok[0] == "op") {
+      if (tok.size() != 4 || !util::startsWith(tok[2], "step=") ||
+          !util::startsWith(tok[3], "alu="))
+        return fail(lineNo, "expected: op <signal> step=<s> alu=<k>");
+      const dfg::NodeId id = g.findByName(tok[1]);
+      if (id == dfg::kNoNode)
+        return fail(lineNo, "unknown signal '" + tok[1] + "'");
+      if (!dfg::isSchedulable(g.node(id).kind))
+        return fail(lineNo, "'" + tok[1] + "' is not an operation");
+      const long step = util::parseLong(tok[2].substr(5));
+      const long k = util::parseLong(tok[3].substr(4));
+      if (step < 1 || step > s.numSteps())
+        return fail(lineNo, "step out of range");
+      if (!aluModule.count(static_cast<int>(k)))
+        return fail(lineNo, util::format("op bound to undeclared alu %ld", k));
+      if (s.isPlaced(id))
+        return fail(lineNo, "duplicate placement of '" + tok[1] + "'");
+      // Column = ALU index + 1: globally unique, so the (type, column) grid
+      // and the explicit binding agree.
+      s.place(id, static_cast<int>(step), static_cast<int>(k) + 1);
+      aluOps[static_cast<int>(k)].push_back(id);
+    } else if (tok[0] == "reg") {
+      if (tok.size() != 3) return fail(lineNo, "expected: reg <signal> <r>");
+      const dfg::NodeId id = g.findByName(tok[1]);
+      if (id == dfg::kNoNode)
+        return fail(lineNo, "unknown signal '" + tok[1] + "'");
+      const long reg = util::parseLong(tok[2]);
+      if (reg < 0) return fail(lineNo, "bad register index");
+      if (pinnedReg.count(id))
+        return fail(lineNo, "duplicate reg for '" + tok[1] + "'");
+      pinnedReg[id] = static_cast<int>(reg);
+    } else if (tok[0] == "route") {
+      if (tok.size() != 4 || (tok[2] != "left" && tok[2] != "right"))
+        return fail(lineNo, "expected: route <op> left|right <sel>");
+      const dfg::NodeId id = g.findByName(tok[1]);
+      if (id == dfg::kNoNode)
+        return fail(lineNo, "unknown signal '" + tok[1] + "'");
+      const long sel = util::parseLong(tok[3]);
+      if (sel < 0) return fail(lineNo, "bad select value");
+      routes.push_back({id, tok[2] == "left", static_cast<int>(sel)});
+    } else if (tok[0] == "load") {
+      if (tok.size() != 3 || !util::startsWith(tok[2], "step="))
+        return fail(lineNo, "expected: load <signal> step=<t>");
+      const dfg::NodeId id = g.findByName(tok[1]);
+      if (id == dfg::kNoNode)
+        return fail(lineNo, "unknown signal '" + tok[1] + "'");
+      const long step = util::parseLong(tok[2].substr(5));
+      if (step < 0 || step > s.numSteps())
+        return fail(lineNo, "load step out of range");
+      loads.push_back({id, static_cast<int>(step)});
+    } else {
+      return fail(lineNo, "unknown statement '" + tok[0] + "'");
+    }
+  }
+  if (!sawHeader) return fail(0, "missing 'bind' header");
+  for (dfg::NodeId id : g.operations())
+    if (!s.isPlaced(id))
+      return fail(0, "operation '" + g.node(id).name + "' is not placed");
+
+  // ALU instances in declared-index order; indices must be dense from 0.
+  std::vector<rtl::AluInstance> alus;
+  for (const auto& [k, module] : aluModule) {
+    if (k != static_cast<int>(alus.size()))
+      return fail(0, util::format("alu indices must be dense from 0 "
+                                  "(missing alu %zu)", alus.size()));
+    rtl::AluInstance a;
+    a.module = module;
+    a.index = k;
+    a.ops = aluOps.count(k) ? aluOps[k] : std::vector<dfg::NodeId>{};
+    alus.push_back(std::move(a));
+  }
+
+  // Register assignment: pinned signals first, every other stored signal in
+  // its own fresh register — the file controls sharing, defects included.
+  const std::vector<alloc::Lifetime> lifetimes = alloc::computeLifetimes(g, s);
+  alloc::RegAllocation regs;
+  int maxPinned = -1;
+  for (const auto& [id, reg] : pinnedReg) maxPinned = std::max(maxPinned, reg);
+  regs.registers.assign(static_cast<std::size_t>(maxPinned + 1), {});
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    const alloc::Lifetime& lt = lifetimes[i];
+    auto pin = pinnedReg.find(lt.producer);
+    if (pin != pinnedReg.end()) {
+      regs.registers[static_cast<std::size_t>(pin->second)].push_back(i);
+    } else if (lt.needsRegister) {
+      regs.registers.push_back({i});
+    }
+  }
+
+  BoundDesign b;
+  b.datapath = rtl::buildDatapath(g, lib, s, std::move(alus), std::move(regs));
+  b.fsm = rtl::buildController(b.datapath);
+
+  for (const Route& rt : routes) {
+    bool applied = false;
+    for (rtl::MicroOp& m : b.fsm.microOps)
+      if (m.op == rt.op) {
+        (rt.left ? m.leftSelect : m.rightSelect) = rt.sel;
+        applied = true;
+      }
+    if (!applied)
+      return fail(0, "route targets unissued op '" + g.node(rt.op).name + "'");
+  }
+  for (const Load& ld : loads) {
+    bool applied = false;
+    for (rtl::RegLoad& rl : b.fsm.regLoads)
+      if (rl.signal == ld.signal) {
+        rl.step = ld.step;
+        applied = true;
+      }
+    if (!applied)
+      return fail(0, "load targets unregistered signal '" +
+                         g.node(ld.signal).name + "'");
+  }
+
+  b.rom = rtl::buildMicrocode(b.datapath, b.fsm);
+  return b;
+}
+
+}  // namespace mframe::analysis

@@ -1,0 +1,47 @@
+// Textual bound-design (.bind) format: a complete synthesis result — ALU
+// allocation, operation placement+binding, register assignment and optional
+// controller overrides — pinned in a file so the translation validator can
+// be pointed at externally produced (and deliberately defective) designs,
+// mirroring the broken.dfg/broken.sched fixture pattern.
+//
+//   # comment
+//   bind <design-name> steps=<cs>
+//   alu <k> <module-name>          # instance k uses this library cell
+//   op <signal> step=<s> alu=<k>   # place the op and bind it to ALU k
+//   reg <signal> <r>               # pin the signal into register r
+//   route <op> left|right <sel>    # override the issued mux select
+//   load <signal> step=<t>         # override the latch step (0 = preload)
+//
+// Every schedulable operation must be placed. Signals without an explicit
+// `reg` that need storage get fresh registers after the pinned ones. The
+// `route`/`load` statements mutate the derived controller *before* the
+// microcode ROM is assembled, so a seeded defect flows through the same
+// artifacts the validator reads.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "celllib/cell_library.h"
+#include "dfg/dfg.h"
+#include "rtl/controller.h"
+#include "rtl/datapath.h"
+#include "rtl/microcode.h"
+
+namespace mframe::analysis {
+
+struct BoundDesign {
+  rtl::Datapath datapath;
+  rtl::ControllerFsm fsm;
+  rtl::MicrocodeRom rom;
+};
+
+/// Parse `text` against design `g` drawing cells from `lib`. Returns
+/// std::nullopt and fills *error on malformed input.
+std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
+                                           const celllib::CellLibrary& lib,
+                                           std::string_view text,
+                                           std::string* error = nullptr);
+
+}  // namespace mframe::analysis

@@ -1,0 +1,37 @@
+// Translation validation for a synthesized design (the "prove" pass).
+//
+// proveDatapath symbolically executes the datapath + controller FSM +
+// microcode ROM with no concrete inputs: every register and ALU output
+// carries a value number (see value_numbering.h) instead of data. The run
+// proves that each DFG operation is issued by its bound ALU at its scheduled
+// step, that the operand values arriving through the declared mux routes are
+// the operation's DFG operands, that each result lands in its allocated
+// register and survives (unclobbered) until its last consumer has read it,
+// and that every primary output register ends the schedule holding the
+// output's defining expression. Violations are reported as EQV diagnostics
+// (see docs/VALIDATE.md and docs/LINT.md) with a provenance chain tracing
+// op -> step -> ALU -> port -> bus -> register.
+//
+// An empty report is a proof, modulo the stated assumptions: pure cells
+// (an ALU output is a function of its operands only), a static microcode
+// program, and single-trace execution (conditional arms are validated on
+// their shared schedule positions, not per-branch).
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "rtl/controller.h"
+#include "rtl/datapath.h"
+#include "rtl/microcode.h"
+
+namespace mframe::analysis {
+
+/// Validate an explicit (datapath, FSM, ROM) triple — the form used for
+/// externally supplied .bind designs whose controller may be defective.
+LintReport proveDatapath(const rtl::Datapath& d, const rtl::ControllerFsm& fsm,
+                         const rtl::MicrocodeRom& rom);
+
+/// Convenience: derive the controller and microcode from the datapath (the
+/// synthesis flow's own artifacts) and validate the triple.
+LintReport proveDatapath(const rtl::Datapath& d);
+
+}  // namespace mframe::analysis

@@ -13,7 +13,10 @@ std::string Module::signature() const {
 
 ModuleId CellLibrary::addModule(Module m) {
   for (std::size_t i = 0; i < modules_.size(); ++i)
-    if (modules_[i].name == m.name) return static_cast<ModuleId>(i);
+    if (modules_[i].name == m.name) {
+      duplicateNames_.push_back(m.name);
+      return static_cast<ModuleId>(i);
+    }
   modules_.push_back(std::move(m));
   return static_cast<ModuleId>(modules_.size() - 1);
 }

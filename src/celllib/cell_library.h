@@ -64,8 +64,13 @@ class CellLibrary {
   /// Validation: every FU type of `needed` has at least one capable module.
   std::optional<std::string> checkCoverage(const std::set<dfg::FuType>& needed) const;
 
+  /// Names that addModule saw more than once (the later definition was
+  /// dropped), in encounter order with repeats — lint fodder.
+  const std::vector<std::string>& duplicateNames() const { return duplicateNames_; }
+
  private:
   std::vector<Module> modules_;
+  std::vector<std::string> duplicateNames_;
   std::vector<double> muxCost_{0.0, 0.0};
   double regCost_ = 0.0;
 };

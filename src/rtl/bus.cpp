@@ -65,9 +65,22 @@ std::vector<int> busDemandPerStep(const Datapath& d, const ControllerFsm& fsm) {
   return demand;
 }
 
+std::vector<std::map<alloc::Source, int>> busAssignmentPerStep(
+    const Datapath& d, const ControllerFsm& fsm) {
+  std::vector<std::map<alloc::Source, int>> assign(
+      static_cast<std::size_t>(fsm.numSteps) + 1);
+  for (const Transfer& t : collectTransfers(d, fsm)) {
+    if (t.step < 1 || t.step > fsm.numSteps) continue;
+    auto& buses = assign[static_cast<std::size_t>(t.step)];
+    buses.try_emplace(t.source, static_cast<int>(buses.size()));
+  }
+  return assign;
+}
+
 BusPlan planBuses(const Datapath& d, const ControllerFsm& fsm,
                   const BusCostModel& model) {
   const std::vector<Transfer> transfers = collectTransfers(d, fsm);
+  const auto assign = busAssignmentPerStep(d, fsm);
 
   BusPlan plan;
   plan.transfersPerStep.assign(static_cast<std::size_t>(fsm.numSteps) + 1, 0);
@@ -76,25 +89,15 @@ BusPlan planBuses(const Datapath& d, const ControllerFsm& fsm,
   // distinct sources get the lowest free bus index.
   std::set<std::pair<alloc::Source, int>> drivers;       // (source, bus)
   std::set<std::tuple<int, bool, int>> receivers;        // (alu, port, bus)
-  for (int step = 1; step <= fsm.numSteps; ++step) {
-    std::vector<alloc::Source> sourcesThisStep;
-    for (const Transfer& t : transfers) {
-      if (t.step != step) continue;
-      auto it = std::find(sourcesThisStep.begin(), sourcesThisStep.end(), t.source);
-      int bus;
-      if (it == sourcesThisStep.end()) {
-        bus = static_cast<int>(sourcesThisStep.size());
-        sourcesThisStep.push_back(t.source);
-      } else {
-        bus = static_cast<int>(it - sourcesThisStep.begin());
-      }
-      drivers.insert({t.source, bus});
-      receivers.insert({t.alu, t.leftPort, bus});
-      ++plan.transfersPerStep[static_cast<std::size_t>(step)];
-    }
-    plan.busCount =
-        std::max(plan.busCount, static_cast<int>(sourcesThisStep.size()));
+  for (const Transfer& t : transfers) {
+    if (t.step < 1 || t.step > fsm.numSteps) continue;
+    const int bus = assign[static_cast<std::size_t>(t.step)].at(t.source);
+    drivers.insert({t.source, bus});
+    receivers.insert({t.alu, t.leftPort, bus});
+    ++plan.transfersPerStep[static_cast<std::size_t>(t.step)];
   }
+  for (const auto& buses : assign)
+    plan.busCount = std::max(plan.busCount, static_cast<int>(buses.size()));
   plan.driverCount = static_cast<int>(drivers.size());
   plan.receiverCount = static_cast<int>(receivers.size());
   plan.totalCost = plan.busCount * model.busWireUm2 +

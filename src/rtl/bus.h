@@ -49,4 +49,12 @@ BusPlan planBuses(const Datapath& d, const ControllerFsm& fsm,
 /// lint engine checks externally supplied plans against this demand.
 std::vector<int> busDemandPerStep(const Datapath& d, const ControllerFsm& fsm);
 
+/// The bus each shared source drives in each step (index 1..numSteps; index
+/// 0 unused): same greedy assignment planBuses prices — first transfer of a
+/// source in a step claims the lowest free bus, later transfers of the same
+/// source share it. The validator uses this to name the bus a refuted
+/// operand rode in on.
+std::vector<std::map<alloc::Source, int>> busAssignmentPerStep(
+    const Datapath& d, const ControllerFsm& fsm);
+
 }  // namespace mframe::rtl

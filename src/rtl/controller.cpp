@@ -55,7 +55,7 @@ ControllerFsm buildController(const Datapath& d) {
       rl.step = 0;
       rl.fromAlu = -1;
     } else {
-      rl.step = d.schedule.stepOf(signal) + n.cycles - 1;
+      rl.step = d.schedule.endStepOf(signal);
       auto it = d.aluOf.find(signal);
       rl.fromAlu = it == d.aluOf.end() ? -1 : it->second;
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 
 #include "util/strings.h"
 
@@ -20,6 +21,14 @@ std::string Datapath::aluSummary() const {
 Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
                        const sched::Schedule& s,
                        std::vector<AluInstance> alus) {
+  const std::vector<alloc::Lifetime> lifetimes = alloc::computeLifetimes(g, s);
+  return buildDatapath(g, lib, s, std::move(alus),
+                       alloc::allocateRegisters(lifetimes));
+}
+
+Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
+                       const sched::Schedule& s, std::vector<AluInstance> alus,
+                       alloc::RegAllocation regs) {
   Datapath d;
   d.schedule = s;
   d.graph = d.schedule.sharedGraph();  // identical snapshot as the schedule's
@@ -30,7 +39,7 @@ Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
 
   // Registers (Section 5.8).
   d.lifetimes = alloc::computeLifetimes(g, s);
-  d.regs = alloc::allocateRegisters(d.lifetimes);
+  d.regs = std::move(regs);
   for (std::size_t r = 0; r < d.regs.registers.size(); ++r)
     for (std::size_t i : d.regs.registers[r])
       d.regOfSignal[d.lifetimes[i].producer] = static_cast<int>(r);
@@ -59,6 +68,32 @@ Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
     d.rightPort.push_back(alloc::wirePort(resolver, rightReads));
   }
   return d;
+}
+
+std::vector<AluInstance> bindByColumns(const dfg::Dfg& g,
+                                       const celllib::CellLibrary& lib,
+                                       const sched::Schedule& s) {
+  std::vector<AluInstance> alus;
+  std::map<std::pair<dfg::FuType, int>, std::size_t> instanceOf;
+  for (const dfg::Node& n : g.nodes()) {
+    if (!dfg::isSchedulable(n.kind) || !s.isPlaced(n.id)) continue;
+    const dfg::FuType t = dfg::fuTypeOf(n.kind);
+    const auto key = std::make_pair(t, s.columnOf(n.id));
+    auto it = instanceOf.find(key);
+    if (it == instanceOf.end()) {
+      const std::optional<celllib::ModuleId> m = lib.cheapestFor(t);
+      if (!m)
+        throw std::runtime_error("cell library has no module for FU type '" +
+                                 std::string(dfg::fuTypeName(t)) + "'");
+      AluInstance a;
+      a.module = *m;
+      a.index = static_cast<int>(alus.size());
+      alus.push_back(std::move(a));
+      it = instanceOf.emplace(key, alus.size() - 1).first;
+    }
+    alus[it->second].ops.push_back(n.id);
+  }
+  return alus;
 }
 
 }  // namespace mframe::rtl

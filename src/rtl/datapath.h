@@ -66,4 +66,21 @@ Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
                        const sched::Schedule& s,
                        std::vector<AluInstance> alus);
 
+/// Same, but with a caller-supplied register allocation instead of the
+/// left-edge default — externally bound designs (.bind files) pin their own
+/// register assignment, defects included.
+Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
+                       const sched::Schedule& s, std::vector<AluInstance> alus,
+                       alloc::RegAllocation regs);
+
+/// Derive an ALU binding from a schedule's (FU type, column) grid: each
+/// occupied column of each type becomes one ALU instance (first-seen order),
+/// implemented by the library's cheapest capable module. Baseline schedulers
+/// return bare schedules; this is the canonical binding used to lift them
+/// into datapaths. Throws std::runtime_error when the library cannot
+/// implement a needed type.
+std::vector<AluInstance> bindByColumns(const dfg::Dfg& g,
+                                       const celllib::CellLibrary& lib,
+                                       const sched::Schedule& s);
+
 }  // namespace mframe::rtl

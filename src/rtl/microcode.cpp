@@ -29,6 +29,30 @@ int MicrocodeRom::wordBits() const {
   return total;
 }
 
+int MicrocodeRom::fieldIndex(std::string_view name) const {
+  for (std::size_t f = 0; f < fields.size(); ++f)
+    if (fields[f].name == name) return static_cast<int>(f);
+  return -1;
+}
+
+std::optional<int> MicrocodeRom::valueAt(int step, std::string_view name) const {
+  const int f = fieldIndex(name);
+  if (f < 0 || step < 1 || step > static_cast<int>(rows.size()))
+    return std::nullopt;
+  const int v = rows[static_cast<std::size_t>(step - 1)][static_cast<std::size_t>(f)];
+  if (v < 0) return std::nullopt;
+  return v;
+}
+
+std::vector<dfg::OpKind> aluOpcodes(const Datapath& d, int alu) {
+  const dfg::Dfg& g = *d.graph;
+  std::set<dfg::OpKind> kinds;
+  for (const AluInstance& a : d.alus)
+    if (a.index == alu)
+      for (dfg::NodeId op : a.ops) kinds.insert(g.node(op).kind);
+  return {kinds.begin(), kinds.end()};
+}
+
 MicrocodeRom buildMicrocode(const Datapath& d, const ControllerFsm& fsm) {
   MicrocodeRom rom;
   rom.words = fsm.numSteps;
@@ -36,12 +60,8 @@ MicrocodeRom buildMicrocode(const Datapath& d, const ControllerFsm& fsm) {
 
   // Per-ALU opcode encoding: distinct op kinds performed by that ALU.
   std::vector<std::vector<dfg::OpKind>> opcodeOf(d.alus.size());
-  for (const AluInstance& a : d.alus) {
-    std::set<dfg::OpKind> kinds;
-    for (dfg::NodeId op : a.ops) kinds.insert(g.node(op).kind);
-    opcodeOf[static_cast<std::size_t>(a.index)] =
-        std::vector<dfg::OpKind>(kinds.begin(), kinds.end());
-  }
+  for (const AluInstance& a : d.alus)
+    opcodeOf[static_cast<std::size_t>(a.index)] = aluOpcodes(d, a.index);
 
   // Field layout: [aluK.op][aluK.selL][aluK.selR] ... [Rj.load] ...
   struct FieldRef {

@@ -10,7 +10,9 @@
 // places where datapath sharing buys controller area too.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rtl/controller.h"
@@ -33,8 +35,21 @@ struct MicrocodeRom {
   int totalBits() const { return words * wordBits(); }
   double areaEstimate(double umPerBit = 12.0) const { return totalBits() * umPerBit; }
 
+  /// Index of the field named `name`, or -1 when absent (single-source ports
+  /// and single-op ALUs have no field at all).
+  int fieldIndex(std::string_view name) const;
+
+  /// The encoded value of field `name` in control step `step` (1-based), or
+  /// nullopt when the field does not exist, the step is out of range, or the
+  /// row holds a don't-care.
+  std::optional<int> valueAt(int step, std::string_view name) const;
+
   std::string toString() const;
 };
+
+/// The distinct op kinds ALU `alu` performs, in the microcode's opcode
+/// encoding order (the value in field "alu<k>.op" indexes this list).
+std::vector<dfg::OpKind> aluOpcodes(const Datapath& d, int alu);
 
 MicrocodeRom buildMicrocode(const Datapath& d, const ControllerFsm& fsm);
 

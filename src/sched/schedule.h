@@ -76,6 +76,11 @@ class Schedule {
   const Placement& at(dfg::NodeId id) const { return place_[id]; }
   int stepOf(dfg::NodeId id) const { return place_[id].step; }
   int columnOf(dfg::NodeId id) const { return place_[id].column; }
+  /// Last step the operation occupies (start + cycles - 1). The result is
+  /// available at the end of this step.
+  int endStepOf(dfg::NodeId id) const {
+    return place_[id].step + graph_->node(id).cycles - 1;
+  }
 
   /// Number of placed operations.
   std::size_t placedCount() const;

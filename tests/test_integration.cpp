@@ -1,7 +1,11 @@
 // End-to-end flows: text -> DFG -> MFS/MFSA -> controller -> Verilog, plus
 // combined-feature designs (conditionals + loops + chaining together).
+// Every synthesized datapath is also pushed through the translation
+// validator (analysis::proveDatapath) — an empty report is the referee's
+// sign-off that the structure computes the source DFG.
 #include <gtest/gtest.h>
 
+#include "analysis/validate/validate.h"
 #include "celllib/ncr_like.h"
 #include "core/mfs.h"
 #include "core/mfsa.h"
@@ -39,6 +43,8 @@ output y s1
   EXPECT_TRUE(
       rtl::verifyDatapath(r.datapath, o.constraints, rtl::DesignStyle::Unrestricted)
           .empty());
+  const analysis::LintReport proof = analysis::proveDatapath(r.datapath);
+  EXPECT_TRUE(proof.empty()) << proof.renderText();
   const auto fsm = rtl::buildController(r.datapath);
   const std::string v = rtl::toVerilog(r.datapath, fsm);
   EXPECT_NE(v.find("module accum("), std::string::npos);
@@ -158,6 +164,8 @@ TEST(Integration, ChainedBenchmarkFullFlow) {
   EXPECT_TRUE(rtl::verifyDatapath(r.datapath, o.constraints,
                                   rtl::DesignStyle::Unrestricted)
                   .empty());
+  const analysis::LintReport proof = analysis::proveDatapath(r.datapath);
+  EXPECT_TRUE(proof.empty()) << proof.renderText();
   const auto fsm = rtl::buildController(r.datapath);
   EXPECT_EQ(fsm.microOps.size(), r.datapath.graph->operations().size());
 }

@@ -52,11 +52,14 @@ TEST(LintRules, IdsAreUniqueWellFormedAndFindable) {
   for (const RuleInfo& r : allRules()) {
     EXPECT_TRUE(ids.insert(r.id).second) << "duplicate id " << r.id;
     ASSERT_EQ(r.id.size(), 6u) << r.id;
-    EXPECT_TRUE(r.family == "dfg" || r.family == "sched" || r.family == "rtl");
+    EXPECT_TRUE(r.family == "dfg" || r.family == "sched" ||
+                r.family == "rtl" || r.family == "eqv" || r.family == "lib");
     const std::string_view prefix = r.id.substr(0, 3);
-    EXPECT_EQ(prefix, r.family == "dfg"   ? "DFG"
+    EXPECT_EQ(prefix, r.family == "dfg"     ? "DFG"
                       : r.family == "sched" ? "SCH"
-                                            : "RTL");
+                      : r.family == "rtl"   ? "RTL"
+                      : r.family == "eqv"   ? "EQV"
+                                            : "LIB");
     EXPECT_FALSE(r.summary.empty());
     EXPECT_EQ(findRule(r.id), &r);
   }
@@ -627,6 +630,76 @@ TEST(LintJson, RenderedJsonCarriesCounts) {
   EXPECT_NE(json.find("\"design\""), std::string::npos);
   EXPECT_NE(json.find("\"counts\""), std::string::npos);
   EXPECT_NE(json.find("\"DFG005\""), std::string::npos);
+}
+
+TEST(LintJson, SchemaVersionIsTwoAndEnforced) {
+  LintReport r;
+  const std::string json = r.renderJson("empty");
+  EXPECT_NE(json.find("\"schema\": 2"), std::string::npos);
+  std::string err;
+  EXPECT_FALSE(parseDiagnosticsJson(
+                   "{\"schema\": 1, \"design\": \"x\", \"diagnostics\": []}",
+                   &err)
+                   .has_value());
+  EXPECT_NE(err.find("schema"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// LIB rule positives & negatives
+// ---------------------------------------------------------------------------
+
+TEST(LintLibrary, CleanLibraryIsSilentForEveryLibRule) {
+  const std::set<dfg::FuType> needed = {
+      dfg::FuType::Multiplier, dfg::FuType::Adder, dfg::FuType::Subtractor,
+      dfg::FuType::Comparator};
+  const LintReport r = lintLibrary(celllib::ncrLike(), needed);
+  for (const RuleInfo& rule : allRules())
+    if (rule.family == "lib") {
+      EXPECT_FALSE(fires(r, rule.id)) << rule.id;
+    }
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(LintLibrary, DuplicateCellFires) {  // LIB001
+  celllib::CellLibrary lib;
+  lib.addModule({"alu", {dfg::FuType::Adder, dfg::FuType::Subtractor}, 100.0, 10.0, 1});
+  lib.addModule({"alu", {dfg::FuType::Adder, dfg::FuType::Subtractor}, 200.0, 12.0, 1});
+  const LintReport r = lintLibrary(lib);
+  ASSERT_TRUE(fires(r, kLibDuplicateCell));
+  EXPECT_EQ(r.byRule(kLibDuplicateCell).front().loc.detail, "alu");
+}
+
+TEST(LintLibrary, BadAreaAndDelayFire) {  // LIB002 + LIB003
+  celllib::CellLibrary lib;
+  lib.addModule({"freebie", {dfg::FuType::Adder, dfg::FuType::Subtractor}, 0.0, -1.0, 1});
+  const LintReport r = lintLibrary(lib);
+  EXPECT_TRUE(fires(r, kLibBadArea));
+  ASSERT_TRUE(fires(r, kLibBadDelay));
+  EXPECT_EQ(r.byRule(kLibBadDelay).front().severity, Severity::Warning);
+}
+
+TEST(LintLibrary, MissingCellFiresOnlyWhenNeeded) {  // LIB004
+  celllib::CellLibrary lib;
+  lib.addModule({"alu", {dfg::FuType::Adder, dfg::FuType::Subtractor}, 100.0, 10.0, 1});
+  EXPECT_FALSE(fires(lintLibrary(lib), kLibMissingCell));
+  const LintReport r = lintLibrary(lib, {dfg::FuType::Multiplier});
+  ASSERT_TRUE(fires(r, kLibMissingCell));
+  EXPECT_EQ(r.byRule(kLibMissingCell).front().loc.detail, "multiplier");
+}
+
+TEST(LintLibrary, BadStageCountFires) {  // LIB005
+  celllib::CellLibrary lib;
+  lib.addModule({"alu", {dfg::FuType::Adder, dfg::FuType::Subtractor}, 100.0, 10.0, 0});
+  EXPECT_TRUE(fires(lintLibrary(lib), kLibBadStages));
+}
+
+TEST(LintLibrary, NonMonotoneMuxTableFires) {  // LIB006
+  celllib::CellLibrary lib;
+  lib.addModule({"alu", {dfg::FuType::Adder, dfg::FuType::Subtractor}, 100.0, 10.0, 1});
+  lib.setMuxCosts({0.0, 0.0, 600.0, 400.0});  // 3-input mux cheaper than 2
+  const LintReport r = lintLibrary(lib);
+  ASSERT_TRUE(fires(r, kLibMuxTable));
+  EXPECT_EQ(r.byRule(kLibMuxTable).size(), 1u);  // one report per table
 }
 
 }  // namespace

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Full local CI sweep: build and test the tree twice — once plain, once
+# instrumented with AddressSanitizer+UBSan — then run clang-tidy over the
+# sources. This is the same gauntlet the validator and lint fixtures are
+# developed against; a clean run means "safe to push".
+#
+# Usage: tools/ci.sh [jobs]
+#
+# Build trees land in build-ci/ (plain) and build-ci-asan/ (sanitized) so an
+# existing build/ tree is left alone.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+
+run_tree() {
+  dir=$1
+  shift
+  echo "==== configure $dir ($*)"
+  cmake -B "$repo/$dir" -S "$repo" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@"
+  echo "==== build $dir"
+  cmake --build "$repo/$dir" -j "$jobs"
+  echo "==== ctest $dir"
+  (cd "$repo/$dir" && ctest --output-on-failure -j "$jobs")
+}
+
+run_tree build-ci
+run_tree build-ci-asan -DMFRAME_SANITIZE=address,undefined
+
+echo "==== clang-tidy"
+"$repo/tools/run-tidy.sh" "$repo/build-ci"
+
+echo "==== ci.sh: all green"

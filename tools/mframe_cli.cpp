@@ -3,6 +3,7 @@
 //   mframe schedule <file> --steps N [options]      MFS scheduling
 //   mframe synth    <file> --steps N [options]      MFSA scheduling-allocation
 //   mframe lint     <file> [options]                structural diagnostics
+//   mframe prove    <file> [options]                translation validation
 //
 // <file> is either the behavioral language (.mfb, 'design ...') or the
 // textual DFG format (.dfg, 'dfg ...'); the format is sniffed from the first
@@ -23,10 +24,17 @@
 //   --controller         print the FSM micro-program
 //   --sim a=1,b=2,...    simulate the RTL and print outputs (checked
 //                        against the behavioral reference)
+//   --prove              run the translation validator on the result
 // lint-only:
 //   --json               emit diagnostics as JSON instead of text
 //   --fail-on SEV        exit nonzero at error|warning|note (default error)
 //   --schedule FILE      also lint a saved schedule against the design
+//   --library FILE       also lint a cell library against the design
+// prove-only:
+//   --scheduler NAME     mfsa|mfs|asap|list|fds (default mfsa); mfsa/mfs/fds
+//                        need --steps, asap/list pace themselves
+//   --bind FILE          validate an explicit .bind design instead of
+//                        synthesizing one (see docs/FORMATS.md)
 // common output options:
 //   --dot                print Graphviz DOT of the scheduled DFG
 #include <cstdio>
@@ -34,6 +42,10 @@
 #include <sstream>
 
 #include "analysis/lint.h"
+#include "analysis/validate/bind_io.h"
+#include "baseline/asap_sched.h"
+#include "baseline/fds.h"
+#include "baseline/list_sched.h"
 #include "celllib/library_io.h"
 #include "celllib/ncr_like.h"
 #include "rtl/microcode.h"
@@ -62,16 +74,20 @@ namespace {
 using namespace mframe;
 
 constexpr const char* kUsage =
-    "usage: mframe <schedule|synth|lint> <file> [options]\n"
+    "usage: mframe <schedule|synth|lint|prove> <file> [options]\n"
     "  schedule <file> --steps N    MFS scheduling\n"
     "  synth    <file> --steps N    MFSA scheduling-allocation\n"
     "  lint     <file>              structural diagnostics (no scheduling)\n"
+    "  prove    <file>              synthesize and validate the translation\n"
     "common options: --resource T=K,... --mode time|resource --chaining\n"
     "  --clock NS --latency L --pipelined-mults --priority RULE --report --dot\n"
     "synth options:  --style 1|2 --weights T,A,M,R --library FILE --verilog\n"
     "  --controller --microcode --testability --testbench --rtl-dot\n"
-    "  --sim a=1,b=2 [--vcd FILE]\n"
-    "lint options:   --json --fail-on error|warning|note --schedule FILE\n";
+    "  --sim a=1,b=2 [--vcd FILE] --prove\n"
+    "lint options:   --json --fail-on error|warning|note --schedule FILE\n"
+    "  --library FILE\n"
+    "prove options:  --scheduler mfsa|mfs|asap|list|fds --bind FILE --json\n"
+    "  --fail-on SEV --library FILE\n";
 
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "mframe: %s\n", msg.c_str());
@@ -111,6 +127,10 @@ struct Cli {
   bool jsonOut = false;
   analysis::Severity failOn = analysis::Severity::Error;
   std::string schedulePath;
+  // prove options
+  bool doProve = false;
+  std::string bindPath;
+  std::string schedulerName = "mfsa";
 };
 
 Cli parseArgs(int argc, char** argv) {
@@ -118,7 +138,8 @@ Cli parseArgs(int argc, char** argv) {
   if (argc < 3) dieUsage("expected a command and an input file");
   c.command = argv[1];
   c.file = argv[2];
-  if (c.command != "schedule" && c.command != "synth" && c.command != "lint")
+  if (c.command != "schedule" && c.command != "synth" && c.command != "lint" &&
+      c.command != "prove")
     dieUsage("unknown command '" + c.command + "'");
 
   for (int i = 3; i < argc; ++i) {
@@ -215,6 +236,17 @@ Cli parseArgs(int argc, char** argv) {
         dieUsage("bad --fail-on '" + s + "' (use error|warning|note)");
     } else if (a == "--schedule") {
       c.schedulePath = next();
+    } else if (a == "--prove") {
+      c.doProve = true;
+    } else if (a == "--bind") {
+      c.bindPath = next();
+    } else if (a == "--scheduler") {
+      c.schedulerName = next();
+      if (c.schedulerName != "mfsa" && c.schedulerName != "mfs" &&
+          c.schedulerName != "asap" && c.schedulerName != "list" &&
+          c.schedulerName != "fds")
+        dieUsage("bad --scheduler '" + c.schedulerName +
+                 "' (use mfsa|mfs|asap|list|fds)");
     } else if (a == "--sim") {
       c.doSim = true;
       for (const auto& part : util::split(next(), ',')) {
@@ -343,6 +375,19 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
               bad.empty() ? "clean" : bad.front().c_str());
 
   const auto fsm = rtl::buildController(r.datapath);
+  bool proveFailed = false;
+  if (cli.doProve) {
+    const auto rom = rtl::buildMicrocode(r.datapath, fsm);
+    const analysis::LintReport proof =
+        analysis::proveDatapath(r.datapath, fsm, rom);
+    if (proof.empty()) {
+      std::printf("translation validation: PROVED\n");
+    } else {
+      std::printf("translation validation: REFUTED\n%s",
+                  proof.renderText().c_str());
+      proveFailed = proof.hasAtOrAbove(cli.failOn);
+    }
+  }
   if (cli.emitReport)
     std::printf("\n%s", sched::analyzeSchedule(r.datapath.schedule).toString().c_str());
   if (cli.emitController) std::printf("\n%s", fsm.toString(g).c_str());
@@ -383,7 +428,80 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
     }
     if (!allMatch) return 1;
   }
-  return bad.empty() ? 0 : 1;
+  return bad.empty() && !proveFailed ? 0 : 1;
+}
+
+/// Synthesize (or load a .bind design) and run the translation validator.
+int runProve(const Cli& cli, const dfg::Dfg& g) {
+  const celllib::CellLibrary lib = loadLibrary(cli);
+  analysis::LintReport report;
+  std::string how;
+
+  if (!cli.bindPath.empty()) {
+    how = "bind file " + cli.bindPath;
+    std::string err;
+    const auto bound =
+        analysis::parseBindDesign(g, lib, readFileOrDie(cli.bindPath), &err);
+    if (!bound) {
+      analysis::Diagnostic d;
+      d.rule = std::string(analysis::kEqvParseFailure);
+      d.severity = analysis::Severity::Error;
+      d.entity = analysis::EntityKind::Design;
+      d.message = err;
+      report.add(std::move(d));
+    } else {
+      report = analysis::proveDatapath(bound->datapath, bound->fsm, bound->rom);
+    }
+  } else {
+    how = "scheduler " + cli.schedulerName;
+    sched::Constraints constraints = cli.constraints;
+    constraints.timeSteps = cli.steps;
+    auto proveSchedule = [&](const sched::Schedule& s) {
+      const rtl::Datapath d =
+          rtl::buildDatapath(g, lib, s, rtl::bindByColumns(g, lib, s));
+      report = analysis::proveDatapath(d);
+    };
+    if (cli.schedulerName == "mfsa") {
+      core::MfsaOptions o;
+      o.constraints = constraints;
+      o.style = cli.style;
+      o.weights = cli.weights;
+      o.priorityRule = cli.priority;
+      const auto r = core::runMfsa(g, lib, o);
+      if (!r.feasible) die("MFSA failed: " + r.error);
+      report = analysis::proveDatapath(r.datapath);
+    } else if (cli.schedulerName == "mfs") {
+      core::MfsOptions o;
+      o.constraints = constraints;
+      o.mode = cli.mode;
+      o.priorityRule = cli.priority;
+      const auto r = core::runMfs(g, o);
+      if (!r.feasible) die("MFS failed: " + r.error);
+      proveSchedule(r.schedule);
+    } else if (cli.schedulerName == "asap") {
+      const auto r = baseline::runAsap(g, constraints);
+      if (!r.feasible) die("ASAP failed: " + r.error);
+      proveSchedule(r.schedule);
+    } else if (cli.schedulerName == "list") {
+      const auto r = baseline::runListScheduling(g, constraints);
+      if (!r.feasible) die("list scheduling failed: " + r.error);
+      proveSchedule(r.schedule);
+    } else {  // fds
+      const auto r = baseline::runForceDirected(g, constraints);
+      if (!r.feasible) die("FDS failed: " + r.error);
+      proveSchedule(r.schedule);
+    }
+  }
+
+  if (cli.jsonOut) {
+    std::printf("%s", report.renderJson(g.name()).c_str());
+  } else {
+    std::printf("translation validation of '%s' via %s: %s\n",
+                g.name().c_str(), how.c_str(),
+                report.empty() ? "PROVED" : "REFUTED");
+    if (!report.empty()) std::printf("%s", report.renderText().c_str());
+  }
+  return report.hasAtOrAbove(cli.failOn) ? 1 : 0;
 }
 
 int runLint(const Cli& cli) {
@@ -438,6 +556,20 @@ int runLint(const Cli& cli) {
     }
   }
 
+  if (!cli.libraryPath.empty()) {
+    try {
+      const celllib::CellLibrary lib =
+          celllib::parseLibrary(readFileOrDie(cli.libraryPath));
+      std::set<dfg::FuType> needed;
+      if (haveGraph)
+        for (const dfg::Node& n : g.nodes())
+          if (dfg::isSchedulable(n.kind)) needed.insert(dfg::fuTypeOf(n.kind));
+      report.merge(analysis::lintLibrary(lib, needed));
+    } catch (const celllib::LibraryError& e) {
+      parseFailure(analysis::kLibParseFailure, e.what(), -1);
+    }
+  }
+
   if (cli.jsonOut)
     std::printf("%s", report.renderJson(g.name()).c_str());
   else
@@ -451,6 +583,16 @@ int main(int argc, char** argv) {
   try {
     const Cli cli = parseArgs(argc, argv);
     if (cli.command == "lint") return runLint(cli);
+    if (cli.command == "prove") {
+      // ASAP and list scheduling pace themselves; a .bind file carries its
+      // own step count. Everything else needs the time constraint.
+      if (cli.steps <= 0 && cli.bindPath.empty() &&
+          cli.schedulerName != "asap" && cli.schedulerName != "list")
+        die("--steps is required for --scheduler " + cli.schedulerName);
+      const dfg::Dfg g = loadDesign(cli.file);
+      preflightLint(g);
+      return runProve(cli, g);
+    }
     if (cli.steps <= 0 && cli.mode == core::MfsLiapunov::Mode::TimeConstrained)
       die("--steps is required in time-constrained mode");
     const dfg::Dfg g = loadDesign(cli.file);
