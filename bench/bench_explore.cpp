@@ -1,0 +1,56 @@
+// Explorer benchmarks (google-benchmark): the full MFSA configuration sweep
+// per paper design, and its thread scaling at --jobs 1/2/4/8. UseRealTime is
+// essential — CPU time sums across workers and would hide the speedup.
+#include <benchmark/benchmark.h>
+
+#include "celllib/ncr_like.h"
+#include "explore/explore.h"
+#include "workloads/benchmarks.h"
+
+namespace {
+
+using namespace mframe;
+
+explore::SweepSpec specFor(const workloads::BenchmarkCase& bc) {
+  explore::SweepSpec spec = explore::SweepSpec::defaults();
+  spec.base = bc.constraints;
+  return spec;
+}
+
+void BM_ExploreSuite(benchmark::State& state) {
+  static const auto suite = workloads::paperSuite();
+  static const celllib::CellLibrary lib = celllib::ncrLike();
+  const auto& bc = suite[static_cast<std::size_t>(state.range(0))];
+  const explore::SweepSpec spec = specFor(bc);
+  for (auto _ : state) {
+    const auto r = explore::explore(bc.graph, lib, spec, /*jobs=*/1);
+    benchmark::DoNotOptimize(r.feasibleCount);
+  }
+  state.SetLabel(bc.graph.name());
+}
+BENCHMARK(BM_ExploreSuite)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+// Thread scaling on the largest paper design: the frontier is identical for
+// every jobs value; only the wall clock should move.
+void BM_ExploreJobs(benchmark::State& state) {
+  static const dfg::Dfg g = workloads::ewfLike();
+  static const celllib::CellLibrary lib = celllib::ncrLike();
+  explore::SweepSpec spec = explore::SweepSpec::defaults();
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = explore::explore(g, lib, spec, jobs);
+    benchmark::DoNotOptimize(r.feasibleCount);
+  }
+  state.SetLabel("ewf");
+}
+BENCHMARK(BM_ExploreJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,12 +1,15 @@
 #include "alloc/lifetimes.h"
 
 #include <algorithm>
+#include <set>
 
 namespace mframe::alloc {
 
 std::vector<Lifetime> computeLifetimes(const dfg::Dfg& g,
                                        const sched::Schedule& s) {
   std::vector<Lifetime> out;
+  std::set<dfg::NodeId> outputSignals;
+  for (const auto& [id, ext] : g.outputs()) outputSignals.insert(id);
   for (const dfg::Node& n : g.nodes()) {
     if (n.kind == dfg::OpKind::Const) continue;
 
@@ -22,13 +25,15 @@ std::vector<Lifetime> computeLifetimes(const dfg::Dfg& g,
     lt.death = lt.birth;
     for (dfg::NodeId c : g.opSuccs(n.id)) {
       if (!s.isPlaced(c)) continue;
-      const int use = s.stepOf(c);
-      // A same-step consumer (use == birth) is a chained, combinational
-      // read; only later consumers need the value stored.
-      if (use > lt.birth) lt.death = std::max(lt.death, use);
+      // A same-step consumer (start == birth) is a chained, combinational
+      // read; only later consumers need the value stored. A multicycle
+      // consumer holds its operands through its *last* execution cycle, not
+      // just its start step.
+      if (s.stepOf(c) > lt.birth)
+        lt.death = std::max(lt.death, s.endStepOf(c));
     }
-    for (const auto& [id, ext] : g.outputs())
-      if (id == n.id) lt.death = std::max(lt.death, s.numSteps() + 1);
+    if (outputSignals.count(n.id))
+      lt.death = std::max(lt.death, s.numSteps() + 1);
 
     lt.needsRegister = lt.death > lt.birth;
     out.push_back(lt);

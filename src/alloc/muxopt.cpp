@@ -28,6 +28,8 @@ MuxArrangement arrangeInputs(const dfg::Dfg& g,
     if (n.inputs.size() >= 2) addUnique(a.right, n.inputs[1]);
     a.swapped[id] = false;
   }
+  a.pinnedLeft = a.left;
+  a.pinnedRight = a.right;
   // Pass 2: each commutative operation picks the orientation that adds the
   // fewest new signals (ties keep the natural order).
   for (dfg::NodeId id : ops) {
@@ -43,6 +45,49 @@ MuxArrangement arrangeInputs(const dfg::Dfg& g,
     a.swapped[id] = swap;
   }
   return a;
+}
+
+MuxDelta arrangeInputsDelta(const dfg::Dfg& g, const MuxArrangement& base,
+                            const std::vector<dfg::NodeId>& baseOps,
+                            dfg::NodeId op) {
+  const dfg::Node& n = g.node(op);
+  MuxDelta d;
+  if (dfg::isCommutative(n.kind) && n.inputs.size() == 2) {
+    // Appended last, the op is also decided last in pass 2: the state it
+    // sees is exactly `base`, and nothing after it can change. Replay the
+    // orientation choice against the final port sets.
+    const dfg::NodeId x = n.inputs[0];
+    const dfg::NodeId y = n.inputs[1];
+    const int costNatural =
+        (contains(base.left, x) ? 0 : 1) + (contains(base.right, y) ? 0 : 1);
+    const int costSwapped =
+        (contains(base.left, y) ? 0 : 1) + (contains(base.right, x) ? 0 : 1);
+    d.swapped = costSwapped < costNatural;
+    const dfg::NodeId l = d.swapped ? y : x;
+    const dfg::NodeId r = d.swapped ? x : y;
+    d.left = base.left.size() + (contains(base.left, l) ? 0 : 1);
+    d.right = base.right.size() + (contains(base.right, r) ? 0 : 1);
+    return d;
+  }
+  // Fixed-order op: exact only if its pins were already pass-1 pinned, in
+  // which case the batch run's pass-1 state — and so every pass-2 decision —
+  // is unchanged and the op adds no signals.
+  const bool leftPinned =
+      n.inputs.empty() || contains(base.pinnedLeft, n.inputs[0]);
+  const bool rightPinned =
+      n.inputs.size() < 2 || contains(base.pinnedRight, n.inputs[1]);
+  if (leftPinned && rightPinned) {
+    d.left = base.left.size();
+    d.right = base.right.size();
+    return d;
+  }
+  std::vector<dfg::NodeId> after = baseOps;
+  after.push_back(op);
+  const MuxArrangement full = arrangeInputs(g, after);
+  d.left = full.left.size();
+  d.right = full.right.size();
+  d.rebuilt = true;
+  return d;
 }
 
 double muxCostOf(const celllib::CellLibrary& lib, const MuxArrangement& a) {

@@ -19,6 +19,11 @@ struct MuxArrangement {
   std::vector<dfg::NodeId> left;   ///< distinct signals feeding port 1 (L1)
   std::vector<dfg::NodeId> right;  ///< distinct signals feeding port 2 (L2)
   std::map<dfg::NodeId, bool> swapped;  ///< op -> operands were swapped
+  /// Signals pinned to each port by pass 1 (fixed-order operations). A
+  /// subset of left/right; arrangeInputsDelta uses them to decide when a
+  /// try-add is provably equivalent to a full re-arrangement.
+  std::vector<dfg::NodeId> pinnedLeft;
+  std::vector<dfg::NodeId> pinnedRight;
 
   std::size_t totalInputs() const { return left.size() + right.size(); }
 };
@@ -32,5 +37,27 @@ MuxArrangement arrangeInputs(const dfg::Dfg& g,
 /// Cost(MUX1) + Cost(MUX2) under the library's nonlinear mux table. A port
 /// with zero or one source costs nothing (a wire).
 double muxCostOf(const celllib::CellLibrary& lib, const MuxArrangement& a);
+
+/// Port sizes that arrangeInputs(g, baseOps + {op}) would produce, computed
+/// incrementally against `base` (the arrangement of `baseOps`) whenever that
+/// is provably exact:
+///  - a commutative 2-input op is decided last in pass 2, so appending it
+///    never disturbs earlier decisions — pure increment;
+///  - a fixed-order op whose pins are already pass-1 pinned in `base` leaves
+///    the pass-1 state, and hence every pass-2 decision, unchanged.
+/// Any other fixed-order op pins new signals in pass 1 *before* the batch
+/// run's commutative decisions and may flip them, so the delta falls back to
+/// a full re-arrangement (`rebuilt` is set). Either way the returned sizes
+/// match the from-scratch result exactly.
+struct MuxDelta {
+  std::size_t left = 0;   ///< |L1| after adding `op`
+  std::size_t right = 0;  ///< |L2| after adding `op`
+  bool swapped = false;   ///< orientation `op` would take
+  bool rebuilt = false;   ///< fell back to a full arrangeInputs
+};
+
+MuxDelta arrangeInputsDelta(const dfg::Dfg& g, const MuxArrangement& base,
+                            const std::vector<dfg::NodeId>& baseOps,
+                            dfg::NodeId op);
 
 }  // namespace mframe::alloc

@@ -1,7 +1,6 @@
 #include "core/mfs.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "core/frames.h"
@@ -24,8 +23,9 @@ struct TypeState {
 
 }  // namespace
 
-std::vector<NodeId> topoConsistentOrder(const dfg::Dfg& g,
-                                        const std::vector<NodeId>& priority) {
+std::optional<std::vector<NodeId>> topoConsistentOrder(
+    const dfg::Dfg& g, const std::vector<NodeId>& priority,
+    std::string* error) {
   std::vector<NodeId> out;
   out.reserve(priority.size());
   std::vector<bool> emitted(g.size(), false);
@@ -45,8 +45,22 @@ std::vector<NodeId> topoConsistentOrder(const dfg::Dfg& g,
       emitted[id] = taken[id] = true;
       progress = true;
     }
-    assert(progress && "DFG must be acyclic");
-    if (!progress) break;
+    if (!progress) {
+      // Stuck: some listed operation waits on a predecessor that is never
+      // emitted (missing from the list, or part of a cycle). Returning the
+      // truncated order would silently drop operations downstream.
+      if (error) {
+        for (NodeId id : priority) {
+          if (taken[id]) continue;
+          *error = util::format(
+              "inconsistent priority order: '%s' waits on a predecessor "
+              "missing from the list (or the graph has a cycle)",
+              g.node(id).name.c_str());
+          break;
+        }
+      }
+      return std::nullopt;
+    }
   }
   return out;
 }
@@ -122,7 +136,8 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
     }
 
     const auto order = topoConsistentOrder(
-        g, sched::priorityOrder(g, *tf, opt.priorityRule));
+        g, sched::priorityOrder(g, *tf, opt.priorityRule), &res.error);
+    if (!order) return res;
 
     bool csInfeasible = false;
     while (!csInfeasible) {  // placement attempts at this cs
@@ -140,7 +155,7 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
 
       double v = 0.0;
       std::vector<double> worstOf(g.size(), 0.0);
-      for (NodeId id : order) {
+      for (NodeId id : *order) {
         const auto t = static_cast<std::size_t>(dfg::fuTypeOf(g.node(id).kind));
         worstOf[id] = energy.worstValue(types[t].maxCols, cs);
         v += worstOf[id];
@@ -148,7 +163,7 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
       if (opt.traceLiapunov) res.liapunovTrace.push_back(v);
 
       bool restart = false;
-      for (NodeId id : order) {
+      for (NodeId id : *order) {
         const auto t = static_cast<std::size_t>(dfg::fuTypeOf(g.node(id).kind));
         const auto& occ = grid.table(static_cast<FuType>(t));
         const auto frames =

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,7 +62,13 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt);
 /// priority list, refined so no operation precedes one of its predecessors
 /// (required once chaining/multicycle frames let priorities cross
 /// dependencies). Exposed for tests.
-std::vector<dfg::NodeId> topoConsistentOrder(const dfg::Dfg& g,
-                                             const std::vector<dfg::NodeId>& priority);
+///
+/// Returns nullopt (with a message in `error`, when given) if the list can
+/// never be completed — the priority list omits a predecessor of a listed
+/// operation, or the graph has a cycle. Previously this was only an assert,
+/// so release builds silently emitted a truncated order.
+std::optional<std::vector<dfg::NodeId>> topoConsistentOrder(
+    const dfg::Dfg& g, const std::vector<dfg::NodeId>& priority,
+    std::string* error = nullptr);
 
 }  // namespace mframe::core

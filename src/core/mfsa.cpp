@@ -1,7 +1,6 @@
 #include "core/mfsa.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <optional>
 #include <set>
@@ -31,6 +30,10 @@ struct AluState {
   std::vector<NodeId> ops;
   alloc::MuxArrangement arrangement;
   double muxCost = 0.0;
+  /// Memoized f_MUX of try-adding an op to this ALU (the mux delta is
+  /// step-independent, so one value serves every candidate step).
+  /// Invalidated whenever an op commits to this ALU.
+  std::map<NodeId, double> muxDeltaMemo;
 };
 
 /// Cheapest library module covering `caps` with the given stage count;
@@ -92,8 +95,9 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       opt.weights.time * C * cs + opt.weights.alu * lib.maxModuleArea() +
       opt.weights.mux * fMuxMax + opt.weights.reg * 2.0 * lib.regCost();
 
-  const auto order =
-      topoConsistentOrder(g, sched::priorityOrder(g, *tf, opt.priorityRule));
+  const auto order = topoConsistentOrder(
+      g, sched::priorityOrder(g, *tf, opt.priorityRule), &res.error);
+  if (!order) return res;
 
   // Steps 2-3 of MFS, shared by MFSA: per-type column budgets. current_j
   // starts at the balanced minimum ceil(N_j / cs) and grows only when a move
@@ -136,23 +140,24 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       if (!dfg::isSchedulable(n.kind)) return 0;  // inputs: before step 1
       return s.isPlaced(sig) ? s.stepOf(sig) + n.cycles - 1 : 0;
     };
-    auto newRegsFor = [&](NodeId op, int step) {
-      int count = 0;
-      for (NodeId in : g.node(op).inputs) {
-        if (g.node(in).kind == dfg::OpKind::Const) continue;  // hardwired
-        const int pe = producerEnd(in);
-        if (step <= pe) continue;  // chained / same step: no storage yet
-        auto it = maxUse.find(in);
-        const int used = it == maxUse.end() ? pe : it->second;
-        if (used <= pe) ++count;  // first cross-step consumer: new register
-      }
-      return count;
+    // Per-input (producerEnd, latest-use) pairs for the operation under
+    // consideration, computed once before the candidate loops; neither value
+    // changes until the move commits, so every (ALU × step) candidate reads
+    // the cached pair instead of redoing the map lookups.
+    struct InputState {
+      int pe = 0;    ///< producer's last execution step (0 = before step 1)
+      int used = 0;  ///< latest cross-step consumer recorded so far
     };
-    auto supportCount = [&](FuType t) {
-      int n = 0;
-      for (const AluState& a : alus)
-        if (lib.module(a.module).supports(t)) ++n;
-      return n;
+    std::vector<InputState> inState;
+
+    // Instances supporting each FU type, maintained incrementally on commit
+    // (fresh ALUs and multifunction upgrades) instead of rescanning `alus`
+    // for every operation.
+    std::vector<int> support(dfg::kNumFuTypes, 0);
+    auto addSupport = [&](celllib::ModuleId m, int sign) {
+      for (std::size_t t = 0; t < dfg::kNumFuTypes; ++t)
+        if (lib.module(m).supports(static_cast<FuType>(t)))
+          support[t] += sign;
     };
 
     // Bus-mode interconnect bookkeeping: transfers per step and their peak
@@ -174,14 +179,37 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
              opt.busModel.receiverUm2 * k;
     };
 
-    double v = worstContribution * static_cast<double>(order.size());
+    double v = worstContribution * static_cast<double>(order->size());
     if (opt.traceLiapunov) res.liapunovTrace.push_back(v);
 
     bool restart = false;
-    for (NodeId id : order) {
+    for (NodeId id : *order) {
       const dfg::Node& n = g.node(id);
       const FuType type = dfg::fuTypeOf(n.kind);
       const auto ti = static_cast<std::size_t>(type);
+
+      inState.clear();
+      for (NodeId in : n.inputs) {
+        if (g.node(in).kind == dfg::OpKind::Const) continue;  // hardwired
+        const int pe = producerEnd(in);
+        auto it = maxUse.find(in);
+        inState.push_back({pe, it == maxUse.end() ? pe : it->second});
+      }
+      auto newRegsAt = [&](int step) {
+        int count = 0;
+        for (const InputState& is : inState)
+          // First cross-step consumer of a signal implies a new register;
+          // chained / same-step reads need no storage yet.
+          if (step > is.pe && is.used <= is.pe) ++count;
+        return count;
+      };
+
+      // f_MUX of a fresh ALU is the same for every capable module: the
+      // arrangement of {id} alone. Compute it once per operation.
+      const double freshMux =
+          opt.interconnect == InterconnectStyle::Mux
+              ? alloc::muxCostOf(lib, alloc::arrangeInputs(g, {id}))
+              : 0.0;
 
       struct Candidate {
         int alu = -1;                 ///< existing ALU index, or -1 = fresh
@@ -192,17 +220,34 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       };
       std::vector<Candidate> cands;
 
-      auto pushSteps = [&](int aluIdx, celllib::ModuleId module, double fAlu,
-                           double muxBefore, const std::vector<NodeId>& baseOps) {
+      auto pushSteps = [&](AluState* owner, celllib::ModuleId module,
+                           double fAlu) {
         // Interconnect term: mux-cost delta under the best arrangement, or
         // the bus-cost delta when building a bus architecture. The mux delta
         // is step-independent; the bus delta depends on the chosen step.
+        // For an existing ALU the delta comes from the incremental
+        // arrangeInputsDelta against the cached arrangement, memoized per
+        // (ALU, op) so upgrade and same-module probes share one evaluation.
+        const int aluIdx = owner ? owner->index : -1;
         double fMux = 0.0;
         if (opt.interconnect == InterconnectStyle::Mux) {
-          std::vector<NodeId> after = baseOps;
-          after.push_back(id);
-          const auto arrAfter = alloc::arrangeInputs(g, after);
-          fMux = alloc::muxCostOf(lib, arrAfter) - muxBefore;
+          if (owner == nullptr) {
+            fMux = freshMux;
+          } else if (!opt.incrementalMux) {
+            std::vector<NodeId> after = owner->ops;
+            after.push_back(id);
+            fMux = alloc::muxCostOf(lib, alloc::arrangeInputs(g, after)) -
+                   owner->muxCost;
+          } else if (auto memo = owner->muxDeltaMemo.find(id);
+                     memo != owner->muxDeltaMemo.end()) {
+            fMux = memo->second;
+          } else {
+            const auto d =
+                alloc::arrangeInputsDelta(g, owner->arrangement, owner->ops, id);
+            fMux = lib.muxCost(static_cast<int>(d.left)) +
+                   lib.muxCost(static_cast<int>(d.right)) - owner->muxCost;
+            owner->muxDeltaMemo.emplace(id, fMux);
+          }
         }
         for (int step = tf->asap(id); step <= tf->alap(id); ++step) {
           if (!fc.depOk(s, id, step).ok) continue;
@@ -216,14 +261,14 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
           cd.terms.fMux = opt.interconnect == InterconnectStyle::Mux
                               ? fMux
                               : busDelta(id, step);
-          cd.terms.fReg = lib.regCost() * newRegsFor(id, step);
+          cd.terms.fReg = lib.regCost() * newRegsAt(step);
           cd.f = cd.terms.weighted(opt.weights);
           cands.push_back(cd);
         }
       };
 
-      const bool budgetOpen = supportCount(type) < current[ti];
-      for (const AluState& a : alus) {
+      const bool budgetOpen = support[ti] < current[ti];
+      for (AluState& a : alus) {
         const celllib::Module& m = lib.module(a.module);
         if (opt.style == rtl::DesignStyle::NoSelfLoop) {
           // Section 4.2 style 2: an operation may not share an ALU with a
@@ -238,7 +283,7 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
           if (clash) continue;
         }
         if (m.supports(type)) {
-          pushSteps(a.index, a.module, /*fAlu=*/0.0, a.muxCost, a.ops);
+          pushSteps(&a, a.module, /*fAlu=*/0.0);
         } else if (budgetOpen) {
           // Merge by upgrading the ALU to a multifunction superset:
           // f_ALU = the area increment of the richer module.
@@ -246,20 +291,29 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
           caps.insert(type);
           if (auto up = cheapestCovering(lib, caps, m.stages)) {
             const double delta = lib.module(*up).areaUm2 - m.areaUm2;
-            pushSteps(a.index, *up, delta, a.muxCost, a.ops);
+            pushSteps(&a, *up, delta);
           }
         }
       }
       if (budgetOpen) {
         for (celllib::ModuleId m : lib.capableModules(type))
-          pushSteps(-1, m, lib.module(m).areaUm2, 0.0, {});
+          pushSteps(nullptr, m, lib.module(m).areaUm2);
       }
 
+      // On an exact Liapunov tie, prefer the earlier step, then *reuse* —
+      // an existing instance (lowest index) beats opening a fresh ALU.
+      // (Ranking fresh candidates, alu == -1, ahead of existing ones used to
+      // open a needless instance whenever costs tie, e.g. under w_A = 0.)
+      // Equal ranks keep the first-encountered candidate, preserving the
+      // library order among fresh modules.
+      auto rankOf = [](const Candidate& cd) {
+        return std::make_tuple(cd.step, cd.alu < 0 ? 1 : 0,
+                               cd.alu < 0 ? 0 : cd.alu);
+      };
       const Candidate* chosen = nullptr;
       for (const Candidate& cd : cands)
         if (!chosen || cd.f < chosen->f ||
-            (cd.f == chosen->f &&
-             std::tie(cd.step, cd.alu) < std::tie(chosen->step, chosen->alu)))
+            (cd.f == chosen->f && rankOf(cd) < rankOf(*chosen)))
           chosen = &cd;
 
       if (!chosen) {
@@ -294,12 +348,19 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
         aluIdx = alus.back().index;
         if (lib.module(chosen->module).stages > 1)
           occ.setPipelined(aluIdx + 1, true);
+        addSupport(chosen->module, +1);
+      } else if (alus[static_cast<std::size_t>(aluIdx)].module !=
+                 chosen->module) {
+        // Multifunction upgrade: swap the instance's capability set.
+        addSupport(alus[static_cast<std::size_t>(aluIdx)].module, -1);
+        addSupport(chosen->module, +1);
       }
       AluState& a = alus[static_cast<std::size_t>(aluIdx)];
       a.module = chosen->module;  // fresh assignment or upgrade
       a.ops.push_back(id);
       a.arrangement = alloc::arrangeInputs(g, a.ops);
       a.muxCost = alloc::muxCostOf(lib, a.arrangement);
+      a.muxDeltaMemo.clear();  // the cached deltas were against the old ops
 
       occ.place(id, aluIdx + 1, chosen->step);
       s.place(id, chosen->step, aluIdx + 1);

@@ -51,6 +51,13 @@ struct MfsaOptions {
   InterconnectStyle interconnect = InterconnectStyle::Mux;
   rtl::BusCostModel busModel;  ///< consulted when interconnect == Bus
 
+  /// Evaluate each candidate's f_MUX with the incremental
+  /// alloc::arrangeInputsDelta against the ALU's cached arrangement
+  /// (memoized per ALU × op) instead of re-running the full two-pass
+  /// arrangement per candidate. The delta is exact, so results are
+  /// identical either way; the switch exists for differential testing.
+  bool incrementalMux = true;
+
   bool traceLiapunov = true;
 };
 

@@ -1,0 +1,85 @@
+// Design-space exploration: sweep MFSA over a cross product of
+// configurations (control steps × Liapunov weights × priority rule ×
+// interconnect style × design style) and reduce the results to a Pareto
+// frontier of (control steps, total area).
+//
+// The sweep is deterministic by construction: configurations are enumerated
+// in a fixed order, each candidate is evaluated independently (runMfsa is a
+// pure function of its inputs), and every worker thread writes only its own
+// pre-sized result slot. The merged frontier — and the JSON rendering, which
+// deliberately contains no wall-clock data — is therefore bit-identical for
+// any `jobs` count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "celllib/cell_library.h"
+#include "core/mfsa.h"
+
+namespace mframe::explore {
+
+/// The swept axes. Every non-empty axis multiplies the configuration count;
+/// `base` carries the shared scheduling constraints (chaining, clock, FU
+/// limits). An empty `steps` axis is filled with the design's critical path
+/// +0..+3 when the sweep runs.
+struct SweepSpec {
+  std::vector<int> steps;
+  std::vector<core::MfsaWeights> weights;
+  std::vector<sched::PriorityRule> priorityRules;
+  std::vector<core::InterconnectStyle> interconnects;
+  std::vector<rtl::DesignStyle> styles;
+  sched::Constraints base;
+
+  /// The full default sweep: 4 step budgets × 3 weight presets ×
+  /// 2 priority rules × 2 interconnect styles × 2 design styles.
+  static SweepSpec defaults();
+};
+
+/// One swept configuration plus its outcome.
+struct Candidate {
+  int index = 0;  ///< position in enumeration order
+
+  int steps = 0;
+  core::MfsaWeights weights;
+  sched::PriorityRule priorityRule = sched::PriorityRule::Mobility;
+  core::InterconnectStyle interconnect = core::InterconnectStyle::Mux;
+  rtl::DesignStyle style = rtl::DesignStyle::Unrestricted;
+
+  bool feasible = false;
+  std::string error;          ///< set when infeasible
+  rtl::CostBreakdown cost;    ///< valid when feasible
+  int restarts = 0;
+};
+
+struct ExploreResult {
+  std::string design;
+  int criticalSteps = 0;
+  std::vector<Candidate> candidates;  ///< enumeration order
+  /// Indices into `candidates`: the Pareto-minimal set under
+  /// (steps, cost.total), sorted by steps ascending (total strictly
+  /// decreasing). Ties resolve to the lowest enumeration index.
+  std::vector<int> frontier;
+  int feasibleCount = 0;
+};
+
+/// Expand the sweep's cross product in enumeration order (steps outermost,
+/// style innermost) without running anything. Empty axes get the library
+/// defaults; an empty `steps` axis becomes criticalSteps+0..+3.
+std::vector<Candidate> enumerateConfigs(const SweepSpec& spec,
+                                        int criticalSteps);
+
+/// Run the sweep with up to `jobs` worker threads. The result is identical
+/// for every jobs value (see file comment).
+ExploreResult explore(const dfg::Dfg& g, const celllib::CellLibrary& lib,
+                      const SweepSpec& spec, int jobs);
+
+/// Deterministic JSON rendering: design, sweep summary, frontier and
+/// per-candidate outcomes. Contains no timing or host information.
+std::string toJson(const ExploreResult& r);
+
+std::string_view priorityRuleName(sched::PriorityRule r);
+std::string_view interconnectName(core::InterconnectStyle s);
+std::string_view designStyleName(rtl::DesignStyle s);
+
+}  // namespace mframe::explore

@@ -1,0 +1,43 @@
+#include "explore/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mframe::explore {
+
+void parallelFor(int n, int jobs, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int workers = jobs < n ? jobs : n;
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex errorMu;
+  std::exception_ptr firstError;
+
+  auto body = [&] {
+    while (true) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMu);
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) threads.emplace_back(body);
+  for (std::thread& th : threads) th.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace mframe::explore

@@ -1,0 +1,19 @@
+// Minimal work-stealing-free parallel loop for the design-space explorer.
+// Workers pull indices from a shared atomic counter, so the *assignment* of
+// work to threads is racy but the mapping of results to slots is not: the
+// caller indexes its output by `i`, which makes any computation whose result
+// depends only on `i` deterministic regardless of the thread count.
+#pragma once
+
+#include <functional>
+
+namespace mframe::explore {
+
+/// Run fn(0), fn(1), ..., fn(n-1) across up to `jobs` worker threads and
+/// return when all calls finished. jobs <= 1 degenerates to a plain serial
+/// loop on the calling thread. If any call throws, the first exception
+/// captured is rethrown after all workers drained (remaining indices still
+/// run).
+void parallelFor(int n, int jobs, const std::function<void(int)>& fn);
+
+}  // namespace mframe::explore

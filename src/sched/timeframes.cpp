@@ -1,7 +1,6 @@
 #include "sched/timeframes.h"
 
 #include <algorithm>
-#include <cassert>
 #include <functional>
 
 #include "util/strings.h"
@@ -110,7 +109,18 @@ std::optional<TimeFrames> computeTimeFrames(const dfg::Dfg& g,
     const dfg::Node& n = g.node(id);
     tf.frames_[id].asap = asap[id].start;
     tf.frames_[id].alap = cs - rasap[id].start - n.cycles + 2;
-    assert(tf.frames_[id].alap >= tf.frames_[id].asap);
+    if (tf.frames_[id].alap < tf.frames_[id].asap) {
+      // The ALAP mirror disagrees with ASAP — a chaining-asymmetric packing
+      // would make every downstream mobility negative. No such input is
+      // known, but an assert here would vanish in release builds and let
+      // schedulers read an inverted frame as garbage mobility; fail loudly
+      // through the error channel instead.
+      if (error)
+        *error = util::format(
+            "internal: inverted time frame for '%s' (asap %d > alap %d)",
+            n.name.c_str(), tf.frames_[id].asap, tf.frames_[id].alap);
+      return std::nullopt;
+    }
   }
 
   // Peak same-type concurrency of the two extreme schedules.

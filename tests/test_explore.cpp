@@ -1,0 +1,131 @@
+#include "explore/explore.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "celllib/ncr_like.h"
+#include "workloads/benchmarks.h"
+
+namespace mframe::explore {
+namespace {
+
+// A trimmed sweep keeps the tests quick while still crossing every axis
+// kind: 4 step budgets x 1 weight x 1 rule x 2 interconnects x 2 styles.
+SweepSpec smallSpec() {
+  SweepSpec s = SweepSpec::defaults();
+  s.weights = {core::MfsaWeights{}};
+  s.priorityRules = {sched::PriorityRule::Mobility};
+  return s;
+}
+
+TEST(Explore, DeterministicAcrossJobCounts) {
+  // The headline guarantee: the JSON report — frontier, candidate order,
+  // every cost digit — is bit-identical no matter how many workers ran.
+  const celllib::CellLibrary lib = celllib::ncrLike();
+  for (const dfg::Dfg& g : {workloads::diffeq(), workloads::tseng()}) {
+    const SweepSpec spec = smallSpec();
+    const std::string one = toJson(explore(g, lib, spec, 1));
+    const std::string three = toJson(explore(g, lib, spec, 3));
+    const std::string eight = toJson(explore(g, lib, spec, 8));
+    EXPECT_EQ(one, three) << g.name();
+    EXPECT_EQ(one, eight) << g.name();
+  }
+}
+
+TEST(Explore, FrontierIsParetoMinimalAndSorted) {
+  const celllib::CellLibrary lib = celllib::ncrLike();
+  const auto r = explore(workloads::diffeq(), lib, smallSpec(), 2);
+  ASSERT_GT(r.feasibleCount, 0);
+  ASSERT_FALSE(r.frontier.empty());
+
+  // Sorted by steps ascending, total strictly decreasing, all feasible.
+  for (std::size_t i = 0; i < r.frontier.size(); ++i) {
+    const Candidate& c = r.candidates[static_cast<std::size_t>(r.frontier[i])];
+    ASSERT_TRUE(c.feasible);
+    if (i > 0) {
+      const Candidate& p =
+          r.candidates[static_cast<std::size_t>(r.frontier[i - 1])];
+      EXPECT_LT(p.steps, c.steps);
+      EXPECT_GT(p.cost.total, c.cost.total);
+    }
+  }
+  // Every feasible candidate is dominated by (or is) a frontier point.
+  for (const Candidate& c : r.candidates) {
+    if (!c.feasible) continue;
+    bool covered = false;
+    for (int fi : r.frontier) {
+      const Candidate& f = r.candidates[static_cast<std::size_t>(fi)];
+      if (f.steps <= c.steps && f.cost.total <= c.cost.total) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "candidate " << c.index << " not dominated";
+  }
+}
+
+TEST(Explore, EnumerationOrderIsStableAndComplete) {
+  const SweepSpec spec = SweepSpec::defaults();
+  const auto a = enumerateConfigs(spec, 4);
+  const auto b = enumerateConfigs(spec, 4);
+  // defaults(): empty steps -> critical+0..+3, 3 weights, 2 rules,
+  // 2 interconnects, 2 styles.
+  ASSERT_EQ(a.size(), 4u * 3u * 2u * 2u * 2u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, static_cast<int>(i));
+    EXPECT_EQ(a[i].steps, b[i].steps);
+    EXPECT_EQ(a[i].priorityRule, b[i].priorityRule);
+    EXPECT_EQ(a[i].interconnect, b[i].interconnect);
+    EXPECT_EQ(a[i].style, b[i].style);
+  }
+  // Steps is the outermost axis: the first quarter all carry critical+0.
+  for (std::size_t i = 0; i < a.size() / 4; ++i) EXPECT_EQ(a[i].steps, 4);
+  EXPECT_EQ(a.back().steps, 7);
+}
+
+TEST(Explore, InfeasibleConfigsAreReportedNotFatal) {
+  // One control step is below diffeq's critical path: every candidate must
+  // come back infeasible with an error string, and the frontier is empty.
+  const celllib::CellLibrary lib = celllib::ncrLike();
+  SweepSpec spec = smallSpec();
+  spec.steps = {1};
+  const auto r = explore(workloads::diffeq(), lib, spec, 2);
+  EXPECT_EQ(r.feasibleCount, 0);
+  EXPECT_TRUE(r.frontier.empty());
+  ASSERT_FALSE(r.candidates.empty());
+  for (const Candidate& c : r.candidates) {
+    EXPECT_FALSE(c.feasible);
+    EXPECT_FALSE(c.error.empty());
+  }
+}
+
+TEST(Explore, ProbesCriticalPathAndFillsStepAxis) {
+  const celllib::CellLibrary lib = celllib::ncrLike();
+  const auto r = explore(workloads::diffeq(), lib, smallSpec(), 1);
+  EXPECT_EQ(r.criticalSteps, 4);
+  ASSERT_FALSE(r.candidates.empty());
+  EXPECT_EQ(r.candidates.front().steps, 4);
+  EXPECT_EQ(r.candidates.back().steps, 7);
+}
+
+TEST(Explore, JsonCarriesDesignFrontierAndNoTimings) {
+  const celllib::CellLibrary lib = celllib::ncrLike();
+  const auto r = explore(workloads::tseng(), lib, smallSpec(), 2);
+  const std::string j = toJson(r);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_NE(j.find("\"design\""), std::string::npos);
+  EXPECT_NE(j.find(r.design), std::string::npos);
+  EXPECT_NE(j.find("\"frontier\""), std::string::npos);
+  EXPECT_NE(j.find("\"candidates\""), std::string::npos);
+  // Determinism would break the moment host/time data leaks in.
+  EXPECT_EQ(j.find("\"date\""), std::string::npos);
+  EXPECT_EQ(j.find("\"seconds\""), std::string::npos);
+  EXPECT_EQ(j.find("\"real_time\""), std::string::npos);
+  EXPECT_EQ(j.find("\"cpu_time\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mframe::explore

@@ -91,6 +91,27 @@ TEST(Lifetimes, MulticycleProducerBornAtItsLastStep) {
   EXPECT_EQ(m.at(g.findByName("m")).death, 3);
 }
 
+TEST(Lifetimes, MulticycleConsumerHoldsOperandsToItsLastCycle) {
+  // A 2-cycle multiplier reads its operands throughout execution: a value
+  // feeding it must stay alive until the consumer's *last* cycle, not just
+  // its start step.
+  dfg::Builder b("mcc");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto a = b.add(x, y, "a");
+  const auto mm = b.mul(a, y, "m", 2);
+  b.output(mm, "o");
+  const dfg::Dfg g = std::move(b).build();
+  sched::Schedule s(g);
+  s.setNumSteps(4);
+  s.place(g.findByName("a"), 1, 1);
+  s.place(g.findByName("m"), 2, 1);  // occupies steps 2-3
+  const auto m = byProducer(computeLifetimes(g, s));
+  EXPECT_EQ(m.at(g.findByName("a")).birth, 1);
+  EXPECT_EQ(m.at(g.findByName("a")).death, 3);  // held through the mul
+  EXPECT_EQ(m.at(g.findByName("y")).death, 3);  // primary input likewise
+}
+
 TEST(Lifetimes, ConstantsNeverAppear) {
   dfg::Builder b("k");
   const auto x = b.input("x");

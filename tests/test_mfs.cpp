@@ -181,6 +181,33 @@ TEST(Mfs, InvalidGraphRejected) {
   EXPECT_NE(r.error.find("invalid DFG"), std::string::npos);
 }
 
+TEST(Mfs, TopoOrderRejectsIncompletePriorityList) {
+  // A priority list whose op waits on a predecessor missing from the list
+  // can never make progress. This used to be a release-mode-silent
+  // assert(progress); now it surfaces a structured error naming the op.
+  const dfg::Dfg g = test::addChain(2);  // c1 -> c2
+  std::string err;
+  const auto order = topoConsistentOrder(g, {g.findByName("c2")}, &err);
+  EXPECT_FALSE(order.has_value());
+  EXPECT_NE(err.find("c2"), std::string::npos) << err;
+  EXPECT_NE(err.find("inconsistent priority order"), std::string::npos) << err;
+}
+
+TEST(Mfs, TopoOrderAcceptsAnyCompletePermutation) {
+  // Sanity for the happy path of the same routine: a reversed-but-complete
+  // list is repaired into a valid topological order.
+  const dfg::Dfg g = test::addChain(3);
+  const std::vector<dfg::NodeId> rev = {
+      g.findByName("c3"), g.findByName("c2"), g.findByName("c1")};
+  std::string err;
+  const auto order = topoConsistentOrder(g, rev, &err);
+  ASSERT_TRUE(order.has_value()) << err;
+  ASSERT_EQ(order->size(), 3u);
+  EXPECT_EQ((*order)[0], g.findByName("c1"));
+  EXPECT_EQ((*order)[1], g.findByName("c2"));
+  EXPECT_EQ((*order)[2], g.findByName("c3"));
+}
+
 TEST(Mfs, PriorityAblationStillProducesValidSchedules) {
   for (auto rule : {sched::PriorityRule::Mobility,
                     sched::PriorityRule::MobilityNoReverse,

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "celllib/ncr_like.h"
 #include "dfg/builder.h"
 
@@ -110,6 +114,123 @@ TEST(MuxOpt, DeterministicInOpOrder) {
   const auto r2 = arrangeInputs(g, {a1, a2, a3});
   EXPECT_EQ(r1.left, r2.left);
   EXPECT_EQ(r1.right, r2.right);
+}
+
+TEST(MuxOpt, DeltaCommutativeAppendIsPureIncrement) {
+  // sub pins x->L, y->R; appending add(y, x) must replay the swap decision
+  // against the base without rebuilding.
+  dfg::Builder b("dci");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto s = b.sub(x, y, "s");
+  const auto a = b.add(y, x, "a");
+  b.output(a, "o");
+  const dfg::Dfg g = std::move(b).build();
+  const auto base = arrangeInputs(g, {s});
+  const auto d = arrangeInputsDelta(g, base, {s}, a);
+  EXPECT_FALSE(d.rebuilt);
+  EXPECT_TRUE(d.swapped);
+  EXPECT_EQ(d.left, 1u);
+  EXPECT_EQ(d.right, 1u);
+  const auto full = arrangeInputs(g, {s, a});
+  EXPECT_EQ(d.left, full.left.size());
+  EXPECT_EQ(d.right, full.right.size());
+  EXPECT_EQ(d.swapped, full.swapped.at(a));
+}
+
+TEST(MuxOpt, DeltaPinnedFixedOrderAddsNoSignals) {
+  // A second sub over already-pinned signals leaves both ports untouched —
+  // the provably-exact fast path, no rebuild.
+  dfg::Builder b("dpf");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto s1 = b.sub(x, y, "s1");
+  const auto s2 = b.sub(x, y, "s2");
+  const auto n = b.bnot(x, "n");  // unary over a pinned left signal
+  b.output(s2, "o");
+  b.output(n, "on");
+  const dfg::Dfg g = std::move(b).build();
+  const auto base = arrangeInputs(g, {s1});
+  const auto d2 = arrangeInputsDelta(g, base, {s1}, s2);
+  EXPECT_FALSE(d2.rebuilt);
+  EXPECT_EQ(d2.left, base.left.size());
+  EXPECT_EQ(d2.right, base.right.size());
+  const auto dn = arrangeInputsDelta(g, base, {s1}, n);
+  EXPECT_FALSE(dn.rebuilt);
+  EXPECT_EQ(dn.left, base.left.size());
+  EXPECT_EQ(dn.right, base.right.size());
+}
+
+TEST(MuxOpt, DeltaUnpinnedFixedOrderFallsBackToRebuild) {
+  // base = {add(y,x)} places y->L, x->R via pass 2. Appending sub(x,y) pins
+  // the opposite orientation in pass 1 and flips the add's decision: a naive
+  // increment would report 2+2 signals, the exact answer is 1+1.
+  dfg::Builder b("dub");
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto a = b.add(y, x, "a");
+  const auto s = b.sub(x, y, "s");
+  b.output(s, "o");
+  const dfg::Dfg g = std::move(b).build();
+  const auto base = arrangeInputs(g, {a});
+  const auto d = arrangeInputsDelta(g, base, {a}, s);
+  EXPECT_TRUE(d.rebuilt);
+  EXPECT_EQ(d.left, 1u);
+  EXPECT_EQ(d.right, 1u);
+  const auto full = arrangeInputs(g, {a, s});
+  EXPECT_EQ(d.left, full.left.size());
+  EXPECT_EQ(d.right, full.right.size());
+}
+
+TEST(MuxOpt, DeltaMatchesBatchOnSystematicOpMixes) {
+  // Drive the delta path through many mixed op sets over a shared signal
+  // pool and check every single-op append against the from-scratch
+  // arrangement. The LCG keeps the mixes varied but deterministic.
+  std::uint32_t state = 0x2545f491u;
+  const auto rnd = [&state](std::uint32_t m) {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 16) % m;
+  };
+  for (int trial = 0; trial < 24; ++trial) {
+    dfg::Builder b("mix" + std::to_string(trial));
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 5; ++i)
+      pool.push_back(b.input("x" + std::to_string(i)));
+    std::vector<NodeId> ops;
+    for (int i = 0; i < 10; ++i) {
+      const NodeId u = pool[rnd(static_cast<std::uint32_t>(pool.size()))];
+      const NodeId v = pool[rnd(static_cast<std::uint32_t>(pool.size()))];
+      const std::string name = "n" + std::to_string(i);
+      switch (rnd(4)) {
+        case 0:
+          ops.push_back(b.add(u, v, name));
+          break;
+        case 1:
+          ops.push_back(b.bxor(u, v, name));
+          break;
+        case 2:
+          ops.push_back(b.sub(u, v, name));
+          break;
+        default:
+          ops.push_back(b.bnot(u, name));
+          break;
+      }
+    }
+    b.output(ops.back(), "o");
+    const dfg::Dfg g = std::move(b).build();
+    std::vector<NodeId> prefix;
+    for (NodeId next : ops) {
+      const MuxArrangement base = arrangeInputs(g, prefix);
+      const MuxDelta d = arrangeInputsDelta(g, base, prefix, next);
+      prefix.push_back(next);
+      const MuxArrangement full = arrangeInputs(g, prefix);
+      ASSERT_EQ(d.left, full.left.size())
+          << g.name() << " appending " << g.node(next).name;
+      ASSERT_EQ(d.right, full.right.size())
+          << g.name() << " appending " << g.node(next).name;
+      if (!d.rebuilt) EXPECT_EQ(d.swapped, full.swapped.at(next));
+    }
+  }
 }
 
 }  // namespace

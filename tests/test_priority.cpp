@@ -112,10 +112,11 @@ TEST_P(TopoConsistency, TopoConsistentOrderNeverInvertsDependencies) {
   const auto tf = *computeTimeFrames(g, c);
 
   const auto order = core::topoConsistentOrder(g, priorityOrder(g, tf));
-  ASSERT_EQ(order.size(), g.operations().size());
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), g.operations().size());
   std::map<NodeId, std::size_t> pos;
-  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
-  for (NodeId id : order)
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (NodeId id : *order)
     for (NodeId p : g.opPreds(id)) EXPECT_LT(pos[p], pos[id]);
 }
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Run the google-benchmark binaries and merge their JSON reports into one
+# BENCH_runtime.json tracking the repo's performance trajectory:
+#   { "runtime": <bench_runtime report>, "explore": <bench_explore report> }
+#
+# Usage: tools/bench-json.sh [build-dir] [output-file]
+#   build-dir    tree containing bench/bench_runtime (default: build)
+#   output-file  merged report path (default: BENCH_runtime.json in the repo)
+#
+# BENCH_MIN_TIME (seconds, e.g. 0.01) shortens each measurement for CI smoke
+# runs; leave it unset for trustworthy numbers.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-$repo/build}
+out=${2:-$repo/BENCH_runtime.json}
+
+for bin in bench_runtime bench_explore; do
+  if [ ! -x "$build/bench/$bin" ]; then
+    echo "bench-json.sh: $build/bench/$bin not built" >&2
+    exit 1
+  fi
+done
+
+minTimeArg=""
+if [ "${BENCH_MIN_TIME:-}" != "" ]; then
+  minTimeArg="--benchmark_min_time=$BENCH_MIN_TIME"
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# shellcheck disable=SC2086  # minTimeArg is intentionally word-split
+"$build/bench/bench_runtime" --benchmark_format=json $minTimeArg \
+  > "$tmp/runtime.json"
+# shellcheck disable=SC2086
+"$build/bench/bench_explore" --benchmark_format=json $minTimeArg \
+  > "$tmp/explore.json"
+
+{
+  printf '{\n"runtime":\n'
+  cat "$tmp/runtime.json"
+  printf ',\n"explore":\n'
+  cat "$tmp/explore.json"
+  printf '}\n'
+} > "$out"
+
+echo "bench-json.sh: wrote $out"

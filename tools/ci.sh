@@ -27,6 +27,20 @@ run_tree() {
 run_tree build-ci
 run_tree build-ci-asan -DMFRAME_SANITIZE=address,undefined
 
+# Perf benches run under the plain tree only (sanitizer overhead would make
+# the numbers meaningless): a short smoke pass of bench_runtime/bench_explore
+# via bench-json.sh, archiving the merged report next to the build tree.
+echo "==== benches (smoke) build-ci"
+BENCH_MIN_TIME=0.01 "$repo/tools/bench-json.sh" "$repo/build-ci" \
+  "$repo/build-ci/BENCH_runtime.json"
+
+# The explorer's worker threads are exactly the code the sanitizers should
+# chew on; ctest above already ran the whole suite under ASan/UBSan, but run
+# the determinism tests once more explicitly at a high jobs count.
+echo "==== explorer determinism under ASan/UBSan"
+"$repo/build-ci-asan/tests/mframe_tests" --gtest_filter='Explore*' \
+  --gtest_brief=1
+
 echo "==== clang-tidy"
 "$repo/tools/run-tidy.sh" "$repo/build-ci"
 

@@ -40,6 +40,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/lint.h"
 #include "analysis/validate/bind_io.h"
@@ -58,6 +59,7 @@
 #include "dfg/dot.h"
 #include "dfg/parser.h"
 #include "dfg/stats.h"
+#include "explore/explore.h"
 #include "lang/lower.h"
 #include "rtl/controller.h"
 #include "rtl/verify.h"
@@ -74,9 +76,10 @@ namespace {
 using namespace mframe;
 
 constexpr const char* kUsage =
-    "usage: mframe <schedule|synth|lint|prove> <file> [options]\n"
+    "usage: mframe <schedule|synth|explore|lint|prove> <file> [options]\n"
     "  schedule <file> --steps N    MFS scheduling\n"
     "  synth    <file> --steps N    MFSA scheduling-allocation\n"
+    "  explore  <file> [--jobs N]   sweep MFSA configurations in parallel\n"
     "  lint     <file>              structural diagnostics (no scheduling)\n"
     "  prove    <file>              synthesize and validate the translation\n"
     "common options: --resource T=K,... --mode time|resource --chaining\n"
@@ -84,6 +87,8 @@ constexpr const char* kUsage =
     "synth options:  --style 1|2 --weights T,A,M,R --library FILE --verilog\n"
     "  --controller --microcode --testability --testbench --rtl-dot\n"
     "  --sim a=1,b=2 [--vcd FILE] --prove\n"
+    "explore options: --jobs N (worker threads, default: hardware) --json\n"
+    "  --steps N (single step budget; default sweeps critical..critical+3)\n"
     "lint options:   --json --fail-on error|warning|note --schedule FILE\n"
     "  --library FILE\n"
     "prove options:  --scheduler mfsa|mfs|asap|list|fds --bind FILE --json\n"
@@ -131,6 +136,8 @@ struct Cli {
   bool doProve = false;
   std::string bindPath;
   std::string schedulerName = "mfsa";
+  // explore options
+  int jobs = 0;  ///< 0 = hardware concurrency
 };
 
 Cli parseArgs(int argc, char** argv) {
@@ -139,7 +146,7 @@ Cli parseArgs(int argc, char** argv) {
   c.command = argv[1];
   c.file = argv[2];
   if (c.command != "schedule" && c.command != "synth" && c.command != "lint" &&
-      c.command != "prove")
+      c.command != "prove" && c.command != "explore")
     dieUsage("unknown command '" + c.command + "'");
 
   for (int i = 3; i < argc; ++i) {
@@ -236,6 +243,9 @@ Cli parseArgs(int argc, char** argv) {
         dieUsage("bad --fail-on '" + s + "' (use error|warning|note)");
     } else if (a == "--schedule") {
       c.schedulePath = next();
+    } else if (a == "--jobs") {
+      c.jobs = static_cast<int>(util::parseLong(next()));
+      if (c.jobs < 1) die("--jobs needs a positive thread count");
     } else if (a == "--prove") {
       c.doProve = true;
     } else if (a == "--bind") {
@@ -431,6 +441,48 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
   return bad.empty() && !proveFailed ? 0 : 1;
 }
 
+/// Sweep MFSA configurations across worker threads and report the Pareto
+/// frontier of (control steps, total area). The frontier — and the JSON
+/// rendering — is identical for every --jobs value; only wall time changes.
+int runExplore(const Cli& cli, const dfg::Dfg& g) {
+  const celllib::CellLibrary lib = loadLibrary(cli);
+  explore::SweepSpec spec = explore::SweepSpec::defaults();
+  spec.base = cli.constraints;
+  if (cli.steps > 0) spec.steps = {cli.steps};
+  const int jobs =
+      cli.jobs > 0
+          ? cli.jobs
+          : std::max(1u, std::thread::hardware_concurrency());
+
+  const explore::ExploreResult r = explore::explore(g, lib, spec, jobs);
+  if (cli.jsonOut) {
+    std::printf("%s", explore::toJson(r).c_str());
+    return r.feasibleCount > 0 ? 0 : 1;
+  }
+
+  std::printf("design '%s': %d configurations, %d feasible (critical path %d"
+              " steps, %d jobs)\n\n",
+              r.design.c_str(), static_cast<int>(r.candidates.size()),
+              r.feasibleCount, r.criticalSteps, jobs);
+  std::printf("Pareto frontier (steps vs total area):\n");
+  std::printf("  %5s  %10s  %8s  %8s  %8s  %s\n", "steps", "total", "alu",
+              "reg", "mux", "configuration");
+  for (int idx : r.frontier) {
+    const explore::Candidate& c =
+        r.candidates[static_cast<std::size_t>(idx)];
+    std::printf("  %5d  %10.1f  %8.1f  %8.1f  %8.1f  w=[%g,%g,%g,%g] %s %s %s\n",
+                c.steps, c.cost.total, c.cost.aluArea, c.cost.regArea,
+                c.cost.muxArea, c.weights.time, c.weights.alu, c.weights.mux,
+                c.weights.reg,
+                std::string(explore::priorityRuleName(c.priorityRule)).c_str(),
+                std::string(explore::interconnectName(c.interconnect)).c_str(),
+                std::string(explore::designStyleName(c.style)).c_str());
+  }
+  if (r.frontier.empty())
+    std::printf("  (no feasible configuration)\n");
+  return r.feasibleCount > 0 ? 0 : 1;
+}
+
 /// Synthesize (or load a .bind design) and run the translation validator.
 int runProve(const Cli& cli, const dfg::Dfg& g) {
   const celllib::CellLibrary lib = loadLibrary(cli);
@@ -592,6 +644,11 @@ int main(int argc, char** argv) {
       const dfg::Dfg g = loadDesign(cli.file);
       preflightLint(g);
       return runProve(cli, g);
+    }
+    if (cli.command == "explore") {
+      const dfg::Dfg g = loadDesign(cli.file);
+      preflightLint(g);
+      return runExplore(cli, g);
     }
     if (cli.steps <= 0 && cli.mode == core::MfsLiapunov::Mode::TimeConstrained)
       die("--steps is required in time-constrained mode");
