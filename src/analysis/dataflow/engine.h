@@ -1,0 +1,113 @@
+// Generic monotone dataflow engine over a DFG.
+//
+// The classic worklist algorithm, parameterized over a Domain that supplies
+// the lattice: an initial value per node, a transfer function combining the
+// values of a node's dependences, equality, and a widening operator. The
+// engine walks forward (dependences = data inputs) or backward (dependences
+// = consumers) and iterates to a fixpoint.
+//
+// On a DAG seeded in topological id order the fixpoint is reached in one
+// sweep; the worklist and the widening hook exist so the engine stays total
+// and terminating for any monotone domain on any graph shape (the widening
+// threshold caps how often one node may be revisited before its value is
+// forced up the lattice).
+//
+// Domain concept:
+//   struct D {
+//     using Value = ...;
+//     Value initial(const dfg::Node& n) const;
+//     Value transfer(const dfg::Node& n, const std::vector<Value>& deps) const;
+//     static Value widen(const Value& previous, const Value& next);
+//   };
+// Value must be equality-comparable. `deps` holds, in order, the values of
+// n.inputs (forward) or of the consumers of n (backward).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "dfg/dfg.h"
+
+namespace mframe::analysis::dataflow {
+
+enum class Direction : unsigned char { Forward, Backward };
+
+/// Fixpoint solution plus the work the engine did to reach it.
+template <typename Value>
+struct FixpointResult {
+  std::vector<Value> values;  ///< one per node, indexed by NodeId
+  int visits = 0;             ///< total node evaluations until fixpoint
+  bool widened = false;       ///< true when the widening threshold fired
+};
+
+/// Revisits of one node before widen() is applied. Generous: a DAG pass
+/// never gets near it, and monotone domains converge long before.
+inline constexpr int kWidenThreshold = 64;
+
+template <typename Domain>
+FixpointResult<typename Domain::Value> solve(const dfg::Dfg& g,
+                                             const Domain& domain,
+                                             Direction dir) {
+  using Value = typename Domain::Value;
+  const std::size_t n = g.size();
+
+  FixpointResult<Value> r;
+  r.values.reserve(n);
+  for (dfg::NodeId id = 0; id < n; ++id)
+    r.values.push_back(domain.initial(g.node(id)));
+
+  // Seed every node in dependence order so the first sweep is already the
+  // topological pass (node ids are topologically ordered by construction).
+  std::deque<dfg::NodeId> work;
+  std::vector<char> queued(n, 1);
+  std::vector<int> revisits(n, 0);
+  if (dir == Direction::Forward) {
+    for (dfg::NodeId id = 0; id < n; ++id) work.push_back(id);
+  } else {
+    for (dfg::NodeId id = 0; id < n; ++id)
+      work.push_back(static_cast<dfg::NodeId>(n - 1 - id));
+  }
+
+  std::vector<Value> deps;
+  while (!work.empty()) {
+    const dfg::NodeId id = work.front();
+    work.pop_front();
+    queued[id] = 0;
+    ++r.visits;
+
+    const dfg::Node& node = g.node(id);
+    deps.clear();
+    if (dir == Direction::Forward) {
+      for (dfg::NodeId in : node.inputs) deps.push_back(r.values[in]);
+    } else {
+      for (dfg::NodeId out : g.succs(id)) deps.push_back(r.values[out]);
+    }
+
+    Value next = domain.transfer(node, deps);
+    if (next == r.values[id]) continue;
+    if (++revisits[id] > kWidenThreshold) {
+      next = Domain::widen(r.values[id], next);
+      r.widened = true;
+      if (next == r.values[id]) continue;
+    }
+    r.values[id] = next;
+
+    // The value changed: everything depending on it must be recomputed.
+    if (dir == Direction::Forward) {
+      for (dfg::NodeId out : g.succs(id))
+        if (!queued[out]) {
+          queued[out] = 1;
+          work.push_back(out);
+        }
+    } else {
+      for (dfg::NodeId in : node.inputs)
+        if (!queued[in]) {
+          queued[in] = 1;
+          work.push_back(in);
+        }
+    }
+  }
+  return r;
+}
+
+}  // namespace mframe::analysis::dataflow

@@ -1,0 +1,65 @@
+// The concrete dataflow passes built on the worklist engine:
+//
+//   analyzeConstants  — forward constant propagation over evalOp semantics,
+//                       including the absorbing rules (x*0, x&0, x/0) that
+//                       fold operations whose operands are not all constant
+//   analyzeRanges     — forward value-range inference on the interval
+//                       lattice; declared Input widths seed the ranges
+//   inferWidths       — bit widths implied by the inferred ranges
+//   analyzeDemand     — backward liveness: which operations must actually
+//                       execute at run time once constants are folded
+//   findDuplicateExprs— common-subexpression detection via the validator's
+//                       hash-consed value numbering
+//
+// All passes are pure queries; applyFixes (analyze.h) is the only rewriter.
+#pragma once
+
+#include <vector>
+
+#include "analysis/dataflow/lattice.h"
+#include "dfg/dfg.h"
+
+namespace mframe::analysis::dataflow {
+
+/// Constant value of every node, indexed by NodeId. `visits` (optional)
+/// receives the engine's node-evaluation count.
+std::vector<ConstValue> analyzeConstants(const dfg::Dfg& g, int wordWidth = 16,
+                                         int* visits = nullptr);
+
+/// Value range of every node, indexed by NodeId. An Input node with a
+/// declared width is assumed to range over [0, 2^width - 1]; declared
+/// widths on operations do NOT constrain ranges (evalOp masks at the
+/// analysis word width only), they are what OPT004 audits.
+std::vector<Interval> analyzeRanges(const dfg::Dfg& g, int wordWidth = 16,
+                                    int* visits = nullptr);
+
+/// Bits needed per node under `ranges` (Interval::widthNeeded).
+std::vector<int> inferWidths(const std::vector<Interval>& ranges);
+
+/// Backward demand: demand[n] is true iff node n must execute at run time
+/// AND therefore needs its operands — i.e. n is a schedulable operation
+/// whose value is not a compile-time constant, and n is a primary output or
+/// feeds some demanded consumer. A node's *result* is needed iff it is an
+/// output or some consumer is demanded (see resultNeeded).
+std::vector<char> analyzeDemand(const dfg::Dfg& g,
+                                const std::vector<ConstValue>& consts,
+                                int* visits = nullptr);
+
+/// needed[n]: the value of n must exist at run time (as a computed signal or
+/// as a folded constant) — n is an output or feeds a demanded consumer.
+std::vector<char> resultNeeded(const dfg::Dfg& g,
+                               const std::vector<char>& demand);
+
+/// One set of operations computing the same expression. `first` is the
+/// canonical (lowest-id) producer; `repeats` are the redundant ones.
+struct DuplicateGroup {
+  dfg::NodeId first = dfg::kNoNode;
+  std::vector<dfg::NodeId> repeats;
+};
+
+/// Structural common subexpressions among schedulable operations, found by
+/// value numbering (commutative operand order normalized). Groups are
+/// ordered by their canonical node id.
+std::vector<DuplicateGroup> findDuplicateExprs(const dfg::Dfg& g);
+
+}  // namespace mframe::analysis::dataflow

@@ -140,6 +140,13 @@ LintReport lintDfg(const dfg::Dfg& g) {
                        "remove the delay= attribute"));
     }
 
+    // DFG012: a declared width must fit the unsigned-word value domain.
+    if (node.width != 0 && (node.width < 1 || node.width > 64))
+      r.add(nodeDiag(kDfgBadWidth, node,
+                     util::format("width=%d outside the supported 1..64 bit range",
+                                  node.width),
+                     "drop the width= attribute or declare 1..64 bits"));
+
     // DFG007: branch paths are alternating cond/arm pairs, none empty.
     if (!node.branchPath.empty()) {
       const auto parts = util::split(node.branchPath, '.');

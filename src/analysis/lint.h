@@ -10,16 +10,24 @@
 //   analysis::lintLibrary(lib, needed)        — cell-library rules (LIB)
 //   analysis::proveDatapath(d, fsm, rom)      — translation validator (EQV),
 //                                               see analysis/validate/
+//   analysis::dataflow::lintDataflow(g)       — dataflow analyses (OPT),
+//                                               see analysis/dataflow/
+//   analysis::timing::analyzeTiming(d)        — static timing (TIM),
+//                                               see analysis/timing/
+//   analysis::analyzeDesign(g, lib, opts)     — the `mframe analyze` bundle
 //
 // Reports render as text (LintReport::renderText) or JSON
 // (LintReport::renderJson); see docs/LINT.md for the rule catalogue and
 // docs/FORMATS.md for the JSON schema.
 #pragma once
 
+#include "analysis/analyze.h"
+#include "analysis/dataflow/analyze.h"
 #include "analysis/dfg_rules.h"
 #include "analysis/diagnostic.h"
 #include "analysis/lib_rules.h"
 #include "analysis/rtl_rules.h"
 #include "analysis/rules.h"
 #include "analysis/sched_rules.h"
+#include "analysis/timing/sta.h"
 #include "analysis/validate/validate.h"

@@ -13,7 +13,7 @@ namespace mframe::analysis {
 
 struct RuleInfo {
   std::string_view id;       ///< stable id, e.g. "DFG003"
-  std::string_view family;   ///< "dfg", "sched", "rtl", "eqv" or "lib"
+  std::string_view family;   ///< "dfg", "sched", "rtl", "eqv", "lib", "opt" or "tim"
   Severity severity;         ///< default severity of emissions
   std::string_view summary;  ///< one-line description
 };
@@ -38,6 +38,7 @@ inline constexpr std::string_view kDfgDuplicateName = "DFG008";
 inline constexpr std::string_view kDfgDeadLeaf = "DFG009";
 inline constexpr std::string_view kDfgForwardRef = "DFG010";
 inline constexpr std::string_view kDfgBadOutputRef = "DFG011";
+inline constexpr std::string_view kDfgBadWidth = "DFG012";
 // -- schedule family ---------------------------------------------------------
 inline constexpr std::string_view kSchedParseFailure = "SCH000";
 inline constexpr std::string_view kSchedUnplaced = "SCH001";
@@ -77,5 +78,15 @@ inline constexpr std::string_view kLibBadDelay = "LIB003";
 inline constexpr std::string_view kLibMissingCell = "LIB004";
 inline constexpr std::string_view kLibBadStages = "LIB005";
 inline constexpr std::string_view kLibMuxTable = "LIB006";
+// -- OPT family (dataflow analysis, src/analysis/dataflow/) ------------------
+inline constexpr std::string_view kOptFoldableConst = "OPT001";
+inline constexpr std::string_view kOptDeadOp = "OPT002";
+inline constexpr std::string_view kOptDuplicateExpr = "OPT003";
+inline constexpr std::string_view kOptOverWideOp = "OPT004";
+// -- TIM family (static timing analysis, src/analysis/timing/) ---------------
+inline constexpr std::string_view kTimClockViolation = "TIM001";
+inline constexpr std::string_view kTimUnconstrainedChain = "TIM002";
+inline constexpr std::string_view kTimMulticycleUnderAlloc = "TIM003";
+inline constexpr std::string_view kTimNearCritical = "TIM004";
 
 }  // namespace mframe::analysis

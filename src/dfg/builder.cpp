@@ -4,10 +4,11 @@
 
 namespace mframe::dfg {
 
-NodeId Builder::input(std::string name) {
+NodeId Builder::input(std::string name, int width) {
   Node n;
   n.kind = OpKind::Input;
   n.name = std::move(name);
+  n.width = width;
   return g_.addNode(std::move(n));
 }
 
@@ -30,6 +31,8 @@ NodeId Builder::op(OpKind kind, std::vector<NodeId> inputs, std::string name,
   n.branchPath = branchScope_;
   return g_.addNode(std::move(n));
 }
+
+void Builder::setWidth(NodeId id, int width) { g_.node(id).width = width; }
 
 void Builder::pushBranch(const std::string& condId, const std::string& armId) {
   if (!branchScope_.empty()) branchScope_ += '.';

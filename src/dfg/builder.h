@@ -25,8 +25,13 @@ class Builder {
  public:
   explicit Builder(std::string name) : g_(std::move(name)) {}
 
-  NodeId input(std::string name);
+  /// `width` declares the signal's bit width (0 = unspecified; the dataflow
+  /// analyses then assume the machine word width).
+  NodeId input(std::string name, int width = 0);
   NodeId constant(long value, std::string name);
+
+  /// Pin the declared bit width of an already-created node.
+  void setWidth(NodeId id, int width);
 
   /// Generic operation node. `cycles`/`delayNs` override the defaults; the
   /// current branch scope (see pushBranch) is recorded on the node.

@@ -39,6 +39,11 @@ struct Node {
 
   long constValue = 0;          ///< literal value for Const nodes
 
+  /// Declared bit width of the produced signal; 0 = unspecified (the
+  /// machine word width applies). On Input nodes this bounds the value range
+  /// the dataflow analyses assume; on operations it pins the result width.
+  int width = 0;
+
   double effectiveDelayNs() const {
     return delayNs >= 0 ? delayNs : defaultDelayNs(kind);
   }

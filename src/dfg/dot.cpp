@@ -9,7 +9,14 @@ namespace mframe::dfg {
 std::string toDot(const Dfg& g, const std::map<NodeId, int>& stepOf) {
   std::string out = "digraph \"" + g.name() + "\" {\n  rankdir=TB;\n";
   for (const Node& n : g.nodes()) {
-    std::string label = n.name + "\\n" + std::string(kindSymbol(n.kind));
+    // Const nodes show their literal value instead of the bare '#' symbol;
+    // declared widths ride along on any node so analyzed DFGs stay readable.
+    std::string label = n.name + "\\n";
+    if (n.kind == OpKind::Const)
+      label += util::format("=%ld", n.constValue);
+    else
+      label += std::string(kindSymbol(n.kind));
+    if (n.width != 0) label += util::format(" [%d]", n.width);
     std::string shape = "ellipse";
     if (n.kind == OpKind::Input) shape = "invtriangle";
     if (n.kind == OpKind::Const) shape = "box";

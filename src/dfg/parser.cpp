@@ -52,6 +52,20 @@ Dfg parseImpl(std::string_view text, std::vector<ParseIssue>* issues) {
     const auto tok = util::splitWs(rawLine);
     if (tok.empty()) continue;
 
+    // Optional trailing width= attribute shared by input/const statements.
+    // Stored as written (lenient mode leaves bad values for DFG012).
+    auto leafWidth = [&](Node& n, std::size_t from) -> bool {
+      for (std::size_t a = from; a < tok.size(); ++a) {
+        const auto eq = tok[a].find('=');
+        if (eq == std::string::npos || tok[a].substr(0, eq) != "width") {
+          problem(lineNo, "unknown attribute '" + tok[a] + "'");
+          return false;
+        }
+        n.width = static_cast<int>(std::strtol(tok[a].c_str() + eq + 1, nullptr, 10));
+      }
+      return true;
+    };
+
     if (tok[0] == "dfg") {
       if (tok.size() != 2) {
         problem(lineNo, "expected: dfg <name>");
@@ -60,23 +74,25 @@ Dfg parseImpl(std::string_view text, std::vector<ParseIssue>* issues) {
       g.setName(tok[1]);
       sawHeader = true;
     } else if (tok[0] == "input") {
-      if (tok.size() != 2) {
-        problem(lineNo, "expected: input <signal>");
+      if (tok.size() < 2) {
+        problem(lineNo, "expected: input <signal> [width=N]");
         continue;
       }
       Node n;
       n.kind = OpKind::Input;
       n.name = tok[1];
+      if (!leafWidth(n, 2)) continue;
       byName[tok[1]] = g.addNode(std::move(n));
     } else if (tok[0] == "const") {
-      if (tok.size() != 3) {
-        problem(lineNo, "expected: const <value> <signal>");
+      if (tok.size() < 3) {
+        problem(lineNo, "expected: const <value> <signal> [width=N]");
         continue;
       }
       Node n;
       n.kind = OpKind::Const;
       n.constValue = std::strtol(tok[1].c_str(), nullptr, 10);
       n.name = tok[2];
+      if (!leafWidth(n, 3)) continue;
       byName[tok[2]] = g.addNode(std::move(n));
     } else if (tok[0] == "op") {
       if (tok.size() < 4) {
@@ -112,6 +128,8 @@ Dfg parseImpl(std::string_view text, std::vector<ParseIssue>* issues) {
           n.delayNs = std::strtod(val.c_str(), nullptr);
         } else if (key == "branch") {
           n.branchPath = val;
+        } else if (key == "width") {
+          n.width = static_cast<int>(std::strtol(val.c_str(), nullptr, 10));
         } else {
           problem(lineNo, "unknown attribute '" + key + "'");
           badAttrs = true;
@@ -155,13 +173,17 @@ Dfg parseLenient(std::string_view text, std::vector<ParseIssue>& issues) {
 
 std::string serialize(const Dfg& g) {
   std::string out = "dfg " + g.name() + "\n";
+  const auto widthSuffix = [](const Node& n) {
+    return n.width != 0 ? util::format(" width=%d", n.width) : std::string();
+  };
   for (const Node& n : g.nodes()) {
     switch (n.kind) {
       case OpKind::Input:
-        out += "input " + n.name + "\n";
+        out += "input " + n.name + widthSuffix(n) + "\n";
         break;
       case OpKind::Const:
-        out += util::format("const %ld %s\n", n.constValue, n.name.c_str());
+        out += util::format("const %ld %s", n.constValue, n.name.c_str()) +
+               widthSuffix(n) + "\n";
         break;
       default: {
         out += "op " + std::string(kindName(n.kind)) + " " + n.name;
@@ -169,6 +191,7 @@ std::string serialize(const Dfg& g) {
         if (n.cycles != 1) out += util::format(" cycles=%d", n.cycles);
         if (n.delayNs >= 0) out += util::format(" delay=%g", n.delayNs);
         if (!n.branchPath.empty()) out += " branch=" + n.branchPath;
+        out += widthSuffix(n);
         out += "\n";
       }
     }

@@ -15,9 +15,21 @@ DfgStats computeStats(const Dfg& g) {
   std::size_t fanoutCarriers = 0;
   std::size_t fanoutTotal = 0;
   for (const Node& n : g.nodes()) {
+    if (n.width != 0) {
+      if (st.widthedNodes == 0) {
+        st.minDeclaredWidth = st.maxDeclaredWidth = n.width;
+      } else {
+        st.minDeclaredWidth = std::min(st.minDeclaredWidth, n.width);
+        st.maxDeclaredWidth = std::max(st.maxDeclaredWidth, n.width);
+      }
+      ++st.widthedNodes;
+    }
     switch (n.kind) {
       case OpKind::Input: ++st.inputs; break;
-      case OpKind::Const: ++st.constants; break;
+      case OpKind::Const:
+        ++st.constants;
+        st.constValues.push_back(n.constValue);
+        break;
       default: {
         ++st.operations;
         ++st.opMix[n.kind];
@@ -52,6 +64,14 @@ std::string DfgStats::toString() const {
   std::string out = util::format(
       "%zu nodes (%zu ops, %zu inputs, %zu consts), %zu outputs\n", nodes,
       operations, inputs, constants, outputs);
+  if (!constValues.empty()) {
+    out += "const values:";
+    for (long v : constValues) out += util::format(" %ld", v);
+    out += "\n";
+  }
+  if (widthedNodes > 0)
+    out += util::format("declared widths: %zu node(s), %d..%d bit(s)\n",
+                        widthedNodes, minDeclaredWidth, maxDeclaredWidth);
   out += "op mix:";
   for (const auto& [kind, count] : opMix)
     out += util::format(" %d%s", count, std::string(kindSymbol(kind)).c_str());

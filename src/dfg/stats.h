@@ -5,6 +5,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "dfg/dfg.h"
 
@@ -24,6 +25,10 @@ struct DfgStats {
   std::size_t multicycleOps = 0;  ///< ops with cycles > 1
   std::size_t conditionalOps = 0; ///< ops inside some branch arm
   double parallelism = 0.0;       ///< operations / criticalPath
+  std::vector<long> constValues;  ///< literal values, in node order
+  std::size_t widthedNodes = 0;   ///< nodes carrying a declared width
+  int minDeclaredWidth = 0;       ///< 0 when no widths are declared
+  int maxDeclaredWidth = 0;
 
   std::string toString() const;
 };

@@ -53,12 +53,15 @@ TEST(LintRules, IdsAreUniqueWellFormedAndFindable) {
     EXPECT_TRUE(ids.insert(r.id).second) << "duplicate id " << r.id;
     ASSERT_EQ(r.id.size(), 6u) << r.id;
     EXPECT_TRUE(r.family == "dfg" || r.family == "sched" ||
-                r.family == "rtl" || r.family == "eqv" || r.family == "lib");
+                r.family == "rtl" || r.family == "eqv" || r.family == "lib" ||
+                r.family == "opt" || r.family == "tim");
     const std::string_view prefix = r.id.substr(0, 3);
     EXPECT_EQ(prefix, r.family == "dfg"     ? "DFG"
                       : r.family == "sched" ? "SCH"
                       : r.family == "rtl"   ? "RTL"
                       : r.family == "eqv"   ? "EQV"
+                      : r.family == "opt"   ? "OPT"
+                      : r.family == "tim"   ? "TIM"
                                             : "LIB");
     EXPECT_FALSE(r.summary.empty());
     EXPECT_EQ(findRule(r.id), &r);
@@ -217,6 +220,20 @@ TEST(LintDfg, BadOutputRefFires) {  // DFG011
   dfg::Dfg g = test::smallDiamond();
   g.markOutput(999, "bogus");
   EXPECT_TRUE(fires(lintDfg(g), kDfgBadOutputRef));
+}
+
+TEST(LintDfg, BadWidthFires) {  // DFG012
+  dfg::Dfg g = test::smallDiamond();
+  g.node(g.findByName("y")).width = 65;
+  EXPECT_TRUE(fires(lintDfg(g), kDfgBadWidth));
+
+  dfg::Dfg h = test::smallDiamond();
+  h.node(h.findByName("a")).width = -3;
+  EXPECT_TRUE(fires(lintDfg(h), kDfgBadWidth));
+
+  dfg::Dfg ok = test::smallDiamond();
+  ok.node(ok.findByName("y")).width = 8;
+  EXPECT_FALSE(fires(lintDfg(ok), kDfgBadWidth));
 }
 
 TEST(LintDfg, LenientParseFeedsTheLinter) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Run the google-benchmark binaries and merge their JSON reports into one
 # BENCH_runtime.json tracking the repo's performance trajectory:
-#   { "runtime": <bench_runtime report>, "explore": <bench_explore report> }
+#   { "runtime": ..., "explore": ..., "analyze": ... } — one google-benchmark
+#   report per binary
 #
 # Usage: tools/bench-json.sh [build-dir] [output-file]
 #   build-dir    tree containing bench/bench_runtime (default: build)
@@ -15,7 +16,7 @@ repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build=${1:-$repo/build}
 out=${2:-$repo/BENCH_runtime.json}
 
-for bin in bench_runtime bench_explore; do
+for bin in bench_runtime bench_explore bench_analyze; do
   if [ ! -x "$build/bench/$bin" ]; then
     echo "bench-json.sh: $build/bench/$bin not built" >&2
     exit 1
@@ -36,12 +37,17 @@ trap 'rm -rf "$tmp"' EXIT
 # shellcheck disable=SC2086
 "$build/bench/bench_explore" --benchmark_format=json $minTimeArg \
   > "$tmp/explore.json"
+# shellcheck disable=SC2086
+"$build/bench/bench_analyze" --benchmark_format=json $minTimeArg \
+  > "$tmp/analyze.json"
 
 {
   printf '{\n"runtime":\n'
   cat "$tmp/runtime.json"
   printf ',\n"explore":\n'
   cat "$tmp/explore.json"
+  printf ',\n"analyze":\n'
+  cat "$tmp/analyze.json"
   printf '}\n'
 } > "$out"
 

@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
-# Full local CI sweep: build and test the tree twice — once plain, once
-# instrumented with AddressSanitizer+UBSan — then run clang-tidy over the
-# sources. This is the same gauntlet the validator and lint fixtures are
-# developed against; a clean run means "safe to push".
+# Full local CI sweep: build and test the tree three times — plain,
+# instrumented with AddressSanitizer+UBSan, and instrumented with
+# ThreadSanitizer (the explorer's worker threads are the only concurrency in
+# the repo, so the TSan tree runs just those tests) — then run clang-tidy
+# over the sources with warnings promoted to errors. This is the same
+# gauntlet the validator and lint fixtures are developed against; a clean
+# run means "safe to push".
 #
 # Usage: tools/ci.sh [jobs]
 #
-# Build trees land in build-ci/ (plain) and build-ci-asan/ (sanitized) so an
-# existing build/ tree is left alone.
+# Build trees land in build-ci/ (plain), build-ci-asan/ and build-ci-tsan/
+# (sanitized) so an existing build/ tree is left alone.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -27,6 +30,18 @@ run_tree() {
 run_tree build-ci
 run_tree build-ci-asan -DMFRAME_SANITIZE=address,undefined
 
+# ThreadSanitizer tree (TSan and ASan cannot share a binary, hence the third
+# tree). Only the concurrent code is interesting here — the explorer and its
+# thread pool — so build the test binary and run that suite at a high jobs
+# count instead of the whole ctest sweep.
+echo "==== configure build-ci-tsan (-DMFRAME_SANITIZE=thread)"
+cmake -B "$repo/build-ci-tsan" -S "$repo" -DMFRAME_SANITIZE=thread
+echo "==== build build-ci-tsan (mframe_tests)"
+cmake --build "$repo/build-ci-tsan" -j "$jobs" --target mframe_tests
+echo "==== explorer/thread-pool tests under TSan"
+"$repo/build-ci-tsan/tests/mframe_tests" --gtest_filter='Explore*' \
+  --gtest_brief=1
+
 # Perf benches run under the plain tree only (sanitizer overhead would make
 # the numbers meaningless): a short smoke pass of bench_runtime/bench_explore
 # via bench-json.sh, archiving the merged report next to the build tree.
@@ -41,7 +56,7 @@ echo "==== explorer determinism under ASan/UBSan"
 "$repo/build-ci-asan/tests/mframe_tests" --gtest_filter='Explore*' \
   --gtest_brief=1
 
-echo "==== clang-tidy"
+echo "==== clang-tidy (warnings are errors)"
 "$repo/tools/run-tidy.sh" "$repo/build-ci"
 
 echo "==== ci.sh: all green"

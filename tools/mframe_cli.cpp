@@ -2,6 +2,7 @@
 //
 //   mframe schedule <file> --steps N [options]      MFS scheduling
 //   mframe synth    <file> --steps N [options]      MFSA scheduling-allocation
+//   mframe analyze  <file> [options]                dataflow + timing analysis
 //   mframe lint     <file> [options]                structural diagnostics
 //   mframe prove    <file> [options]                translation validation
 //
@@ -30,6 +31,10 @@
 //   --fail-on SEV        exit nonzero at error|warning|note (default error)
 //   --schedule FILE      also lint a saved schedule against the design
 //   --library FILE       also lint a cell library against the design
+// analyze-only:
+//   --fix                print the design with constants folded and dead
+//                        operations removed (diagnostics go to stderr)
+//   --no-timing          run only the dataflow passes (no synthesis)
 // prove-only:
 //   --scheduler NAME     mfsa|mfs|asap|list|fds (default mfsa); mfsa/mfs/fds
 //                        need --steps, asap/list pace themselves
@@ -76,17 +81,20 @@ namespace {
 using namespace mframe;
 
 constexpr const char* kUsage =
-    "usage: mframe <schedule|synth|explore|lint|prove> <file> [options]\n"
+    "usage: mframe <schedule|synth|analyze|explore|lint|prove> <file> [options]\n"
     "  schedule <file> --steps N    MFS scheduling\n"
     "  synth    <file> --steps N    MFSA scheduling-allocation\n"
+    "  analyze  <file>              dataflow analysis + static timing (OPT/TIM)\n"
     "  explore  <file> [--jobs N]   sweep MFSA configurations in parallel\n"
     "  lint     <file>              structural diagnostics (no scheduling)\n"
     "  prove    <file>              synthesize and validate the translation\n"
     "common options: --resource T=K,... --mode time|resource --chaining\n"
     "  --clock NS --latency L --pipelined-mults --priority RULE --report --dot\n"
     "synth options:  --style 1|2 --weights T,A,M,R --library FILE --verilog\n"
-    "  --controller --microcode --testability --testbench --rtl-dot\n"
+    "  --controller --microcode --testability --testbench --rtl-dot --timing\n"
     "  --sim a=1,b=2 [--vcd FILE] --prove\n"
+    "analyze options: --json --fail-on SEV --fix --no-timing --steps N\n"
+    "  --chaining --clock NS --library FILE\n"
     "explore options: --jobs N (worker threads, default: hardware) --json\n"
     "  --steps N (single step budget; default sweeps critical..critical+3)\n"
     "lint options:   --json --fail-on error|warning|note --schedule FILE\n"
@@ -132,6 +140,11 @@ struct Cli {
   bool jsonOut = false;
   analysis::Severity failOn = analysis::Severity::Error;
   std::string schedulePath;
+  // analyze options
+  bool clockSet = false;  ///< the user passed --clock (vs the 100 ns default)
+  bool doFix = false;
+  bool noTiming = false;
+  bool emitTiming = false;  ///< synth --timing
   // prove options
   bool doProve = false;
   std::string bindPath;
@@ -146,7 +159,7 @@ Cli parseArgs(int argc, char** argv) {
   c.command = argv[1];
   c.file = argv[2];
   if (c.command != "schedule" && c.command != "synth" && c.command != "lint" &&
-      c.command != "prove" && c.command != "explore")
+      c.command != "prove" && c.command != "explore" && c.command != "analyze")
     dieUsage("unknown command '" + c.command + "'");
 
   for (int i = 3; i < argc; ++i) {
@@ -189,6 +202,7 @@ Cli parseArgs(int argc, char** argv) {
       c.constraints.allowChaining = true;
     } else if (a == "--clock") {
       c.constraints.clockNs = std::strtod(next().c_str(), nullptr);
+      c.clockSet = true;
     } else if (a == "--latency") {
       c.constraints.latency = static_cast<int>(util::parseLong(next()));
     } else if (a == "--pipelined-mults") {
@@ -248,6 +262,12 @@ Cli parseArgs(int argc, char** argv) {
       if (c.jobs < 1) die("--jobs needs a positive thread count");
     } else if (a == "--prove") {
       c.doProve = true;
+    } else if (a == "--fix") {
+      c.doFix = true;
+    } else if (a == "--no-timing") {
+      c.noTiming = true;
+    } else if (a == "--timing") {
+      c.emitTiming = true;
     } else if (a == "--bind") {
       c.bindPath = next();
     } else if (a == "--scheduler") {
@@ -398,6 +418,18 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
       proveFailed = proof.hasAtOrAbove(cli.failOn);
     }
   }
+  bool timingFailed = false;
+  if (cli.emitTiming) {
+    analysis::timing::TimingOptions to;
+    to.clockNs = cli.constraints.clockNs;
+    to.clockSet = cli.clockSet;
+    const auto sta = analysis::timing::analyzeTiming(r.datapath, to);
+    std::printf("\n%s", sta.toString(g).c_str());
+    if (!sta.diagnostics.empty()) {
+      std::printf("%s", sta.diagnostics.renderText().c_str());
+      timingFailed = sta.diagnostics.hasAtOrAbove(cli.failOn);
+    }
+  }
   if (cli.emitReport)
     std::printf("\n%s", sched::analyzeSchedule(r.datapath.schedule).toString().c_str());
   if (cli.emitController) std::printf("\n%s", fsm.toString(g).c_str());
@@ -438,7 +470,37 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
     }
     if (!allMatch) return 1;
   }
-  return bad.empty() && !proveFailed ? 0 : 1;
+  return bad.empty() && !proveFailed && !timingFailed ? 0 : 1;
+}
+
+/// Run the dataflow passes and (unless --no-timing) a schedule + datapath +
+/// STA round, reporting OPT/TIM diagnostics. With --fix the rewritten design
+/// goes to stdout and the diagnostics to stderr, so the fixed .dfg can be
+/// piped straight back into the flow.
+int runAnalyze(const Cli& cli, const dfg::Dfg& g) {
+  analysis::AnalyzeOptions opts;
+  opts.runTiming = !cli.noTiming;
+  opts.steps = cli.steps;
+  opts.constraints = cli.constraints;
+  opts.clockSet = cli.clockSet;
+  const celllib::CellLibrary lib = loadLibrary(cli);
+  const analysis::AnalyzeResult r = analysis::analyzeDesign(g, lib, opts);
+
+  if (cli.doFix) {
+    const dfg::Dfg fixed = analysis::dataflow::applyFixes(g, r.dataflow);
+    if (const auto err = fixed.validate())
+      die("analyze --fix produced an invalid graph: " + *err);
+    std::fprintf(stderr, "%s", r.report.renderText().c_str());
+    std::printf("%s", dfg::serialize(fixed).c_str());
+    return 0;
+  }
+  if (cli.jsonOut)
+    std::printf("%s", r.report.renderJson(g.name()).c_str());
+  else
+    std::printf("design '%s': %zu nodes, %zu operations\n%s",
+                g.name().c_str(), g.size(), g.operations().size(),
+                r.renderText(g).c_str());
+  return r.report.hasAtOrAbove(cli.failOn) ? 1 : 0;
 }
 
 /// Sweep MFSA configurations across worker threads and report the Pareto
@@ -592,7 +654,13 @@ int runLint(const Cli& cli) {
                    issue.message, issue.line > 0 ? issue.line : -1);
   }
 
-  if (haveGraph) report.merge(analysis::lintDfg(g));
+  if (haveGraph) {
+    report.merge(analysis::lintDfg(g));
+    // The OPT family rides along: optimization opportunities are lint-grade
+    // findings (Notes) once the graph is structurally sound.
+    if (!report.hasErrors())
+      report.merge(analysis::dataflow::lintDataflow(g).report);
+  }
 
   if (!cli.schedulePath.empty()) {
     if (!haveGraph) {
@@ -649,6 +717,11 @@ int main(int argc, char** argv) {
       const dfg::Dfg g = loadDesign(cli.file);
       preflightLint(g);
       return runExplore(cli, g);
+    }
+    if (cli.command == "analyze") {
+      const dfg::Dfg g = loadDesign(cli.file);
+      preflightLint(g);
+      return runAnalyze(cli, g);
     }
     if (cli.steps <= 0 && cli.mode == core::MfsLiapunov::Mode::TimeConstrained)
       die("--steps is required in time-constrained mode");

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # Run clang-tidy over the library and tool sources using the compile database
-# of an existing build tree.
+# of an existing build tree. Findings are promoted to errors so the script
+# (and tools/ci.sh, which calls it) fails on any new warning; pass
+# --warnings-as-errors='' after the build dir to downgrade while iterating.
 #
 # Usage: tools/run-tidy.sh [build-dir] [extra clang-tidy args...]
 #
@@ -28,6 +30,6 @@ fi
 status=0
 for f in $(find "$repo/src" "$repo/tools" -name '*.cpp' | sort); do
   echo "== $f"
-  clang-tidy -p "$build" "$@" "$f" || status=1
+  clang-tidy -p "$build" --warnings-as-errors='*' "$@" "$f" || status=1
 done
 exit "$status"
