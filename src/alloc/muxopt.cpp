@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
+
 namespace mframe::alloc {
 
 namespace {
@@ -18,6 +20,7 @@ void addUnique(std::vector<dfg::NodeId>& v, dfg::NodeId x) {
 
 MuxArrangement arrangeInputs(const dfg::Dfg& g,
                              const std::vector<dfg::NodeId>& ops) {
+  trace::bump(trace::Counter::MuxFullArrangements);
   MuxArrangement a;
 
   // Pass 1: fixed-order operations pin their signals to their ports.
@@ -67,6 +70,7 @@ MuxDelta arrangeInputsDelta(const dfg::Dfg& g, const MuxArrangement& base,
     const dfg::NodeId r = d.swapped ? x : y;
     d.left = base.left.size() + (contains(base.left, l) ? 0 : 1);
     d.right = base.right.size() + (contains(base.right, r) ? 0 : 1);
+    trace::bump(trace::Counter::MuxDeltaIncremental);
     return d;
   }
   // Fixed-order op: exact only if its pins were already pass-1 pinned, in
@@ -79,8 +83,10 @@ MuxDelta arrangeInputsDelta(const dfg::Dfg& g, const MuxArrangement& base,
   if (leftPinned && rightPinned) {
     d.left = base.left.size();
     d.right = base.right.size();
+    trace::bump(trace::Counter::MuxDeltaIncremental);
     return d;
   }
+  trace::bump(trace::Counter::MuxDeltaRebuilds);
   std::vector<dfg::NodeId> after = baseOps;
   after.push_back(op);
   const MuxArrangement full = arrangeInputs(g, after);

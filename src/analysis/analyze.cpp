@@ -4,12 +4,14 @@
 #include "core/mfs.h"
 #include "dfg/stats.h"
 #include "rtl/datapath.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace mframe::analysis {
 
 AnalyzeResult analyzeDesign(const dfg::Dfg& g, const celllib::CellLibrary& lib,
                             const AnalyzeOptions& opts) {
+  const trace::Span span("analyze");
   AnalyzeResult r;
   r.dataflow = dataflow::lintDataflow(g, opts.dataflow);
   r.report.merge(r.dataflow.report);

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "analysis/rules.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace mframe::analysis::dataflow {
@@ -55,6 +56,7 @@ bool isRelational(OpKind k) {
 }  // namespace
 
 DataflowResult lintDataflow(const dfg::Dfg& g, const DataflowOptions& opts) {
+  const trace::Span span("dataflow");
   DataflowResult r;
   int visits = 0;
   r.constants = analyzeConstants(g, opts.wordWidth, &visits);

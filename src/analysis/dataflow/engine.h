@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "dfg/dfg.h"
+#include "trace/trace.h"
 
 namespace mframe::analysis::dataflow {
 
@@ -107,6 +108,9 @@ FixpointResult<typename Domain::Value> solve(const dfg::Dfg& g,
         }
     }
   }
+  trace::bump(trace::Counter::DataflowWorklistIterations,
+              static_cast<std::uint64_t>(r.visits));
+  if (r.widened) trace::bump(trace::Counter::DataflowWidenings);
   return r;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/rules.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace mframe::analysis::timing {
@@ -157,6 +158,7 @@ struct Walker {
 }  // namespace
 
 TimingReport analyzeTiming(const rtl::Datapath& d, const TimingOptions& opts) {
+  const trace::Span span("sta");
   const dfg::Dfg& g = *d.graph;
   TimingReport r;
   r.clockNs = opts.clockNs;
@@ -211,6 +213,7 @@ TimingReport analyzeTiming(const rtl::Datapath& d, const TimingOptions& opts) {
       r.worstSlackNs = e.slackNs;
       r.worstOp = id;
     }
+    trace::bump(trace::Counter::StaEndpoints);
     r.endpoints.push_back(std::move(e));
   }
 

@@ -8,6 +8,7 @@
 #include "analysis/rules.h"
 #include "analysis/validate/value_numbering.h"
 #include "rtl/bus.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace mframe::analysis {
@@ -604,6 +605,7 @@ class Prover {
 
 LintReport proveDatapath(const rtl::Datapath& d, const rtl::ControllerFsm& fsm,
                          const rtl::MicrocodeRom& rom) {
+  const trace::Span span("prove");
   return Prover(d, fsm, rom).run();
 }
 

@@ -6,6 +6,7 @@
 #include "core/frames.h"
 #include "core/grid.h"
 #include "sched/timeframes.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace mframe::core {
@@ -66,6 +67,7 @@ std::optional<std::vector<NodeId>> topoConsistentOrder(
 }
 
 MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
+  const trace::Span span("mfs");
   MfsResult res;
   if (auto err = g.validate()) {
     res.error = "invalid DFG: " + *err;
@@ -171,6 +173,8 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
 
         const sched::Placement* best = nullptr;
         double bestV = 0.0;
+        trace::bump(trace::Counter::LiapunovCellEvals,
+                    frames.moveFrame.size());
         for (const auto& cell : frames.moveFrame) {
           const double cv = energy.value(cell.column, cell.step);
           if (!best || cv < bestV) {
@@ -211,6 +215,7 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
         grid.place(id, best->column, best->step);
         s.place(id, best->step, best->column);
         fc.recordPlacement(s, id, best->step);
+        trace::bump(trace::Counter::LiapunovUpdates);
         v -= worstOf[id] - bestV;  // each move strictly decreases the energy
         if (opt.traceLiapunov) res.liapunovTrace.push_back(v);
       }

@@ -11,6 +11,7 @@
 #include "core/grid.h"
 #include "core/mfs.h"
 #include "sched/timeframes.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace mframe::core {
@@ -57,6 +58,8 @@ std::optional<celllib::ModuleId> cheapestCovering(const celllib::CellLibrary& li
 
 MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
                    const MfsaOptions& opt) {
+  const trace::Span span("mfsa");
+  trace::bump(trace::Counter::MfsaRuns);
   MfsaResult res;
   if (auto err = g.validate()) {
     res.error = "invalid DFG: " + *err;
@@ -240,8 +243,10 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
                    owner->muxCost;
           } else if (auto memo = owner->muxDeltaMemo.find(id);
                      memo != owner->muxDeltaMemo.end()) {
+            trace::bump(trace::Counter::MuxMemoHits);
             fMux = memo->second;
           } else {
+            trace::bump(trace::Counter::MuxMemoMisses);
             const auto d =
                 alloc::arrangeInputsDelta(g, owner->arrangement, owner->ops, id);
             fMux = lib.muxCost(static_cast<int>(d.left)) +
@@ -300,6 +305,8 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
           pushSteps(nullptr, m, lib.module(m).areaUm2);
       }
 
+      trace::bump(trace::Counter::MfsaCandidates, cands.size());
+
       // On an exact Liapunov tie, prefer the earlier step, then *reuse* —
       // an existing instance (lowest index) beats opening a fresh ALU.
       // (Ranking fresh candidates, alu == -1, ahead of existing ones used to
@@ -335,6 +342,7 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
           res.error = "MFSA restart budget exhausted";
           return res;
         }
+        trace::bump(trace::Counter::MfsaRestarts);
         restart = true;
         break;
       }
@@ -360,7 +368,10 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       a.ops.push_back(id);
       a.arrangement = alloc::arrangeInputs(g, a.ops);
       a.muxCost = alloc::muxCostOf(lib, a.arrangement);
+      if (!a.muxDeltaMemo.empty())
+        trace::bump(trace::Counter::MuxMemoInvalidations);
       a.muxDeltaMemo.clear();  // the cached deltas were against the old ops
+      trace::bump(trace::Counter::MfsaCommits);
 
       occ.place(id, aluIdx + 1, chosen->step);
       s.place(id, chosen->step, aluIdx + 1);
@@ -381,6 +392,7 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       }
 
       res.termsOf[id] = chosen->terms;
+      trace::bump(trace::Counter::LiapunovUpdates);
       v -= worstContribution - chosen->f;
       if (opt.traceLiapunov) res.liapunovTrace.push_back(v);
     }

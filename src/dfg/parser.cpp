@@ -16,9 +16,12 @@ namespace {
 
 /// Shared grammar walk. In strict mode (issues == nullptr) every problem
 /// throws DfgError; in lenient mode it is recorded and the statement is
-/// repaired or skipped. Attribute *values* are stored as written in lenient
-/// mode (cycles=0, delay=0, bad branch paths) so the lint rules can report
-/// them with their proper rule ids.
+/// repaired or skipped. *Well-formed* attribute values are stored as written
+/// in lenient mode (cycles=0, delay=0, bad branch paths) so the lint rules
+/// can report them with their proper rule ids; *malformed* numerics
+/// (delay=abc, width=abc, const abc) are a parse problem in both modes and
+/// leave the attribute at its default — silently coercing them to 0 used to
+/// mask real diagnostics downstream (a typo'd delay= hid TIM001).
 Dfg parseImpl(std::string_view text, std::vector<ParseIssue>* issues) {
   Dfg g;
   std::unordered_map<std::string, NodeId> byName;
@@ -52,8 +55,17 @@ Dfg parseImpl(std::string_view text, std::vector<ParseIssue>* issues) {
     const auto tok = util::splitWs(rawLine);
     if (tok.empty()) continue;
 
+    // A width= value must be a non-negative integer; anything else is a
+    // parse problem (lenient mode leaves the width unset).
+    auto parseWidth = [&](Node& n, const std::string& val) {
+      const long w = util::parseLong(val);
+      if (w < 0) {
+        problem(lineNo, "bad width value '" + val + "'");
+        return;
+      }
+      n.width = static_cast<int>(w);
+    };
     // Optional trailing width= attribute shared by input/const statements.
-    // Stored as written (lenient mode leaves bad values for DFG012).
     auto leafWidth = [&](Node& n, std::size_t from) -> bool {
       for (std::size_t a = from; a < tok.size(); ++a) {
         const auto eq = tok[a].find('=');
@@ -61,7 +73,7 @@ Dfg parseImpl(std::string_view text, std::vector<ParseIssue>* issues) {
           problem(lineNo, "unknown attribute '" + tok[a] + "'");
           return false;
         }
-        n.width = static_cast<int>(std::strtol(tok[a].c_str() + eq + 1, nullptr, 10));
+        parseWidth(n, tok[a].substr(eq + 1));
       }
       return true;
     };
@@ -90,7 +102,8 @@ Dfg parseImpl(std::string_view text, std::vector<ParseIssue>* issues) {
       }
       Node n;
       n.kind = OpKind::Const;
-      n.constValue = std::strtol(tok[1].c_str(), nullptr, 10);
+      if (!util::parseSignedLong(tok[1], n.constValue))
+        problem(lineNo, "bad const value '" + tok[1] + "'");
       n.name = tok[2];
       if (!leafWidth(n, 3)) continue;
       byName[tok[2]] = g.addNode(std::move(n));
@@ -122,14 +135,28 @@ Dfg parseImpl(std::string_view text, std::vector<ParseIssue>* issues) {
         const std::string val = tok[i].substr(eq + 1);
         if (key == "cycles") {
           const long c = util::parseLong(val);
-          if (c < 1 && !issues) fail(lineNo, "bad cycles value '" + val + "'");
-          n.cycles = static_cast<int>(c);
+          if (c < 0) {
+            // Malformed (non-numeric): a parse problem in both modes.
+            problem(lineNo, "bad cycles value '" + val + "'");
+          } else {
+            // Well-formed but out of range (cycles=0): strict rejects,
+            // lenient stores it for the lint rule to flag.
+            if (c < 1 && !issues) fail(lineNo, "bad cycles value '" + val + "'");
+            n.cycles = static_cast<int>(c);
+          }
         } else if (key == "delay") {
-          n.delayNs = std::strtod(val.c_str(), nullptr);
+          // A malformed delay must not silently become 0.0: a zeroed
+          // per-node override would let the scheduler chain freely and mask
+          // a real TIM001 violation in the STA.
+          double delay = 0.0;
+          if (!util::parseDouble(val, delay) || delay < 0.0)
+            problem(lineNo, "bad delay value '" + val + "'");
+          else
+            n.delayNs = delay;
         } else if (key == "branch") {
           n.branchPath = val;
         } else if (key == "width") {
-          n.width = static_cast<int>(std::strtol(val.c_str(), nullptr, 10));
+          parseWidth(n, val);
         } else {
           problem(lineNo, "unknown attribute '" + key + "'");
           badAttrs = true;

@@ -4,6 +4,7 @@
 
 #include "explore/thread_pool.h"
 #include "sched/timeframes.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace mframe::explore {
@@ -60,6 +61,7 @@ std::vector<Candidate> enumerateConfigs(const SweepSpec& spec,
 
 ExploreResult explore(const dfg::Dfg& g, const celllib::CellLibrary& lib,
                       const SweepSpec& spec, int jobs) {
+  const trace::Span span("explore");
   ExploreResult r;
   r.design = g.name();
 
@@ -74,6 +76,8 @@ ExploreResult explore(const dfg::Dfg& g, const celllib::CellLibrary& lib,
   // Warm the DFG's lazy successor cache before the graph is shared across
   // worker threads; afterwards every access is a const read.
   if (!g.nodes().empty()) (void)g.opSuccs(g.nodes().front().id);
+
+  trace::bump(trace::Counter::ExploreConfigs, r.candidates.size());
 
   parallelFor(static_cast<int>(r.candidates.size()), std::max(1, jobs),
               [&](int i) {
@@ -100,6 +104,7 @@ ExploreResult explore(const dfg::Dfg& g, const celllib::CellLibrary& lib,
   for (const Candidate& c : r.candidates) {
     if (!c.feasible) continue;
     ++r.feasibleCount;
+    trace::bump(trace::Counter::ExploreFeasible);
     const auto at = std::find_if(
         bestPerStep.begin(), bestPerStep.end(), [&](int idx) {
           return r.candidates[static_cast<std::size_t>(idx)].steps == c.steps;

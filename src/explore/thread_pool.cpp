@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "trace/trace.h"
+#include "util/strings.h"
+
 namespace mframe::explore {
 
 void parallelFor(int n, int jobs, const std::function<void(int)>& fn) {
@@ -17,25 +20,47 @@ void parallelFor(int n, int jobs, const std::function<void(int)>& fn) {
   }
 
   std::atomic<int> next{0};
+  // Raised by the first failing item; workers check it before claiming, so
+  // a 96-config sweep does not run to completion after config 1 throws.
+  // Items already claimed still finish — the flag short-circuits dispatch,
+  // it does not cancel work in flight.
+  std::atomic<bool> stop{false};
   std::mutex errorMu;
   std::exception_ptr firstError;
 
-  auto body = [&] {
-    while (true) {
+  auto body = [&](int worker) {
+    const std::uint64_t t0 = trace::nowUs();
+    std::uint64_t busyUs = 0;
+    int items = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
+      const std::uint64_t s0 = trace::nowUs();
       try {
         fn(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(errorMu);
         if (!firstError) firstError = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
       }
+      ++items;
+      if (trace::tracingEnabled()) busyUs += trace::nowUs() - s0;
     }
+    // Per-worker utilization record: how many items this worker claimed and
+    // how much of its lifetime it spent inside fn. The split across workers
+    // is racy by design (only the trace shows it); deterministic totals live
+    // in the counter registry instead.
+    if (trace::tracingEnabled())
+      trace::completeEvent(
+          "parallelFor.worker", t0,
+          util::format("{\"worker\": %d, \"items\": %d, \"busyUs\": %llu}",
+                       worker, items,
+                       static_cast<unsigned long long>(busyUs)));
   };
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(workers));
-  for (int t = 0; t < workers; ++t) threads.emplace_back(body);
+  for (int t = 0; t < workers; ++t) threads.emplace_back(body, t);
   for (std::thread& th : threads) th.join();
   if (firstError) std::rethrow_exception(firstError);
 }

@@ -11,9 +11,9 @@ namespace mframe::explore {
 
 /// Run fn(0), fn(1), ..., fn(n-1) across up to `jobs` worker threads and
 /// return when all calls finished. jobs <= 1 degenerates to a plain serial
-/// loop on the calling thread. If any call throws, the first exception
-/// captured is rethrown after all workers drained (remaining indices still
-/// run).
+/// loop on the calling thread. If any call throws, a shared stop flag keeps
+/// workers from claiming further indices (items already in flight finish)
+/// and the first exception captured is rethrown after all workers drained.
 void parallelFor(int n, int jobs, const std::function<void(int)>& fn);
 
 }  // namespace mframe::explore

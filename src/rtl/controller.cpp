@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace mframe::rtl {
 
 ControllerFsm buildController(const Datapath& d) {
+  const trace::Span span("rtl.controller");
   ControllerFsm f;
   const dfg::Dfg& g = *d.graph;
   f.numSteps = d.schedule.numSteps();

@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace mframe::rtl {
@@ -29,6 +30,7 @@ Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
 Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
                        const sched::Schedule& s, std::vector<AluInstance> alus,
                        alloc::RegAllocation regs) {
+  const trace::Span span("rtl.datapath");
   Datapath d;
   d.schedule = s;
   d.graph = d.schedule.sharedGraph();  // identical snapshot as the schedule's

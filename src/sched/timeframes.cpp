@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace mframe::sched {
@@ -71,6 +72,7 @@ int TimeFrames::upperBound(dfg::FuType t) const {
 std::optional<TimeFrames> computeTimeFrames(const dfg::Dfg& g,
                                             const Constraints& c,
                                             std::string* error) {
+  const trace::Span span("timeframes");
   TimeFrames tf;
   tf.frames_.assign(g.size(), {});
 

@@ -1,8 +1,11 @@
 #include "util/strings.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
-#include <cctype>
+#include <cstdlib>
 
 namespace mframe::util {
 
@@ -87,6 +90,26 @@ long parseLong(std::string_view s) {
     v = v * 10 + (c - '0');
   }
   return v;
+}
+
+bool parseSignedLong(std::string_view s, long& out) {
+  const bool neg = !s.empty() && s[0] == '-';
+  const long v = parseLong(neg ? s.substr(1) : s);
+  if (v < 0) return false;
+  out = neg ? -v : v;
+  return true;
+}
+
+bool parseDouble(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE || !std::isfinite(v))
+    return false;
+  out = v;
+  return true;
 }
 
 }  // namespace mframe::util

@@ -33,4 +33,12 @@ std::string padRight(std::string_view s, std::size_t w);
 /// Parse a non-negative integer; returns -1 on malformed input.
 long parseLong(std::string_view s);
 
+/// Parse a signed integer (optional leading '-'); false on malformed input.
+bool parseSignedLong(std::string_view s, long& out);
+
+/// Parse a finite double, consuming the entire string (strtod grammar, so
+/// "1.5e2" works but "abc", "" and trailing garbage do not); false on
+/// malformed, non-finite, or out-of-range input.
+bool parseDouble(std::string_view s, double& out);
+
 }  // namespace mframe::util

@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "celllib/ncr_like.h"
+#include "explore/thread_pool.h"
 #include "workloads/benchmarks.h"
 
 namespace mframe::explore {
@@ -125,6 +130,47 @@ TEST(Explore, JsonCarriesDesignFrontierAndNoTimings) {
   EXPECT_EQ(j.find("\"seconds\""), std::string::npos);
   EXPECT_EQ(j.find("\"real_time\""), std::string::npos);
   EXPECT_EQ(j.find("\"cpu_time\""), std::string::npos);
+}
+
+TEST(Explore, ParallelForShortCircuitsAfterFirstThrow) {
+  // A failing item must stop dispatch: workers check the shared stop flag
+  // before claiming, so a 1000-item loop dies long before the end once
+  // item 0 throws. Items already in flight still finish, so the executed
+  // count is merely far below n, not exactly zero.
+  std::atomic<int> executed{0};
+  const int n = 1000;
+  try {
+    parallelFor(n, 4, [&](int i) {
+      if (i == 0) throw std::runtime_error("boom");
+      ++executed;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+    FAIL() << "expected the item-0 exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_LT(executed.load(), n / 2);
+}
+
+TEST(Explore, ParallelForSerialThrowStopsImmediately) {
+  // The jobs <= 1 degenerate path is a plain loop: the exception propagates
+  // from the failing item and nothing after it runs.
+  std::atomic<int> executed{0};
+  EXPECT_THROW(parallelFor(100, 1,
+                           [&](int i) {
+                             if (i == 3) throw std::runtime_error("serial");
+                             ++executed;
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 3);
+}
+
+TEST(Explore, ParallelForCompletesAllItemsWithoutErrors) {
+  std::vector<int> out(257, 0);
+  parallelFor(static_cast<int>(out.size()), 8,
+              [&](int i) { out[static_cast<std::size_t>(i)] = i + 1; });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], static_cast<int>(i) + 1);
 }
 
 }  // namespace

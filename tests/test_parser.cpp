@@ -115,5 +115,65 @@ TEST(Parser, CommentsAndBlankLinesIgnored) {
   EXPECT_EQ(g.size(), 1u);
 }
 
+TEST(Parser, RejectsMalformedNumericAttributes) {
+  // delay=abc used to strtod to 0.0 with no end-pointer check; a silently
+  // zeroed override rewrites the scheduler's chaining decisions, so every
+  // downstream report described a design the author never wrote.
+  EXPECT_THROW(parse("dfg s\ninput a\ninput b\nop add x a b delay=abc\n"),
+               DfgError);
+  EXPECT_THROW(parse("dfg s\ninput a\ninput b\nop add x a b delay=30x\n"),
+               DfgError);
+  EXPECT_THROW(parse("dfg s\ninput a\ninput b\nop add x a b delay=-5\n"),
+               DfgError);
+  EXPECT_THROW(parse("dfg s\ninput a\ninput b\nop add x a b cycles=two\n"),
+               DfgError);
+  EXPECT_THROW(parse("dfg s\ninput a\ninput b\nop add x a b width=abc\n"),
+               DfgError);
+  EXPECT_THROW(parse("dfg s\ninput a width=8bit\n"), DfgError);
+  EXPECT_THROW(parse("dfg s\nconst abc k\n"), DfgError);
+}
+
+TEST(Parser, LenientRecordsMalformedNumericsAndKeepsDefaults) {
+  std::vector<ParseIssue> issues;
+  const Dfg g = parseLenient(
+      "dfg s\n"
+      "input a\n"
+      "input b\n"
+      "const 4x k\n"
+      "op add x a b delay=abc width=wide cycles=two\n",
+      issues);
+  ASSERT_EQ(issues.size(), 4u);
+  EXPECT_NE(issues[0].message.find("bad const value '4x'"), std::string::npos);
+  EXPECT_EQ(issues[0].line, 4);
+  EXPECT_NE(issues[1].message.find("bad delay value 'abc'"), std::string::npos);
+  EXPECT_NE(issues[2].message.find("bad width value 'wide'"), std::string::npos);
+  EXPECT_NE(issues[3].message.find("bad cycles value 'two'"), std::string::npos);
+  EXPECT_EQ(issues[3].line, 5);
+
+  // The malformed attributes stay at their defaults — in particular delayNs
+  // stays negative ("use the library delay") instead of becoming a zero
+  // override that would let the scheduler chain freely.
+  const NodeId x = g.findByName("x");
+  ASSERT_NE(x, kNoNode);
+  EXPECT_EQ(g.node(x).cycles, 1);
+  EXPECT_LT(g.node(x).delayNs, 0.0);
+  EXPECT_EQ(g.node(x).width, 0);
+  EXPECT_EQ(g.node(g.findByName("k")).constValue, 0);
+}
+
+TEST(Parser, LenientKeepsWellFormedOutOfRangeValuesForLint) {
+  // Well-formed but invalid values (cycles=0) are a lint rule's business,
+  // not a parse problem: lenient mode stores them as written so the
+  // diagnostic carries its proper rule id. An explicit delay=0 is a valid
+  // override, distinct from the unset default.
+  std::vector<ParseIssue> issues;
+  const Dfg g = parseLenient(
+      "dfg s\ninput a\ninput b\nop add x a b cycles=0 delay=0\n", issues);
+  EXPECT_TRUE(issues.empty());
+  const NodeId x = g.findByName("x");
+  EXPECT_EQ(g.node(x).cycles, 0);
+  EXPECT_DOUBLE_EQ(g.node(x).delayNs, 0.0);
+}
+
 }  // namespace
 }  // namespace mframe::dfg

@@ -54,6 +54,44 @@ TEST(Strings, FormatBehavesLikePrintf) {
   EXPECT_EQ(format("%.2f", 1.5), "1.50");
 }
 
+TEST(Strings, ParseSignedLongAcceptsOnlyWholeIntegers) {
+  long v = 99;
+  EXPECT_TRUE(parseSignedLong("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parseSignedLong("-7", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(parseSignedLong("0", v));
+  EXPECT_EQ(v, 0);
+  EXPECT_FALSE(parseSignedLong("", v));
+  EXPECT_FALSE(parseSignedLong("-", v));
+  EXPECT_FALSE(parseSignedLong("abc", v));
+  EXPECT_FALSE(parseSignedLong("1x", v));
+  EXPECT_FALSE(parseSignedLong("--3", v));
+  EXPECT_FALSE(parseSignedLong("4 2", v));
+}
+
+TEST(Strings, ParseDoubleRequiresFullConsumptionAndFiniteness) {
+  double v = 0.0;
+  EXPECT_TRUE(parseDouble("1.5", v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(parseDouble("-2", v));
+  EXPECT_DOUBLE_EQ(v, -2.0);
+  EXPECT_TRUE(parseDouble("1e3", v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+  EXPECT_TRUE(parseDouble("0", v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_FALSE(parseDouble("", v));
+  EXPECT_FALSE(parseDouble("abc", v));
+  // The classic strtod trap: a numeric prefix with trailing garbage parses
+  // to the prefix when the end pointer goes unchecked. Full consumption is
+  // required here.
+  EXPECT_FALSE(parseDouble("30x", v));
+  EXPECT_FALSE(parseDouble("1.5.2", v));
+  EXPECT_FALSE(parseDouble("1e999", v));  // ERANGE overflow
+  EXPECT_FALSE(parseDouble("nan", v));
+  EXPECT_FALSE(parseDouble("inf", v));
+}
+
 TEST(Strings, Padding) {
   EXPECT_EQ(padLeft("ab", 4), "  ab");
   EXPECT_EQ(padRight("ab", 4), "ab  ");

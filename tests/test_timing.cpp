@@ -10,6 +10,7 @@
 #include "celllib/ncr_like.h"
 #include "core/mfs.h"
 #include "dfg/builder.h"
+#include "dfg/parser.h"
 #include "rtl/datapath.h"
 #include "workloads/benchmarks.h"
 
@@ -211,6 +212,45 @@ TEST(AnalyzeDesign, SlowchainTrapEndToEnd) {
   EXPECT_TRUE(fires(r.report, kTimClockViolation));
   EXPECT_TRUE(r.report.hasErrors());
   EXPECT_NE(r.renderText(slowChain()).find("TIM001"), std::string::npos);
+}
+
+/// slowchain.dfg in text form, with the delay override value pluggable.
+std::string slowChainText(const std::string& delay) {
+  return "dfg slowchain\ninput a\ninput b\ninput c\ninput d\n"
+         "op add t1 a b delay=" + delay + "\n"
+         "op add t2 t1 c delay=" + delay + "\n"
+         "op add t3 t2 d delay=" + delay + "\n"
+         "output result t3\n";
+}
+
+TEST(AnalyzeDesign, MalformedDelayNoLongerHidesTim001) {
+  // The honest slowchain file: optimistic delay=30 overrides chain all
+  // three adds into one 100 ns step and the STA refutes it with TIM001.
+  AnalyzeOptions opts;
+  opts.steps = 1;
+  opts.constraints.allowChaining = true;
+  opts.constraints.clockNs = 100.0;
+  opts.clockSet = true;
+  const dfg::Dfg honest = dfg::parse(slowChainText("30"));
+  const AnalyzeResult r = analyzeDesign(honest, lib(), opts);
+  ASSERT_TRUE(r.timingRan) << r.timingSkip;
+  EXPECT_TRUE(fires(r.report, kTimClockViolation));
+
+  // A typo'd override used to strtod to a silent 0.0 and keep going — the
+  // schedule, the datapath, and the TIM verdict then described a graph the
+  // author never wrote, with no diagnostic anywhere. Strict parsing (the
+  // analyze/schedule/synth path) now refuses the file outright...
+  EXPECT_THROW(dfg::parse(slowChainText("3O")), dfg::DfgError);
+  EXPECT_THROW(dfg::parse(slowChainText("abc")), dfg::DfgError);
+
+  // ...and lenient parsing (the lint path) records one issue per bad
+  // override and leaves delayNs unset rather than zeroed, so `mframe lint`
+  // reports the typo instead of blessing the wrong timing story.
+  std::vector<dfg::ParseIssue> issues;
+  const dfg::Dfg typod = dfg::parseLenient(slowChainText("3O"), issues);
+  ASSERT_EQ(issues.size(), 3u);
+  EXPECT_NE(issues[0].message.find("bad delay value '3O'"), std::string::npos);
+  EXPECT_LT(typod.node(typod.findByName("t1")).delayNs, 0.0);
 }
 
 TEST(AnalyzeDesign, CleanBenchmarkHasNoTimingFindings) {

@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
 # Run the google-benchmark binaries and merge their JSON reports into one
 # BENCH_runtime.json tracking the repo's performance trajectory:
-#   { "runtime": ..., "explore": ..., "analyze": ... } — one google-benchmark
-#   report per binary
+#   { "runtime": ..., "explore": ..., "analyze": ..., "metrics": ... }
+# — one google-benchmark report per binary, plus the pipeline counter
+# metrics of two pinned CLI invocations (extracted from the '{"schema": 1,'
+# marker object that --metrics=json appends to stdout). Counters are
+# deterministic, so tools/bench-compare.sh gates on them exactly.
 #
 # Usage: tools/bench-json.sh [build-dir] [output-file]
 #   build-dir    tree containing bench/bench_runtime (default: build)
@@ -41,6 +44,37 @@ trap 'rm -rf "$tmp"' EXIT
 "$build/bench/bench_analyze" --benchmark_format=json $minTimeArg \
   > "$tmp/analyze.json"
 
+# Counter metrics from pinned CLI runs. python3 is only needed for this
+# extraction; without it the report simply lacks the metrics key (and
+# bench-compare.sh will say so).
+haveMetrics=0
+if command -v python3 >/dev/null 2>&1 && [ -x "$build/tools/mframe" ]; then
+  designs="$repo/tools/designs"
+  "$build/tools/mframe" synth "$designs/diffeq.mfb" --steps 4 \
+    --metrics=json > "$tmp/synth.out"
+  "$build/tools/mframe" explore "$designs/diffeq.mfb" --jobs 2 \
+    --metrics=json > "$tmp/explore.out"
+  python3 - "$tmp/synth.out" "$tmp/explore.out" > "$tmp/metrics.json" <<'EOF'
+import json
+import sys
+
+def extract(path):
+    text = open(path).read()
+    i = text.rfind('{"schema": 1,')
+    if i < 0:
+        raise SystemExit(f"bench-json.sh: no metrics marker in {path}")
+    return json.loads(text[i:])
+
+print(json.dumps({
+    "synth_diffeq": extract(sys.argv[1]),
+    "explore_diffeq": extract(sys.argv[2]),
+}, indent=1))
+EOF
+  haveMetrics=1
+else
+  echo "bench-json.sh: python3 or tools/mframe missing; omitting metrics" >&2
+fi
+
 {
   printf '{\n"runtime":\n'
   cat "$tmp/runtime.json"
@@ -48,6 +82,10 @@ trap 'rm -rf "$tmp"' EXIT
   cat "$tmp/explore.json"
   printf ',\n"analyze":\n'
   cat "$tmp/analyze.json"
+  if [ "$haveMetrics" = 1 ]; then
+    printf ',\n"metrics":\n'
+    cat "$tmp/metrics.json"
+  fi
   printf '}\n'
 } > "$out"
 

@@ -49,6 +49,33 @@ echo "==== benches (smoke) build-ci"
 BENCH_MIN_TIME=0.01 "$repo/tools/bench-json.sh" "$repo/build-ci" \
   "$repo/build-ci/BENCH_runtime.json"
 
+# Trace smoke: synthesize diffeq with tracing on and validate the Chrome
+# trace-event JSON — every pipeline phase span present, metrics embedded.
+echo "==== trace smoke (synth diffeq --trace)"
+"$repo/build-ci/tools/mframe" synth "$repo/tools/designs/diffeq.mfb" \
+  --steps 4 --trace "$repo/build-ci/diffeq_trace.json" --metrics=json \
+  > /dev/null
+python3 - "$repo/build-ci/diffeq_trace.json" <<'EOF'
+import json
+import sys
+
+d = json.load(open(sys.argv[1]))
+names = {e["name"] for e in d["traceEvents"]}
+need = {"parse", "preflight-lint", "timeframes", "mfsa",
+        "rtl.datapath", "rtl.controller"}
+missing = need - names
+assert not missing, f"trace smoke: missing spans {missing}"
+assert d["metrics"]["counters"]["mfsa.candidates"] > 0
+print(f"trace smoke: ok ({len(d['traceEvents'])} events)")
+EOF
+
+# Counter drift gate against the committed baseline. Timings are skipped:
+# the smoke report above used BENCH_MIN_TIME and its numbers mean nothing,
+# but the counters are deterministic and must match the baseline exactly.
+echo "==== bench-compare (counter drift gate)"
+BENCH_COMPARE_SKIP_TIME=1 "$repo/tools/bench-compare.sh" \
+  "$repo/build-ci/BENCH_runtime.json" "$repo/BENCH_runtime.json"
+
 # The explorer's worker threads are exactly the code the sanitizers should
 # chew on; ctest above already ran the whole suite under ASan/UBSan, but run
 # the determinism tests once more explicitly at a high jobs count.

@@ -8,7 +8,9 @@
 //
 // <file> is either the behavioral language (.mfb, 'design ...') or the
 // textual DFG format (.dfg, 'dfg ...'); the format is sniffed from the first
-// keyword. Every command runs the DFG lint rules up front; `lint` runs them
+// keyword. Passing "-" (or omitting the file) reads the design from stdin,
+// so designs can be piped straight in: `echo "..." | mframe lint`.
+// Every command runs the DFG lint rules up front; `lint` runs them
 // alone (plus schedule rules with --schedule) and reports structured
 // diagnostics as text or JSON (see docs/LINT.md). Common options:
 //   --steps N            time constraint (control steps)
@@ -42,8 +44,14 @@
 //                        synthesizing one (see docs/FORMATS.md)
 // common output options:
 //   --dot                print Graphviz DOT of the scheduled DFG
+//   --trace FILE         write a Chrome trace-event JSON of the run
+//   --metrics[=json]     print pipeline counters after the run
+//
+// schedule/synth default --steps to the design's critical path when omitted
+// in time-constrained mode (a note goes to stderr).
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <thread>
 
@@ -59,6 +67,7 @@
 #include "rtl/testability.h"
 #include "rtl/testbench.h"
 #include "sched/slack.h"
+#include "sched/timeframes.h"
 #include "core/mfs.h"
 #include "core/mfsa.h"
 #include "dfg/dot.h"
@@ -74,6 +83,7 @@
 #include "sched/verify.h"
 #include "sim/dfg_eval.h"
 #include "sim/rtl_sim.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace {
@@ -100,7 +110,10 @@ constexpr const char* kUsage =
     "lint options:   --json --fail-on error|warning|note --schedule FILE\n"
     "  --library FILE\n"
     "prove options:  --scheduler mfsa|mfs|asap|list|fds --bind FILE --json\n"
-    "  --fail-on SEV --library FILE\n";
+    "  --fail-on SEV --library FILE\n"
+    "tracing/metrics: --trace FILE (Chrome trace-event JSON)\n"
+    "  --metrics[=json] (pipeline counters after the run)\n"
+    "<file> may be '-' (or omitted) to read the design from stdin\n";
 
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "mframe: %s\n", msg.c_str());
@@ -151,18 +164,31 @@ struct Cli {
   std::string schedulerName = "mfsa";
   // explore options
   int jobs = 0;  ///< 0 = hardware concurrency
+  // tracing / metrics
+  std::string tracePath;        ///< --trace FILE; empty = no tracing
+  bool metrics = false;         ///< --metrics[=...]
+  bool metricsJsonOut = false;  ///< --metrics=json
 };
 
 Cli parseArgs(int argc, char** argv) {
   Cli c;
-  if (argc < 3) dieUsage("expected a command and an input file");
+  if (argc < 2) dieUsage("expected a command and an input file");
   c.command = argv[1];
-  c.file = argv[2];
   if (c.command != "schedule" && c.command != "synth" && c.command != "lint" &&
       c.command != "prove" && c.command != "explore" && c.command != "analyze")
     dieUsage("unknown command '" + c.command + "'");
 
-  for (int i = 3; i < argc; ++i) {
+  // A missing file argument (or an explicit "-") reads the design from
+  // stdin, so `echo "op add ..." | mframe lint` just works.
+  int firstOpt = 3;
+  if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+    c.file = "-";
+    firstOpt = 2;
+  } else {
+    c.file = argv[2];
+  }
+
+  for (int i = firstOpt; i < argc; ++i) {
     std::string a = argv[i];
     // Accept both "--opt value" and "--opt=value".
     std::string inlineValue;
@@ -277,6 +303,15 @@ Cli parseArgs(int argc, char** argv) {
           c.schedulerName != "fds")
         dieUsage("bad --scheduler '" + c.schedulerName +
                  "' (use mfsa|mfs|asap|list|fds)");
+    } else if (a == "--trace") {
+      c.tracePath = next();
+    } else if (a == "--metrics") {
+      c.metrics = true;
+      if (hasInline) {
+        const std::string m = next();
+        if (m == "json") c.metricsJsonOut = true;
+        else if (m != "text") dieUsage("bad --metrics '" + m + "' (use text|json)");
+      }
     } else if (a == "--sim") {
       c.doSim = true;
       for (const auto& part : util::split(next(), ',')) {
@@ -294,6 +329,11 @@ Cli parseArgs(int argc, char** argv) {
 }
 
 std::string readFileOrDie(const std::string& path) {
+  if (path == "-") {
+    std::stringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
   std::ifstream in(path);
   if (!in) die("cannot open '" + path + "'");
   std::stringstream ss;
@@ -330,6 +370,7 @@ dfg::Dfg compileBehavioral(const std::string& text) {
 }
 
 dfg::Dfg loadDesign(const std::string& path) {
+  const trace::Span span("parse");
   const std::string text = readFileOrDie(path);
   if (sniffFirstWord(text) == "design") return compileBehavioral(text);
   return dfg::parse(text);
@@ -338,6 +379,7 @@ dfg::Dfg loadDesign(const std::string& path) {
 /// Front-line check every command runs after loading a design: lint the DFG
 /// and refuse to schedule/synthesize on errors. Warnings go to stderr.
 void preflightLint(const dfg::Dfg& g) {
+  const trace::Span span("preflight-lint");
   const analysis::LintReport r = analysis::lintDfg(g);
   if (r.empty()) return;
   std::fprintf(stderr, "%s", r.renderText().c_str());
@@ -697,43 +739,86 @@ int runLint(const Cli& cli) {
   return report.hasAtOrAbove(cli.failOn) ? 1 : 0;
 }
 
+/// schedule/synth in time-constrained mode without --steps: default the time
+/// constraint to the design's critical path (probed with the user's chaining
+/// and clock settings) instead of refusing to run.
+void defaultStepsToCriticalPath(Cli& cli, const dfg::Dfg& g) {
+  sched::Constraints probe;
+  probe.allowChaining = cli.constraints.allowChaining;
+  probe.clockNs = cli.constraints.clockNs;
+  std::string err;
+  const auto tf = sched::computeTimeFrames(g, probe, &err);
+  if (!tf) die("cannot default --steps: " + err);
+  cli.steps = tf->criticalSteps();
+  std::fprintf(stderr,
+               "mframe: no --steps given; using the critical path (%d)\n",
+               cli.steps);
+}
+
+int runCommand(Cli& cli) {
+  if (cli.command == "lint") return runLint(cli);
+  if (cli.command == "prove") {
+    // ASAP and list scheduling pace themselves; a .bind file carries its
+    // own step count. Everything else needs the time constraint.
+    if (cli.steps <= 0 && cli.bindPath.empty() &&
+        cli.schedulerName != "asap" && cli.schedulerName != "list")
+      die("--steps is required for --scheduler " + cli.schedulerName);
+    const dfg::Dfg g = loadDesign(cli.file);
+    preflightLint(g);
+    return runProve(cli, g);
+  }
+  if (cli.command == "explore") {
+    const dfg::Dfg g = loadDesign(cli.file);
+    preflightLint(g);
+    return runExplore(cli, g);
+  }
+  if (cli.command == "analyze") {
+    const dfg::Dfg g = loadDesign(cli.file);
+    preflightLint(g);
+    return runAnalyze(cli, g);
+  }
+  const dfg::Dfg g = loadDesign(cli.file);
+  preflightLint(g);
+  if (cli.steps <= 0 && cli.mode == core::MfsLiapunov::Mode::TimeConstrained)
+    defaultStepsToCriticalPath(cli, g);
+  std::printf("design '%s': %zu nodes, %zu operations\n\n",
+              g.name().c_str(), g.size(), g.operations().size());
+  if (cli.emitStats)
+    std::printf("%s\n", dfg::computeStats(g).toString().c_str());
+  return cli.command == "schedule" ? runSchedule(cli, g) : runSynth(cli, g);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  Cli cli = parseArgs(argc, argv);
+  const bool wantTrace = !cli.tracePath.empty();
+  if (wantTrace || cli.metrics) trace::enableCounters(true);
+  if (wantTrace) trace::beginTracing();
+
+  int rc = 2;
   try {
-    const Cli cli = parseArgs(argc, argv);
-    if (cli.command == "lint") return runLint(cli);
-    if (cli.command == "prove") {
-      // ASAP and list scheduling pace themselves; a .bind file carries its
-      // own step count. Everything else needs the time constraint.
-      if (cli.steps <= 0 && cli.bindPath.empty() &&
-          cli.schedulerName != "asap" && cli.schedulerName != "list")
-        die("--steps is required for --scheduler " + cli.schedulerName);
-      const dfg::Dfg g = loadDesign(cli.file);
-      preflightLint(g);
-      return runProve(cli, g);
-    }
-    if (cli.command == "explore") {
-      const dfg::Dfg g = loadDesign(cli.file);
-      preflightLint(g);
-      return runExplore(cli, g);
-    }
-    if (cli.command == "analyze") {
-      const dfg::Dfg g = loadDesign(cli.file);
-      preflightLint(g);
-      return runAnalyze(cli, g);
-    }
-    if (cli.steps <= 0 && cli.mode == core::MfsLiapunov::Mode::TimeConstrained)
-      die("--steps is required in time-constrained mode");
-    const dfg::Dfg g = loadDesign(cli.file);
-    preflightLint(g);
-    std::printf("design '%s': %zu nodes, %zu operations\n\n",
-                g.name().c_str(), g.size(), g.operations().size());
-    if (cli.emitStats)
-      std::printf("%s\n", dfg::computeStats(g).toString().c_str());
-    return cli.command == "schedule" ? runSchedule(cli, g) : runSynth(cli, g);
+    rc = runCommand(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mframe: %s\n", e.what());
-    return 2;
   }
+
+  // Flush instrumentation even when the command failed: a trace of the run
+  // that died is exactly what the investigation needs. (die() exits directly
+  // and skips this — argument and I/O errors have nothing worth tracing.)
+  if (wantTrace) {
+    trace::endTracing();
+    if (!trace::writeTrace(cli.tracePath)) {
+      std::fprintf(stderr, "mframe: cannot write trace '%s'\n",
+                   cli.tracePath.c_str());
+      if (rc == 0) rc = 2;
+    }
+  }
+  if (cli.metrics) {
+    if (cli.metricsJsonOut)
+      std::printf("%s\n", trace::metricsJson().c_str());
+    else
+      std::printf("%s", trace::metricsText().c_str());
+  }
+  return rc;
 }
