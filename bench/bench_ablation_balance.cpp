@@ -40,7 +40,7 @@ int main() {
     if (!mfs.feasible) continue;
     const auto asapRep = sched::analyzeSchedule(asap.schedule);
     const auto mfsRep = sched::analyzeSchedule(mfs.schedule);
-    const auto slack = sched::analyzeSlack(mfs.schedule, o.constraints);
+    const auto slack = sched::analyzeSlack(mfs.schedule, o.constraints).value();
     t.addRow({bc.graph.name(), std::to_string(asap.steps),
               std::to_string(totalFu(asap.schedule.fuCount())),
               std::to_string(totalFu(mfs.fuCount)),

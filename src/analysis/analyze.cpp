@@ -33,6 +33,11 @@ AnalyzeResult analyzeDesign(const dfg::Dfg& g, const celllib::CellLibrary& lib,
     return r;
   }
 
+  if (auto slack = sched::analyzeSlack(sched.schedule, mfs.constraints)) {
+    r.slack = *std::move(slack);
+    r.slackRan = true;
+  }
+
   try {
     const rtl::Datapath dp = rtl::buildDatapath(
         g, lib, sched.schedule, rtl::bindByColumns(g, lib, sched.schedule));
@@ -62,6 +67,7 @@ std::string AnalyzeResult::renderText(const dfg::Dfg& g) const {
     out += timing.toString(g);
   else if (!timingSkip.empty())
     out += "timing: skipped (" + timingSkip + ")\n";
+  if (slackRan) out += slack.toString(g);
   out += report.renderText();
   return out;
 }

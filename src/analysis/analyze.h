@@ -12,6 +12,7 @@
 #include "analysis/timing/sta.h"
 #include "celllib/cell_library.h"
 #include "sched/schedule.h"
+#include "sched/slack.h"
 
 namespace mframe::analysis {
 
@@ -38,6 +39,10 @@ struct AnalyzeResult {
   bool timingRan = false;
   std::string timingSkip;  ///< why timing did not run ("" when it did)
   timing::TimingReport timing;
+  /// Schedule slack over the backing MFS schedule (the tune loop's
+  /// convergence witness); valid only when slackRan.
+  bool slackRan = false;
+  sched::SlackReport slack;
   LintReport report;  ///< OPT + TIM, in that order
 
   /// Human-readable summary (pass counts, timing table, diagnostics).

@@ -137,8 +137,25 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
       }
     }
 
-    const auto order = topoConsistentOrder(
-        g, sched::priorityOrder(g, *tf, opt.priorityRule), &res.error);
+    std::vector<NodeId> priority =
+        sched::priorityOrder(g, *tf, opt.priorityRule);
+    if (!opt.priorityHint.empty()) {
+      // Hinted ops jump the queue; the rest keep their computed order.
+      std::vector<char> hinted(g.size(), 0);
+      std::vector<NodeId> merged;
+      merged.reserve(priority.size());
+      for (NodeId id : opt.priorityHint) {
+        if (id >= g.size() || hinted[id] ||
+            !dfg::isSchedulable(g.node(id).kind))
+          continue;
+        hinted[id] = 1;
+        merged.push_back(id);
+      }
+      for (NodeId id : priority)
+        if (!hinted[id]) merged.push_back(id);
+      priority = std::move(merged);
+    }
+    const auto order = topoConsistentOrder(g, priority, &res.error);
     if (!order) return res;
 
     bool csInfeasible = false;

@@ -28,6 +28,12 @@ struct MfsOptions {
 
   sched::PriorityRule priorityRule = sched::PriorityRule::Mobility;
 
+  /// Operations to place first, ahead of the computed priority order (the
+  /// tune loop seeds this with its criticality ranking so the critical cone
+  /// ops grab the best grid slots). Unknown/duplicate ids are ignored; the
+  /// combined list is still made topologically consistent before use.
+  std::vector<dfg::NodeId> priorityHint;
+
   /// Safety bound on "local rescheduling" restarts (Section 3.2: on an empty
   /// move frame, current_j is increased and placement redone).
   int maxRestarts = 10000;

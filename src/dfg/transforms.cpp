@@ -1,6 +1,7 @@
 #include "dfg/transforms.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <stdexcept>
 
@@ -145,6 +146,102 @@ NodeId addLoopBookkeeping(Dfg& body, const std::string& counterSignal,
   body.markOutput(cmpId, counterSignal + "_continue");
   body.markOutput(incId, counterSignal + "_next");
   return cmpId;
+}
+
+ConeCut extractCone(const Dfg& g, const std::vector<NodeId>& seeds, int hops) {
+  // BFS over operation edges (both directions) up to `hops`.
+  std::vector<int> dist(g.size(), -1);
+  std::deque<NodeId> work;
+  for (NodeId s : seeds) {
+    if (s >= g.size() || !isSchedulable(g.node(s).kind))
+      throw std::invalid_argument(util::format(
+          "extractCone: seed %u is not a schedulable operation",
+          static_cast<unsigned>(s)));
+    if (dist[s] == -1) {
+      dist[s] = 0;
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    const NodeId id = work.front();
+    work.pop_front();
+    if (dist[id] >= hops) continue;
+    auto visit = [&](NodeId n) {
+      if (dist[n] == -1) {
+        dist[n] = dist[id] + 1;
+        work.push_back(n);
+      }
+    };
+    for (NodeId p : g.opPreds(id)) visit(p);
+    for (NodeId s : g.opSuccs(id)) visit(s);
+  }
+
+  ConeCut cut;
+  cut.cone.setName(g.name() + ".cone");
+  std::map<NodeId, NodeId> toCone;  // full id -> cone id, incl. copied leaves
+  std::vector<char> isFrontier(g.size(), 0);
+
+  // A non-member producer referenced by a member: Input/Const leaves are
+  // copied verbatim; operation results are pinned as frontier Input nodes so
+  // the cone scheduler treats them as available at the window boundary.
+  auto pin = [&](NodeId full) -> NodeId {
+    auto it = toCone.find(full);
+    if (it != toCone.end()) return it->second;
+    const Node& src = g.node(full);
+    Node copy;
+    copy.name = src.name;
+    copy.width = src.width;
+    if (isSchedulable(src.kind)) {
+      copy.kind = OpKind::Input;
+      if (!isFrontier[full]) {
+        isFrontier[full] = 1;
+        cut.frontier.push_back(full);
+      }
+    } else {
+      copy.kind = src.kind;
+      copy.constValue = src.constValue;
+    }
+    const NodeId cid = cut.cone.addNode(std::move(copy));
+    toCone.emplace(full, cid);
+    cut.coneToFull.resize(cid + 1, kNoNode);
+    cut.coneToFull[cid] = full;
+    return cid;
+  };
+
+  // Walk in full-graph id order (topological) so pinned leaves are created
+  // before their first member reader and the cone stays topologically sorted.
+  for (NodeId id = 0; id < g.size(); ++id) {
+    const Node& n = g.node(id);
+    if (dist[id] == -1 || !isSchedulable(n.kind)) continue;
+    Node copy = n;
+    copy.id = kNoNode;
+    copy.inputs.clear();
+    for (NodeId in : n.inputs) {
+      const Node& p = g.node(in);
+      const bool member = dist[in] != -1 && isSchedulable(p.kind);
+      copy.inputs.push_back(member ? toCone.at(in) : pin(in));
+    }
+    const NodeId cid = cut.cone.addNode(std::move(copy));
+    toCone.emplace(id, cid);
+    cut.toCone.emplace(id, cid);
+    cut.coneToFull.resize(cid + 1, kNoNode);
+    cut.coneToFull[cid] = id;
+    ++cut.coneOps;
+  }
+
+  // Cone outputs: member results read outside the cone or exported by `g`.
+  std::vector<char> exported(g.size(), 0);
+  for (const auto& [id, ext] : g.outputs()) exported[id] = 1;
+  for (const auto& [full, cid] : cut.toCone) {
+    bool isOut = exported[full] != 0;
+    for (NodeId s : g.succs(full)) {
+      const bool memberReader =
+          dist[s] != -1 && isSchedulable(g.node(s).kind);
+      if (!memberReader) isOut = true;
+    }
+    if (isOut) cut.cone.markOutput(cid, g.node(full).name);
+  }
+  return cut;
 }
 
 }  // namespace mframe::dfg

@@ -1,9 +1,11 @@
 // Graph transforms backing the Section-5 synthesis features that reshape the
 // DFG before scheduling: conditional shared-operation merging (Section 5.1)
-// and nested-loop folding (Section 5.2).
+// and nested-loop folding (Section 5.2) — plus the critical-subgraph cone
+// extractor the feedback-guided tune loop re-schedules in isolation.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "dfg/dfg.h"
@@ -50,5 +52,30 @@ Dfg foldLoopNest(const LoopNest& nest, const BodyScheduler& sched);
 /// Returns the comparison node id (the loop-exit condition).
 NodeId addLoopBookkeeping(Dfg& body, const std::string& counterSignal,
                           long bound);
+
+/// The K-hop critical subgraph around a set of seed operations, cut out as a
+/// standalone DFG that can be re-scheduled in isolation (`mframe tune`).
+struct ConeCut {
+  Dfg cone;                        ///< the extracted subgraph
+  /// cone node id -> full-graph node id, for every cone node (members keep
+  /// their attributes; pinned frontier inputs map to the producer they stand
+  /// in for).
+  std::vector<NodeId> coneToFull;
+  /// full-graph node id -> cone node id for cone members; absent otherwise.
+  std::map<NodeId, NodeId> toCone;
+  /// Full-graph *operations* outside the cone whose results feed it. Each is
+  /// pinned as an Input node of the cone — a boundary constraint: the stitch
+  /// must place every cone consumer after its frontier producer finishes.
+  std::vector<NodeId> frontier;
+  std::size_t coneOps = 0;         ///< schedulable operations in the cone
+};
+
+/// Cut the subgraph of operations within `hops` dependence hops (over
+/// operation edges, both directions) of any seed. Input/Const nodes feeding
+/// members are copied; member results consumed outside the cone — or marked
+/// as primary outputs of `g` — become cone outputs. Node order (hence the
+/// cone's topological id order) follows the full graph, so the extraction is
+/// deterministic. Seeds must be schedulable operations of `g`.
+ConeCut extractCone(const Dfg& g, const std::vector<NodeId>& seeds, int hops);
 
 }  // namespace mframe::dfg

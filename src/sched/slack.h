@@ -4,6 +4,7 @@
 // schedule" beyond FU counts.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,10 +26,20 @@ struct SlackReport {
   double meanTotalSlack = 0.0;  ///< mean of (early + late) over all ops
 
   std::string toString(const dfg::Dfg& g) const;
+
+  /// Machine-readable rendering with a schema marker:
+  /// {"schema": 1, "criticalCount": N, "meanTotalSlack": X, "ops": [...]}.
+  /// This is the convergence witness `analyze --json` and `tune --json`
+  /// embed.
+  std::string renderJson(const dfg::Dfg& g) const;
 };
 
 /// Analyze `s` against fresh time frames at the schedule's own length.
-/// The schedule must be complete and valid.
-SlackReport analyzeSlack(const Schedule& s, const Constraints& c);
+/// Returns nullopt (with a message in `*error`, when given) when the
+/// schedule has no graph, is incomplete, or admits no time frames at its own
+/// length — previously these cases were UB or a silent empty report.
+std::optional<SlackReport> analyzeSlack(const Schedule& s,
+                                        const Constraints& c,
+                                        std::string* error = nullptr);
 
 }  // namespace mframe::sched

@@ -38,6 +38,10 @@ std::string_view counterName(Counter c) {
     case Counter::StaEndpoints: return "sta.endpoints";
     case Counter::ExploreConfigs: return "explore.configs";
     case Counter::ExploreFeasible: return "explore.feasible";
+    case Counter::TuneIterations: return "tune.iterations";
+    case Counter::TuneConeOps: return "tune.coneOps";
+    case Counter::TuneStitches: return "tune.stitches";
+    case Counter::TuneRejectedStitches: return "tune.rejectedStitches";
     case Counter::kCount: break;
   }
   return "?";

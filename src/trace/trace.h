@@ -50,6 +50,10 @@ enum class Counter : int {
   StaEndpoints,           ///< register/output endpoints timed by the STA
   ExploreConfigs,         ///< explorer sweep items dispatched
   ExploreFeasible,        ///< feasible candidates found by the explorer
+  TuneIterations,         ///< tune-loop iterations executed
+  TuneConeOps,            ///< operations extracted into tune cones (total)
+  TuneStitches,           ///< cone re-schedules accepted and stitched back
+  TuneRejectedStitches,   ///< stitches refused (verify or prove said no)
   kCount
 };
 

@@ -57,8 +57,9 @@ TEST(Slack, TightConstraintMakesEverythingCritical) {
   const auto r = core::runMfs(g, o);
   ASSERT_TRUE(r.feasible);
   const auto rep = sched::analyzeSlack(r.schedule, o.constraints);
-  EXPECT_EQ(rep.criticalCount, 4);
-  EXPECT_DOUBLE_EQ(rep.meanTotalSlack, 0.0);
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->criticalCount, 4);
+  EXPECT_DOUBLE_EQ(rep->meanTotalSlack, 0.0);
 }
 
 TEST(Slack, RelaxedConstraintCreatesSlack) {
@@ -68,10 +69,11 @@ TEST(Slack, RelaxedConstraintCreatesSlack) {
   const auto r = core::runMfs(g, o);
   ASSERT_TRUE(r.feasible);
   const auto rep = sched::analyzeSlack(r.schedule, o.constraints);
-  EXPECT_GT(rep.meanTotalSlack, 0.0);
-  EXPECT_EQ(rep.ops.size(), g.operations().size());
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_GT(rep->meanTotalSlack, 0.0);
+  EXPECT_EQ(rep->ops.size(), g.operations().size());
   // Slacks are frame-consistent: early and late slack both non-negative.
-  for (const auto& os : rep.ops) {
+  for (const auto& os : rep->ops) {
     EXPECT_GE(os.earlySlack, 0);
     EXPECT_GE(os.lateSlack, 0);
   }
@@ -84,7 +86,7 @@ TEST(Slack, ReportNamesCriticalOps) {
   const auto r = core::runMfs(g, o);
   ASSERT_TRUE(r.feasible);
   const std::string s =
-      sched::analyzeSlack(r.schedule, o.constraints).toString(g);
+      sched::analyzeSlack(r.schedule, o.constraints)->toString(g);
   EXPECT_NE(s.find("critical: c1"), std::string::npos);
 }
 

@@ -38,8 +38,8 @@ echo "==== configure build-ci-tsan (-DMFRAME_SANITIZE=thread)"
 cmake -B "$repo/build-ci-tsan" -S "$repo" -DMFRAME_SANITIZE=thread
 echo "==== build build-ci-tsan (mframe_tests)"
 cmake --build "$repo/build-ci-tsan" -j "$jobs" --target mframe_tests
-echo "==== explorer/thread-pool tests under TSan"
-"$repo/build-ci-tsan/tests/mframe_tests" --gtest_filter='Explore*' \
+echo "==== explorer/thread-pool and tune tests under TSan"
+"$repo/build-ci-tsan/tests/mframe_tests" --gtest_filter='Explore*:Tune.*' \
   --gtest_brief=1
 
 # Perf benches run under the plain tree only (sanitizer overhead would make
@@ -76,11 +76,12 @@ echo "==== bench-compare (counter drift gate)"
 BENCH_COMPARE_SKIP_TIME=1 "$repo/tools/bench-compare.sh" \
   "$repo/build-ci/BENCH_runtime.json" "$repo/BENCH_runtime.json"
 
-# The explorer's worker threads are exactly the code the sanitizers should
-# chew on; ctest above already ran the whole suite under ASan/UBSan, but run
-# the determinism tests once more explicitly at a high jobs count.
-echo "==== explorer determinism under ASan/UBSan"
-"$repo/build-ci-asan/tests/mframe_tests" --gtest_filter='Explore*' \
+# The explorer's worker threads and the tune candidate race are exactly the
+# code the sanitizers should chew on; ctest above already ran the whole
+# suite under ASan/UBSan, but run the determinism tests once more
+# explicitly at a high jobs count.
+echo "==== explorer and tune determinism under ASan/UBSan"
+"$repo/build-ci-asan/tests/mframe_tests" --gtest_filter='Explore*:Tune.*' \
   --gtest_brief=1
 
 echo "==== clang-tidy (warnings are errors)"

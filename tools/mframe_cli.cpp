@@ -3,6 +3,7 @@
 //   mframe schedule <file> --steps N [options]      MFS scheduling
 //   mframe synth    <file> --steps N [options]      MFSA scheduling-allocation
 //   mframe analyze  <file> [options]                dataflow + timing analysis
+//   mframe tune     <file> --clock NS [options]     feedback-guided re-scheduling
 //   mframe lint     <file> [options]                structural diagnostics
 //   mframe prove    <file> [options]                translation validation
 //
@@ -55,6 +56,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/criticality/tune.h"
 #include "analysis/lint.h"
 #include "analysis/validate/bind_io.h"
 #include "baseline/asap_sched.h"
@@ -91,10 +93,11 @@ namespace {
 using namespace mframe;
 
 constexpr const char* kUsage =
-    "usage: mframe <schedule|synth|analyze|explore|lint|prove> <file> [options]\n"
+    "usage: mframe <schedule|synth|analyze|tune|explore|lint|prove> <file> [options]\n"
     "  schedule <file> --steps N    MFS scheduling\n"
     "  synth    <file> --steps N    MFSA scheduling-allocation\n"
     "  analyze  <file>              dataflow analysis + static timing (OPT/TIM)\n"
+    "  tune     <file> --clock NS   feedback-guided iterative re-scheduling\n"
     "  explore  <file> [--jobs N]   sweep MFSA configurations in parallel\n"
     "  lint     <file>              structural diagnostics (no scheduling)\n"
     "  prove    <file>              synthesize and validate the translation\n"
@@ -107,6 +110,8 @@ constexpr const char* kUsage =
     "  --chaining --clock NS --library FILE\n"
     "explore options: --jobs N (worker threads, default: hardware) --json\n"
     "  --steps N (single step budget; default sweeps critical..critical+3)\n"
+    "tune options:   --clock NS (required) --budget N --hops K --jobs N\n"
+    "  --json (chaining is implied; --steps caps the initial schedule)\n"
     "lint options:   --json --fail-on error|warning|note --schedule FILE\n"
     "  --library FILE\n"
     "prove options:  --scheduler mfsa|mfs|asap|list|fds --bind FILE --json\n"
@@ -164,6 +169,9 @@ struct Cli {
   std::string schedulerName = "mfsa";
   // explore options
   int jobs = 0;  ///< 0 = hardware concurrency
+  // tune options
+  int budget = 8;  ///< --budget: maximum tune iterations
+  int hops = 2;    ///< --hops: cone radius around violating endpoints
   // tracing / metrics
   std::string tracePath;        ///< --trace FILE; empty = no tracing
   bool metrics = false;         ///< --metrics[=...]
@@ -175,7 +183,8 @@ Cli parseArgs(int argc, char** argv) {
   if (argc < 2) dieUsage("expected a command and an input file");
   c.command = argv[1];
   if (c.command != "schedule" && c.command != "synth" && c.command != "lint" &&
-      c.command != "prove" && c.command != "explore" && c.command != "analyze")
+      c.command != "prove" && c.command != "explore" &&
+      c.command != "analyze" && c.command != "tune")
     dieUsage("unknown command '" + c.command + "'");
 
   // A missing file argument (or an explicit "-") reads the design from
@@ -286,6 +295,12 @@ Cli parseArgs(int argc, char** argv) {
     } else if (a == "--jobs") {
       c.jobs = static_cast<int>(util::parseLong(next()));
       if (c.jobs < 1) die("--jobs needs a positive thread count");
+    } else if (a == "--budget") {
+      c.budget = static_cast<int>(util::parseLong(next()));
+      if (c.budget < 1) die("--budget needs a positive iteration count");
+    } else if (a == "--hops") {
+      c.hops = static_cast<int>(util::parseLong(next()));
+      if (c.hops < 1) die("--hops needs a positive cone radius");
     } else if (a == "--prove") {
       c.doProve = true;
     } else if (a == "--fix") {
@@ -410,9 +425,12 @@ int runSchedule(const Cli& cli, const dfg::Dfg& g) {
               bad.empty() ? "clean" : bad.front().c_str());
   if (cli.emitReport)
     std::printf("\n%s", sched::analyzeSchedule(r.schedule).toString().c_str());
-  if (cli.emitSlack)
-    std::printf("\n%s",
-                sched::analyzeSlack(r.schedule, o.constraints).toString(g).c_str());
+  if (cli.emitSlack) {
+    std::string err;
+    const auto slack = sched::analyzeSlack(r.schedule, o.constraints, &err);
+    if (!slack) die("slack analysis failed: " + err);
+    std::printf("\n%s", slack->toString(g).c_str());
+  }
   if (cli.emitDot) std::printf("\n%s", dfg::toDot(g, r.schedule.stepMap()).c_str());
   return bad.empty() ? 0 : 1;
 }
@@ -536,13 +554,53 @@ int runAnalyze(const Cli& cli, const dfg::Dfg& g) {
     std::printf("%s", dfg::serialize(fixed).c_str());
     return 0;
   }
-  if (cli.jsonOut)
-    std::printf("%s", r.report.renderJson(g.name()).c_str());
-  else
+  if (cli.jsonOut) {
+    // Wrapper document: the schema-2 lint report plus the slack witness the
+    // tune loop consumes; "slack" is null when the backing schedule failed.
+    std::string lint = r.report.renderJson(g.name());
+    while (!lint.empty() && lint.back() == '\n') lint.pop_back();
+    std::printf("{\"schema\": 1,\n\"lint\": %s,\n\"slack\": %s\n}\n",
+                lint.c_str(),
+                r.slackRan ? r.slack.renderJson(g).c_str() : "null");
+  } else
     std::printf("design '%s': %zu nodes, %zu operations\n%s",
                 g.name().c_str(), g.size(), g.operations().size(),
                 r.renderText(g).c_str());
   return r.report.hasAtOrAbove(cli.failOn) ? 1 : 0;
+}
+
+/// Feedback-guided iterative re-scheduling: criticality analysis over the
+/// STA findings seeds a cone extraction, the cone is re-scheduled under
+/// tightened constraints, stitched back under the translation validator's
+/// gate, and the loop repeats until the clock is met or the budget is spent.
+/// Exit status 0 iff the final schedule meets the clock.
+int runTune(const Cli& cli, const dfg::Dfg& g) {
+  if (!cli.clockSet) die("tune needs --clock (the period to converge to)");
+  const celllib::CellLibrary lib = loadLibrary(cli);
+
+  analysis::criticality::TuneOptions opt;
+  opt.constraints = cli.constraints;
+  // Chaining is the gap tune exists to close (claimed chain delays vs the
+  // physical route); the command implies it.
+  opt.constraints.allowChaining = true;
+  opt.constraints.timeSteps = cli.steps;
+  opt.clockSet = true;
+  opt.budget = cli.budget;
+  opt.hops = cli.hops;
+  opt.jobs = cli.jobs > 0
+                 ? cli.jobs
+                 : static_cast<int>(
+                       std::max(1u, std::thread::hardware_concurrency()));
+
+  const analysis::criticality::TuneResult r =
+      analysis::criticality::tuneDesign(g, lib, opt);
+  if (cli.jsonOut)
+    std::printf("%s", r.renderJson(g).c_str());
+  else
+    std::printf("%s", r.renderText(g).c_str());
+  if (cli.emitDot)
+    std::printf("\n%s", dfg::toDot(g, r.schedule.stepMap()).c_str());
+  return r.converged ? 0 : 1;
 }
 
 /// Sweep MFSA configurations across worker threads and report the Pareto
@@ -776,6 +834,11 @@ int runCommand(Cli& cli) {
     const dfg::Dfg g = loadDesign(cli.file);
     preflightLint(g);
     return runAnalyze(cli, g);
+  }
+  if (cli.command == "tune") {
+    const dfg::Dfg g = loadDesign(cli.file);
+    preflightLint(g);
+    return runTune(cli, g);
   }
   const dfg::Dfg g = loadDesign(cli.file);
   preflightLint(g);
