@@ -1,0 +1,55 @@
+#include "analysis/audit/reach.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace mframe::analysis::audit {
+
+int ReachResult::reachableCount() const {
+  return static_cast<int>(
+      std::count(reachable.begin(), reachable.end(), char{1}));
+}
+
+std::vector<int> ReachResult::pathFromReset(int state) const {
+  std::vector<int> path;
+  if (state < 0 || state >= numStates ||
+      !reachable[static_cast<std::size_t>(state)])
+    return path;
+  for (int s = state; s >= 0; s = parent[static_cast<std::size_t>(s)]) {
+    path.push_back(s);
+    if (s == 0) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ReachResult reachSteps(const rtl::ControllerFsm& fsm) {
+  ReachResult r;
+  r.numStates = fsm.numSteps + 1;
+  const auto n = static_cast<std::size_t>(r.numStates);
+  r.reachable.assign(n, 0);
+  r.parent.assign(n, -1);
+  r.succs.resize(n);
+  r.preds.resize(n);
+  for (int s = 0; s < r.numStates; ++s)
+    r.succs[static_cast<std::size_t>(s)] = fsm.successorsOf(s);
+
+  std::deque<int> frontier;
+  r.reachable[0] = 1;
+  frontier.push_back(0);
+  while (!frontier.empty()) {
+    const int s = frontier.front();
+    frontier.pop_front();
+    for (int t : r.succs[static_cast<std::size_t>(s)]) {
+      if (t < 0 || t >= r.numStates) continue;
+      r.preds[static_cast<std::size_t>(t)].push_back(s);
+      if (r.reachable[static_cast<std::size_t>(t)]) continue;
+      r.reachable[static_cast<std::size_t>(t)] = 1;
+      r.parent[static_cast<std::size_t>(t)] = s;
+      frontier.push_back(t);
+    }
+  }
+  return r;
+}
+
+}  // namespace mframe::analysis::audit

@@ -1,0 +1,40 @@
+// Symbolic reachability over the controller FSM: which control states can
+// the machine actually enter, starting from reset? Branch conditions are
+// treated symbolically — every out-edge of a reachable state is taken — so
+// the reachable set over-approximates any concrete execution, which is the
+// right polarity for the safety checks layered on top (a defect on a
+// reachable path is a real defect candidate; an unreachable row is dead
+// control logic either way).
+#pragma once
+
+#include <vector>
+
+#include "rtl/controller.h"
+
+namespace mframe::analysis::audit {
+
+/// The reachable step graph. States are 0..numSteps; state 0 is reset.
+struct ReachResult {
+  int numStates = 0;                    ///< numSteps + 1
+  std::vector<char> reachable;          ///< indexed by state
+  std::vector<int> parent;              ///< BFS tree edge (-1 = root/unreached)
+  std::vector<std::vector<int>> succs;  ///< out-edges per state (all states)
+  std::vector<std::vector<int>> preds;  ///< in-edges, reachable sources only
+
+  int reachableCount() const;
+
+  /// True when `s` has no out-edges — the FSM halts after executing it.
+  bool isTerminal(int s) const {
+    return s >= 0 && s < numStates &&
+           succs[static_cast<std::size_t>(s)].empty();
+  }
+
+  /// The BFS witness path reset -> ... -> `state` (inclusive); empty when
+  /// the state is unreached.
+  std::vector<int> pathFromReset(int state) const;
+};
+
+/// Breadth-first exploration of fsm.successorsOf from state 0.
+ReachResult reachSteps(const rtl::ControllerFsm& fsm);
+
+}  // namespace mframe::analysis::audit

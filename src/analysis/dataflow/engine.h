@@ -114,4 +114,70 @@ FixpointResult<typename Domain::Value> solve(const dfg::Dfg& g,
   return r;
 }
 
+// Graph-generic variant: the same worklist discipline over an arbitrary
+// dependence graph given as adjacency lists, for clients whose nodes are not
+// DFG nodes (the audit's controller step graph, where edges may form loops).
+//
+// GraphDomain concept:
+//   struct D {
+//     using Value = ...;
+//     Value initial(int node) const;
+//     Value transfer(int node, const std::vector<Value>& deps) const;
+//     static Value widen(const Value& previous, const Value& next);
+//   };
+// `deps` holds the values of deps[node] in list order. Counters are bumped
+// exactly like solve(), so the work lands in dataflow.worklistIterations.
+template <typename Domain>
+FixpointResult<typename Domain::Value> solveGraph(
+    int numNodes, const std::vector<std::vector<int>>& deps,
+    const Domain& domain) {
+  using Value = typename Domain::Value;
+  const auto n = static_cast<std::size_t>(numNodes);
+
+  // Reverse edges: when a node's value changes, its dependents re-run.
+  std::vector<std::vector<int>> uses(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (int d : deps[v]) uses[static_cast<std::size_t>(d)].push_back(static_cast<int>(v));
+
+  FixpointResult<Value> r;
+  r.values.reserve(n);
+  for (int v = 0; v < numNodes; ++v) r.values.push_back(domain.initial(v));
+
+  std::deque<int> work;
+  std::vector<char> queued(n, 1);
+  std::vector<int> revisits(n, 0);
+  for (int v = 0; v < numNodes; ++v) work.push_back(v);
+
+  std::vector<Value> depVals;
+  while (!work.empty()) {
+    const int v = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(v)] = 0;
+    ++r.visits;
+
+    depVals.clear();
+    for (int d : deps[static_cast<std::size_t>(v)])
+      depVals.push_back(r.values[static_cast<std::size_t>(d)]);
+
+    Value next = domain.transfer(v, depVals);
+    if (next == r.values[static_cast<std::size_t>(v)]) continue;
+    if (++revisits[static_cast<std::size_t>(v)] > kWidenThreshold) {
+      next = Domain::widen(r.values[static_cast<std::size_t>(v)], next);
+      r.widened = true;
+      if (next == r.values[static_cast<std::size_t>(v)]) continue;
+    }
+    r.values[static_cast<std::size_t>(v)] = std::move(next);
+
+    for (int u : uses[static_cast<std::size_t>(v)])
+      if (!queued[static_cast<std::size_t>(u)]) {
+        queued[static_cast<std::size_t>(u)] = 1;
+        work.push_back(u);
+      }
+  }
+  trace::bump(trace::Counter::DataflowWorklistIterations,
+              static_cast<std::uint64_t>(r.visits));
+  if (r.widened) trace::bump(trace::Counter::DataflowWidenings);
+  return r;
+}
+
 }  // namespace mframe::analysis::dataflow

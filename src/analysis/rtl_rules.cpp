@@ -221,6 +221,8 @@ LintReport lintMicrocode(const rtl::Datapath& d, const rtl::ControllerFsm& fsm,
       known = unit >= 0 && unit < static_cast<int>(d.alus.size());
     } else if (std::sscanf(f.name.c_str(), "R%d.", &unit) == 1) {
       known = unit >= 0 && unit < static_cast<int>(d.regs.count());
+    } else if (f.name == "ctrl.next" || f.name == "ctrl.altNext") {
+      known = true;  // sequencer fields reference FSM states, not units
     }
     if (!known)
       r.add(diag(kRtlBadFieldRef, EntityKind::Field,

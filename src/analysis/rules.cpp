@@ -123,6 +123,19 @@ const std::vector<RuleInfo>& allRules() {
        "multicycle operation does not fit its allocated control steps"},
       {kTimNearCritical, "tim", Severity::Warning,
        "path consumes almost the whole clock period (fragile slack)"},
+      // AUD family: reference-free reachability + datapath-safety audit.
+      {kAudUnreachable, "aud", Severity::Error,
+       "microcode row / FSM state has no path from reset (dead control state)"},
+      {kAudReadBeforeWrite, "aud", Severity::Error,
+       "register read on a reachable path before any write reaches it"},
+      {kAudBusContention, "aud", Severity::Error,
+       "shared output line driven by multiple issues in one reachable step"},
+      {kAudDeadMuxInput, "aud", Severity::Warning,
+       "mux data input never selected on any reachable path"},
+      {kAudWriteClobber, "aud", Severity::Error,
+       "two values latched into one register in the same reachable step"},
+      {kAudXPropagation, "aud", Severity::Error,
+       "undefined (X) value can reach a primary output register"},
   };
   return rules;
 }
@@ -131,6 +144,35 @@ const RuleInfo* findRule(std::string_view id) {
   for (const RuleInfo& r : allRules())
     if (r.id == id) return &r;
   return nullptr;
+}
+
+namespace {
+
+/// Leading alphabetic part of a rule id ("TIM001" -> "TIM").
+std::string_view idPrefix(std::string_view id) {
+  std::size_t n = 0;
+  while (n < id.size() && (id[n] < '0' || id[n] > '9')) ++n;
+  return id.substr(0, n);
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& ruleFamilyPrefixes() {
+  static const std::vector<std::string_view> prefixes = [] {
+    std::vector<std::string_view> out;
+    for (const RuleInfo& r : allRules()) {
+      const std::string_view p = idPrefix(r.id);
+      if (out.empty() || out.back() != p) out.push_back(p);
+    }
+    return out;
+  }();
+  return prefixes;
+}
+
+bool isRuleFamilyPrefix(std::string_view prefix) {
+  for (std::string_view p : ruleFamilyPrefixes())
+    if (p == prefix) return true;
+  return false;
 }
 
 }  // namespace mframe::analysis

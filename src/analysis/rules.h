@@ -13,7 +13,8 @@ namespace mframe::analysis {
 
 struct RuleInfo {
   std::string_view id;       ///< stable id, e.g. "DFG003"
-  std::string_view family;   ///< "dfg", "sched", "rtl", "eqv", "lib", "opt" or "tim"
+  std::string_view family;   ///< "dfg", "sched", "rtl", "eqv", "lib", "opt",
+                             ///< "tim" or "aud"
   Severity severity;         ///< default severity of emissions
   std::string_view summary;  ///< one-line description
 };
@@ -23,6 +24,14 @@ const std::vector<RuleInfo>& allRules();
 
 /// Lookup by id; nullptr when unknown.
 const RuleInfo* findRule(std::string_view id);
+
+/// The distinct rule-id prefixes ("DFG", "SCH", ..., "AUD"), in registry
+/// order — the family tokens `--fail-on` accepts besides exact ids.
+const std::vector<std::string_view>& ruleFamilyPrefixes();
+
+/// True when `prefix` is the id-prefix of at least one registered rule
+/// (e.g. "TIM" matches TIM001..TIM004). Exact ids do not count as families.
+bool isRuleFamilyPrefix(std::string_view prefix);
 
 // Stable rule ids. Rules are never renumbered; retired ids are not reused.
 // -- DFG family --------------------------------------------------------------
@@ -88,5 +97,12 @@ inline constexpr std::string_view kTimClockViolation = "TIM001";
 inline constexpr std::string_view kTimUnconstrainedChain = "TIM002";
 inline constexpr std::string_view kTimMulticycleUnderAlloc = "TIM003";
 inline constexpr std::string_view kTimNearCritical = "TIM004";
+// -- AUD family (reachability-aware RTL audit, src/analysis/audit/) ----------
+inline constexpr std::string_view kAudUnreachable = "AUD001";
+inline constexpr std::string_view kAudReadBeforeWrite = "AUD002";
+inline constexpr std::string_view kAudBusContention = "AUD003";
+inline constexpr std::string_view kAudDeadMuxInput = "AUD004";
+inline constexpr std::string_view kAudWriteClobber = "AUD005";
+inline constexpr std::string_view kAudXPropagation = "AUD006";
 
 }  // namespace mframe::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -29,6 +30,23 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
   std::vector<Route> routes;
   struct Load { dfg::NodeId signal; int step; };
   std::vector<Load> loads;
+  struct Next { int from; int to; dfg::NodeId cond; };
+  std::vector<Next> nexts;
+
+  // Strict numeric decode: malformed text is a parse error naming the
+  // offending token, never a silent 0/-1 (the PR 5 .dfg hardening applied
+  // to the .bind reader).
+  bool badNum = false;
+  std::string badNumMsg;
+  auto num = [&](const std::string& text, const char* what) -> long {
+    long v = 0;
+    if (!util::parseSignedLong(text, v)) {
+      badNum = true;
+      badNumMsg = util::format("bad %s value '%s'", what, text.c_str());
+      return -1;
+    }
+    return v;
+  };
 
   std::istringstream in{std::string(text)};
   std::string raw;
@@ -47,8 +65,9 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
       if (tok[1] != g.name())
         return fail(lineNo, "design name '" + tok[1] + "' does not match '" +
                                 g.name() + "'");
-      const long cs = util::parseLong(tok[2].substr(6));
-      if (cs < 1) return fail(lineNo, "bad steps value");
+      const long cs = num(tok[2].substr(6), "steps");
+      if (badNum) return fail(lineNo, badNumMsg);
+      if (cs < 1) return fail(lineNo, "steps value out of range");
       s.setNumSteps(static_cast<int>(cs));
       sawHeader = true;
       continue;
@@ -57,7 +76,8 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
 
     if (tok[0] == "alu") {
       if (tok.size() != 3) return fail(lineNo, "expected: alu <k> <module>");
-      const long k = util::parseLong(tok[1]);
+      const long k = num(tok[1], "ALU index");
+      if (badNum) return fail(lineNo, badNumMsg);
       if (k < 0) return fail(lineNo, "bad ALU index");
       if (aluModule.count(static_cast<int>(k)))
         return fail(lineNo, util::format("duplicate alu %ld", k));
@@ -77,8 +97,10 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
         return fail(lineNo, "unknown signal '" + tok[1] + "'");
       if (!dfg::isSchedulable(g.node(id).kind))
         return fail(lineNo, "'" + tok[1] + "' is not an operation");
-      const long step = util::parseLong(tok[2].substr(5));
-      const long k = util::parseLong(tok[3].substr(4));
+      const long step = num(tok[2].substr(5), "step");
+      if (badNum) return fail(lineNo, badNumMsg);
+      const long k = num(tok[3].substr(4), "alu");
+      if (badNum) return fail(lineNo, badNumMsg);
       if (step < 1 || step > s.numSteps())
         return fail(lineNo, "step out of range");
       if (!aluModule.count(static_cast<int>(k)))
@@ -94,7 +116,8 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
       const dfg::NodeId id = g.findByName(tok[1]);
       if (id == dfg::kNoNode)
         return fail(lineNo, "unknown signal '" + tok[1] + "'");
-      const long reg = util::parseLong(tok[2]);
+      const long reg = num(tok[2], "register index");
+      if (badNum) return fail(lineNo, badNumMsg);
       if (reg < 0) return fail(lineNo, "bad register index");
       if (pinnedReg.count(id))
         return fail(lineNo, "duplicate reg for '" + tok[1] + "'");
@@ -105,7 +128,8 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
       const dfg::NodeId id = g.findByName(tok[1]);
       if (id == dfg::kNoNode)
         return fail(lineNo, "unknown signal '" + tok[1] + "'");
-      const long sel = util::parseLong(tok[3]);
+      const long sel = num(tok[3], "select");
+      if (badNum) return fail(lineNo, badNumMsg);
       if (sel < 0) return fail(lineNo, "bad select value");
       routes.push_back({id, tok[2] == "left", static_cast<int>(sel)});
     } else if (tok[0] == "load") {
@@ -114,10 +138,32 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
       const dfg::NodeId id = g.findByName(tok[1]);
       if (id == dfg::kNoNode)
         return fail(lineNo, "unknown signal '" + tok[1] + "'");
-      const long step = util::parseLong(tok[2].substr(5));
+      const long step = num(tok[2].substr(5), "load step");
+      if (badNum) return fail(lineNo, badNumMsg);
       if (step < 0 || step > s.numSteps())
         return fail(lineNo, "load step out of range");
       loads.push_back({id, static_cast<int>(step)});
+    } else if (tok[0] == "next") {
+      if (tok.size() != 3 && tok.size() != 4)
+        return fail(lineNo, "expected: next <from> <to> [cond=<signal>]");
+      const long from = num(tok[1], "next from-state");
+      if (badNum) return fail(lineNo, badNumMsg);
+      const long to = num(tok[2], "next to-state");
+      if (badNum) return fail(lineNo, badNumMsg);
+      if (from < 0 || from > s.numSteps())
+        return fail(lineNo, "next from-state out of range");
+      if (to < 0 || to > s.numSteps())  // 0 = halt
+        return fail(lineNo, "next to-state out of range");
+      dfg::NodeId cond = dfg::kNoNode;
+      if (tok.size() == 4) {
+        if (!util::startsWith(tok[3], "cond="))
+          return fail(lineNo, "expected: next <from> <to> [cond=<signal>]");
+        cond = g.findByName(tok[3].substr(5));
+        if (cond == dfg::kNoNode)
+          return fail(lineNo,
+                      "unknown condition signal '" + tok[3].substr(5) + "'");
+      }
+      nexts.push_back({static_cast<int>(from), static_cast<int>(to), cond});
     } else {
       return fail(lineNo, "unknown statement '" + tok[0] + "'");
     }
@@ -181,6 +227,24 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
     if (!applied)
       return fail(0, "load targets unregistered signal '" +
                          g.node(ld.signal).name + "'");
+  }
+
+  // Control transfers: the first `next` for a state replaces its default
+  // linear edge, later ones for the same state append alternates (max two
+  // successors — one ctrl.next / ctrl.altNext pair in the ROM).
+  std::set<int> replaced;
+  for (const Next& nx : nexts) {
+    if (replaced.insert(nx.from).second)
+      b.fsm.edges.erase(
+          std::remove_if(b.fsm.edges.begin(), b.fsm.edges.end(),
+                         [&](const rtl::StepEdge& e) {
+                           return e.from == nx.from;
+                         }),
+          b.fsm.edges.end());
+    b.fsm.edges.push_back({nx.from, nx.to, nx.cond});
+    if (b.fsm.successorsOf(nx.from).size() > 2)
+      return fail(0, util::format("state %d has more than two successors",
+                                  nx.from));
   }
 
   b.rom = rtl::buildMicrocode(b.datapath, b.fsm);

@@ -11,12 +11,18 @@
 //   reg <signal> <r>               # pin the signal into register r
 //   route <op> left|right <sel>    # override the issued mux select
 //   load <signal> step=<t>         # override the latch step (0 = preload)
+//   next <from> <to> [cond=<sig>]  # override a controller transfer; the
+//                                  # first `next` for <from> replaces its
+//                                  # linear edge, later ones append (max 2
+//                                  # successors); <to> 0 = halt
 //
 // Every schedulable operation must be placed. Signals without an explicit
 // `reg` that need storage get fresh registers after the pinned ones. The
-// `route`/`load` statements mutate the derived controller *before* the
-// microcode ROM is assembled, so a seeded defect flows through the same
-// artifacts the validator reads.
+// `route`/`load`/`next` statements mutate the derived controller *before*
+// the microcode ROM is assembled, so a seeded defect flows through the same
+// artifacts the validator and the audit read. All numeric values are decoded
+// strictly: malformed text is a parse error naming the token, never a
+// silent 0.
 #pragma once
 
 #include <optional>

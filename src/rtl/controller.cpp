@@ -67,7 +67,38 @@ ControllerFsm buildController(const Datapath& d) {
             [](const RegLoad& a, const RegLoad& b) {
               return std::tie(a.step, a.reg) < std::tie(b.step, b.reg);
             });
+
+  // Synthesized controllers step linearly: reset flows into step 1, each
+  // step into the next, and the last step halts (no out-edge).
+  for (int s = 0; s < f.numSteps; ++s) f.edges.push_back({s, s + 1});
   return f;
+}
+
+std::vector<int> ControllerFsm::successorsOf(int s) const {
+  if (edges.empty())
+    return s >= 0 && s < numSteps ? std::vector<int>{s + 1}
+                                  : std::vector<int>{};
+  std::vector<int> out;
+  for (const StepEdge& e : edges) {
+    if (e.from != s) continue;
+    if (e.to < 1 || e.to > numSteps) continue;  // 0 / out-of-range = halt
+    if (std::find(out.begin(), out.end(), e.to) == out.end())
+      out.push_back(e.to);
+  }
+  return out;
+}
+
+bool ControllerFsm::linearControl() const {
+  if (edges.empty()) return true;
+  for (int s = 0; s <= numSteps; ++s) {
+    const std::vector<int> succ = successorsOf(s);
+    if (s < numSteps) {
+      if (succ.size() != 1 || succ.front() != s + 1) return false;
+    } else if (!succ.empty()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::string ControllerFsm::toString(const dfg::Dfg& g) const {
@@ -84,6 +115,15 @@ std::string ControllerFsm::toString(const dfg::Dfg& g) const {
       if (r.step == s)
         line += util::format("  R%d <= %s", r.reg, g.node(r.signal).name.c_str());
     if (!line.empty()) out += util::format("state %2d:%s\n", s, line.c_str());
+  }
+  if (!linearControl()) {
+    out += "transfers:";
+    for (const StepEdge& e : edges)
+      out += e.cond == dfg::kNoNode
+                 ? util::format(" %d->%d", e.from, e.to)
+                 : util::format(" %d->%d[%s]", e.from, e.to,
+                                g.node(e.cond).name.c_str());
+    out += "\n";
   }
   return out;
 }

@@ -28,10 +28,34 @@ struct RegLoad {
   int fromAlu = -1;               ///< producing ALU (-1: primary input)
 };
 
+/// A control transfer between FSM states. State 0 is the reset state; states
+/// 1..numSteps execute microcode rows. `to == 0` means the FSM halts (returns
+/// to reset) after `from`. A state with two out-edges branches; `cond` names
+/// the deciding signal when known (kNoNode = unannotated).
+struct StepEdge {
+  int from = 0;
+  int to = 0;
+  dfg::NodeId cond = dfg::kNoNode;
+
+  bool operator==(const StepEdge&) const = default;
+};
+
 struct ControllerFsm {
   int numSteps = 0;
   std::vector<MicroOp> microOps;  ///< sorted by (step, alu)
   std::vector<RegLoad> regLoads;  ///< sorted by (step, reg)
+  /// Control transfers, sorted by (from, to). buildController emits the
+  /// linear chain 0 -> 1 -> ... -> numSteps; .bind `next` statements replace
+  /// or extend individual edges to seed branchy (or defective) controllers.
+  std::vector<StepEdge> edges;
+
+  /// Targets of state `s` (deduplicated, in edge order). Falls back to the
+  /// linear successor s+1 (and halt after numSteps) when `edges` is empty.
+  std::vector<int> successorsOf(int s) const;
+
+  /// True when the transfer structure is exactly the linear chain
+  /// 0 -> 1 -> ... -> numSteps (the shape every synthesized design has).
+  bool linearControl() const;
 
   std::string toString(const dfg::Dfg& g) const;
 };

@@ -1,6 +1,7 @@
 #include "rtl/microcode.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 
@@ -42,6 +43,27 @@ std::optional<int> MicrocodeRom::valueAt(int step, std::string_view name) const 
   const int v = rows[static_cast<std::size_t>(step - 1)][static_cast<std::size_t>(f)];
   if (v < 0) return std::nullopt;
   return v;
+}
+
+std::optional<std::vector<int>> MicrocodeRom::successorsAt(int step) const {
+  if (fieldIndex("ctrl.next") < 0) return std::nullopt;
+  std::vector<int> out;
+  for (const char* field : {"ctrl.next", "ctrl.altNext"}) {
+    const std::optional<int> v = valueAt(step, field);
+    // Value 0 encodes halt; 1..words name the target row.
+    if (v && *v >= 1 && *v <= words) out.push_back(*v);
+  }
+  return out;
+}
+
+std::vector<int> MicrocodeRom::regLoadsAt(int step) const {
+  std::vector<int> out;
+  for (const MicrocodeField& f : fields) {
+    int reg = -1;
+    if (std::sscanf(f.name.c_str(), "R%d.load", &reg) != 1) continue;
+    if (valueAt(step, f.name).value_or(0) == 1) out.push_back(reg);
+  }
+  return out;
 }
 
 std::vector<dfg::OpKind> aluOpcodes(const Datapath& d, int alu) {
@@ -126,6 +148,28 @@ MicrocodeRom buildMicrocode(const Datapath& d, const ControllerFsm& fsm) {
     for (std::size_t f = 0; f < refs.size(); ++f)
       if (refs[f].kind == FieldRef::Kind::RegLoad && refs[f].unit == rl.reg)
         rowOf(rl.step)[f] = 1;
+  }
+
+  // Control-transfer fields: linear controllers need none (every word falls
+  // through to the next), so they appear only when the FSM deviates —
+  // value 0 encodes halt, 1..words name the target row.
+  if (!fsm.linearControl()) {
+    const int ctrlBits = bitsFor(static_cast<std::size_t>(fsm.numSteps) + 1);
+    bool needAlt = false;
+    for (int s = 1; s <= fsm.numSteps; ++s)
+      needAlt = needAlt || fsm.successorsOf(s).size() > 1;
+    rom.fields.push_back({"ctrl.next", ctrlBits});
+    if (needAlt) rom.fields.push_back({"ctrl.altNext", ctrlBits});
+    const int nextF = rom.fieldIndex("ctrl.next");
+    const int altF = rom.fieldIndex("ctrl.altNext");
+    for (auto& row : rom.rows) row.resize(rom.fields.size(), -1);
+    for (int s = 1; s <= fsm.numSteps; ++s) {
+      const std::vector<int> succ = fsm.successorsOf(s);
+      auto& row = rowOf(s);
+      row[static_cast<std::size_t>(nextF)] = succ.empty() ? 0 : succ[0];
+      if (altF >= 0 && succ.size() > 1)
+        row[static_cast<std::size_t>(altF)] = succ[1];
+    }
   }
   return rom;
 }

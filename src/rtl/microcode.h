@@ -44,6 +44,15 @@ struct MicrocodeRom {
   /// row holds a don't-care.
   std::optional<int> valueAt(int step, std::string_view name) const;
 
+  /// Decoded control-transfer targets of row `step` (1-based): the
+  /// "ctrl.next" / "ctrl.altNext" field values, in that order, with the halt
+  /// encoding (0) dropped. nullopt when the ROM carries no transfer fields —
+  /// linear control, fall through to step+1 (halt after the last row).
+  std::optional<std::vector<int>> successorsAt(int step) const;
+
+  /// Register indices whose load-enable bit is asserted in row `step`.
+  std::vector<int> regLoadsAt(int step) const;
+
   std::string toString() const;
 };
 

@@ -42,6 +42,9 @@ std::string_view counterName(Counter c) {
     case Counter::TuneConeOps: return "tune.coneOps";
     case Counter::TuneStitches: return "tune.stitches";
     case Counter::TuneRejectedStitches: return "tune.rejectedStitches";
+    case Counter::AuditReachableStates: return "audit.reachableStates";
+    case Counter::AuditRbwChecks: return "audit.rbwChecks";
+    case Counter::AuditFindings: return "audit.findings";
     case Counter::kCount: break;
   }
   return "?";

@@ -54,6 +54,9 @@ enum class Counter : int {
   TuneConeOps,            ///< operations extracted into tune cones (total)
   TuneStitches,           ///< cone re-schedules accepted and stitched back
   TuneRejectedStitches,   ///< stitches refused (verify or prove said no)
+  AuditReachableStates,   ///< FSM states the audit proved reachable from reset
+  AuditRbwChecks,         ///< register-operand definedness checks performed
+  AuditFindings,          ///< AUD diagnostics emitted
   kCount
 };
 

@@ -54,7 +54,7 @@ TEST(LintRules, IdsAreUniqueWellFormedAndFindable) {
     ASSERT_EQ(r.id.size(), 6u) << r.id;
     EXPECT_TRUE(r.family == "dfg" || r.family == "sched" ||
                 r.family == "rtl" || r.family == "eqv" || r.family == "lib" ||
-                r.family == "opt" || r.family == "tim");
+                r.family == "opt" || r.family == "tim" || r.family == "aud");
     const std::string_view prefix = r.id.substr(0, 3);
     EXPECT_EQ(prefix, r.family == "dfg"     ? "DFG"
                       : r.family == "sched" ? "SCH"
@@ -62,12 +62,23 @@ TEST(LintRules, IdsAreUniqueWellFormedAndFindable) {
                       : r.family == "eqv"   ? "EQV"
                       : r.family == "opt"   ? "OPT"
                       : r.family == "tim"   ? "TIM"
+                      : r.family == "aud"   ? "AUD"
                                             : "LIB");
     EXPECT_FALSE(r.summary.empty());
     EXPECT_EQ(findRule(r.id), &r);
   }
   EXPECT_GE(ids.size(), 30u);
   EXPECT_EQ(findRule("XYZ999"), nullptr);
+}
+
+TEST(LintRules, FamilyPrefixesAreDerivedFromIds) {
+  for (std::string_view p :
+       {"DFG", "SCH", "RTL", "EQV", "LIB", "OPT", "TIM", "AUD"})
+    EXPECT_TRUE(isRuleFamilyPrefix(p)) << p;
+  EXPECT_FALSE(isRuleFamilyPrefix("BOGUS"));
+  EXPECT_FALSE(isRuleFamilyPrefix("AUD001"));  // exact ids are not families
+  EXPECT_FALSE(isRuleFamilyPrefix(""));
+  EXPECT_EQ(ruleFamilyPrefixes().size(), 8u);
 }
 
 TEST(LintRules, SeverityNamesRoundTrip) {

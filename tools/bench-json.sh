@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Run the google-benchmark binaries and merge their JSON reports into one
 # BENCH_runtime.json tracking the repo's performance trajectory:
-#   { "runtime": ..., "explore": ..., "analyze": ..., "tune": ..., "metrics": ... }
+#   { "runtime": ..., "explore": ..., "analyze": ..., "tune": ...,
+#     "audit": ..., "metrics": ... }
 # — one google-benchmark report per binary, plus the pipeline counter
 # metrics of two pinned CLI invocations (extracted from the '{"schema": 1,'
 # marker object that --metrics=json appends to stdout). Counters are
@@ -19,7 +20,7 @@ repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build=${1:-$repo/build}
 out=${2:-$repo/BENCH_runtime.json}
 
-for bin in bench_runtime bench_explore bench_analyze bench_tune; do
+for bin in bench_runtime bench_explore bench_analyze bench_tune bench_audit; do
   if [ ! -x "$build/bench/$bin" ]; then
     echo "bench-json.sh: $build/bench/$bin not built" >&2
     exit 1
@@ -46,6 +47,9 @@ trap 'rm -rf "$tmp"' EXIT
 # shellcheck disable=SC2086
 "$build/bench/bench_tune" --benchmark_format=json $minTimeArg \
   > "$tmp/tune.json"
+# shellcheck disable=SC2086
+"$build/bench/bench_audit" --benchmark_format=json $minTimeArg \
+  > "$tmp/audit.json"
 
 # Counter metrics from pinned CLI runs. python3 is only needed for this
 # extraction; without it the report simply lacks the metrics key (and
@@ -59,8 +63,10 @@ if command -v python3 >/dev/null 2>&1 && [ -x "$build/tools/mframe" ]; then
     --metrics=json > "$tmp/explore.out"
   "$build/tools/mframe" tune "$designs/slowchain.dfg" --clock 100 --jobs 2 \
     --metrics=json > "$tmp/tune.out"
+  "$build/tools/mframe" audit "$designs/diffeq.mfb" --steps 4 \
+    --metrics=json > "$tmp/audit.out"
   python3 - "$tmp/synth.out" "$tmp/explore.out" "$tmp/tune.out" \
-    > "$tmp/metrics.json" <<'EOF'
+    "$tmp/audit.out" > "$tmp/metrics.json" <<'EOF'
 import json
 import sys
 
@@ -75,6 +81,7 @@ print(json.dumps({
     "synth_diffeq": extract(sys.argv[1]),
     "explore_diffeq": extract(sys.argv[2]),
     "tune_slowchain": extract(sys.argv[3]),
+    "audit_diffeq": extract(sys.argv[4]),
 }, indent=1))
 EOF
   haveMetrics=1
@@ -91,6 +98,8 @@ fi
   cat "$tmp/analyze.json"
   printf ',\n"tune":\n'
   cat "$tmp/tune.json"
+  printf ',\n"audit":\n'
+  cat "$tmp/audit.json"
   if [ "$haveMetrics" = 1 ]; then
     printf ',\n"metrics":\n'
     cat "$tmp/metrics.json"

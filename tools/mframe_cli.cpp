@@ -6,6 +6,7 @@
 //   mframe tune     <file> --clock NS [options]     feedback-guided re-scheduling
 //   mframe lint     <file> [options]                structural diagnostics
 //   mframe prove    <file> [options]                translation validation
+//   mframe audit    <file> [options]                reference-free RTL audit
 //
 // <file> is either the behavioral language (.mfb, 'design ...') or the
 // textual DFG format (.dfg, 'dfg ...'); the format is sniffed from the first
@@ -31,7 +32,9 @@
 //   --prove              run the translation validator on the result
 // lint-only:
 //   --json               emit diagnostics as JSON instead of text
-//   --fail-on SEV        exit nonzero at error|warning|note (default error)
+//   --fail-on WHAT       exit nonzero at a severity (error|warning|note,
+//                        default error), or when a specific rule id
+//                        (TIM001) or rule family (TIM, AUD) fires
 //   --schedule FILE      also lint a saved schedule against the design
 //   --library FILE       also lint a cell library against the design
 // analyze-only:
@@ -56,8 +59,10 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/audit/audit.h"
 #include "analysis/criticality/tune.h"
 #include "analysis/lint.h"
+#include "analysis/rules.h"
 #include "analysis/validate/bind_io.h"
 #include "baseline/asap_sched.h"
 #include "baseline/fds.h"
@@ -93,7 +98,7 @@ namespace {
 using namespace mframe;
 
 constexpr const char* kUsage =
-    "usage: mframe <schedule|synth|analyze|tune|explore|lint|prove> <file> [options]\n"
+    "usage: mframe <schedule|synth|analyze|tune|explore|lint|prove|audit> <file> [options]\n"
     "  schedule <file> --steps N    MFS scheduling\n"
     "  synth    <file> --steps N    MFSA scheduling-allocation\n"
     "  analyze  <file>              dataflow analysis + static timing (OPT/TIM)\n"
@@ -101,11 +106,12 @@ constexpr const char* kUsage =
     "  explore  <file> [--jobs N]   sweep MFSA configurations in parallel\n"
     "  lint     <file>              structural diagnostics (no scheduling)\n"
     "  prove    <file>              synthesize and validate the translation\n"
+    "  audit    <file>              reference-free RTL safety audit (AUD)\n"
     "common options: --resource T=K,... --mode time|resource --chaining\n"
     "  --clock NS --latency L --pipelined-mults --priority RULE --report --dot\n"
     "synth options:  --style 1|2 --weights T,A,M,R --library FILE --verilog\n"
     "  --controller --microcode --testability --testbench --rtl-dot --timing\n"
-    "  --sim a=1,b=2 [--vcd FILE] --prove\n"
+    "  --sim a=1,b=2 [--vcd FILE] --prove --audit\n"
     "analyze options: --json --fail-on SEV --fix --no-timing --steps N\n"
     "  --chaining --clock NS --library FILE\n"
     "explore options: --jobs N (worker threads, default: hardware) --json\n"
@@ -115,7 +121,11 @@ constexpr const char* kUsage =
     "lint options:   --json --fail-on error|warning|note --schedule FILE\n"
     "  --library FILE\n"
     "prove options:  --scheduler mfsa|mfs|asap|list|fds --bind FILE --json\n"
-    "  --fail-on SEV --library FILE\n"
+    "  --fail-on WHAT --library FILE\n"
+    "audit options:  --scheduler mfsa|mfs|asap|list|fds --bind FILE --json\n"
+    "  --fail-on WHAT --jobs N --library FILE\n"
+    "--fail-on WHAT: a severity (error|warning|note), an exact rule id\n"
+    "  (e.g. AUD002), or a rule family prefix (e.g. TIM, AUD); repeatable\n"
     "tracing/metrics: --trace FILE (Chrome trace-event JSON)\n"
     "  --metrics[=json] (pipeline counters after the run)\n"
     "<file> may be '-' (or omitted) to read the design from stdin\n";
@@ -157,6 +167,8 @@ struct Cli {
   // lint-only options
   bool jsonOut = false;
   analysis::Severity failOn = analysis::Severity::Error;
+  std::vector<std::string> failOnRules;     ///< exact ids, e.g. "AUD002"
+  std::vector<std::string> failOnFamilies;  ///< prefixes, e.g. "TIM", "AUD"
   std::string schedulePath;
   // analyze options
   bool clockSet = false;  ///< the user passed --clock (vs the 100 ns default)
@@ -167,6 +179,8 @@ struct Cli {
   bool doProve = false;
   std::string bindPath;
   std::string schedulerName = "mfsa";
+  // audit options
+  bool doAudit = false;  ///< synth --audit
   // explore options
   int jobs = 0;  ///< 0 = hardware concurrency
   // tune options
@@ -184,7 +198,7 @@ Cli parseArgs(int argc, char** argv) {
   c.command = argv[1];
   if (c.command != "schedule" && c.command != "synth" && c.command != "lint" &&
       c.command != "prove" && c.command != "explore" &&
-      c.command != "analyze" && c.command != "tune")
+      c.command != "analyze" && c.command != "tune" && c.command != "audit")
     dieUsage("unknown command '" + c.command + "'");
 
   // A missing file argument (or an explicit "-") reads the design from
@@ -287,9 +301,20 @@ Cli parseArgs(int argc, char** argv) {
     } else if (a == "--json") {
       c.jsonOut = true;
     } else if (a == "--fail-on") {
+      // A severity threshold, an exact rule id, or a rule family prefix;
+      // rule/family forms are repeatable and combine.
       const std::string s = next();
-      if (!analysis::parseSeverity(s, c.failOn))
-        dieUsage("bad --fail-on '" + s + "' (use error|warning|note)");
+      if (analysis::parseSeverity(s, c.failOn)) {
+        // threshold updated in place
+      } else if (analysis::findRule(s) != nullptr) {
+        c.failOnRules.push_back(s);
+      } else if (analysis::isRuleFamilyPrefix(s)) {
+        c.failOnFamilies.push_back(s);
+      } else {
+        dieUsage("bad --fail-on '" + s +
+                 "' (use error|warning|note, a rule id like AUD002, or a "
+                 "rule family like TIM or AUD)");
+      }
     } else if (a == "--schedule") {
       c.schedulePath = next();
     } else if (a == "--jobs") {
@@ -303,6 +328,8 @@ Cli parseArgs(int argc, char** argv) {
       if (c.hops < 1) die("--hops needs a positive cone radius");
     } else if (a == "--prove") {
       c.doProve = true;
+    } else if (a == "--audit") {
+      c.doAudit = true;
     } else if (a == "--fix") {
       c.doFix = true;
     } else if (a == "--no-timing") {
@@ -341,6 +368,21 @@ Cli parseArgs(int argc, char** argv) {
     if (hasInline) dieUsage("option " + a + " does not take a value");
   }
   return c;
+}
+
+/// Exit-status policy for diagnostic-emitting commands: with --fail-on rule
+/// ids or family prefixes, fail iff a matching diagnostic fired (any
+/// severity); otherwise fail at or above the severity threshold.
+bool failsPolicy(const Cli& cli, const analysis::LintReport& r) {
+  if (cli.failOnRules.empty() && cli.failOnFamilies.empty())
+    return r.hasAtOrAbove(cli.failOn);
+  for (const analysis::Diagnostic& d : r.diagnostics()) {
+    for (const std::string& id : cli.failOnRules)
+      if (d.rule == id) return true;
+    for (const std::string& fam : cli.failOnFamilies)
+      if (util::startsWith(d.rule, fam)) return true;
+  }
+  return false;
 }
 
 std::string readFileOrDie(const std::string& path) {
@@ -465,6 +507,17 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
               bad.empty() ? "clean" : bad.front().c_str());
 
   const auto fsm = rtl::buildController(r.datapath);
+  bool auditFailed = false;
+  if (cli.doAudit) {
+    const auto rom = rtl::buildMicrocode(r.datapath, fsm);
+    const analysis::audit::AuditResult audit = analysis::audit::auditDesign(
+        r.datapath, fsm, rom, {cli.jobs > 0 ? cli.jobs : 1});
+    std::printf("%s\n", analysis::audit::renderAuditSummary(audit).c_str());
+    if (!audit.clean()) {
+      std::printf("%s", audit.report.renderText().c_str());
+      auditFailed = failsPolicy(cli, audit.report);
+    }
+  }
   bool proveFailed = false;
   if (cli.doProve) {
     const auto rom = rtl::buildMicrocode(r.datapath, fsm);
@@ -475,7 +528,7 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
     } else {
       std::printf("translation validation: REFUTED\n%s",
                   proof.renderText().c_str());
-      proveFailed = proof.hasAtOrAbove(cli.failOn);
+      proveFailed = failsPolicy(cli, proof);
     }
   }
   bool timingFailed = false;
@@ -487,7 +540,7 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
     std::printf("\n%s", sta.toString(g).c_str());
     if (!sta.diagnostics.empty()) {
       std::printf("%s", sta.diagnostics.renderText().c_str());
-      timingFailed = sta.diagnostics.hasAtOrAbove(cli.failOn);
+      timingFailed = failsPolicy(cli, sta.diagnostics);
     }
   }
   if (cli.emitReport)
@@ -530,7 +583,7 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
     }
     if (!allMatch) return 1;
   }
-  return bad.empty() && !proveFailed && !timingFailed ? 0 : 1;
+  return bad.empty() && !auditFailed && !proveFailed && !timingFailed ? 0 : 1;
 }
 
 /// Run the dataflow passes and (unless --no-timing) a schedule + datapath +
@@ -566,7 +619,7 @@ int runAnalyze(const Cli& cli, const dfg::Dfg& g) {
     std::printf("design '%s': %zu nodes, %zu operations\n%s",
                 g.name().c_str(), g.size(), g.operations().size(),
                 r.renderText(g).c_str());
-  return r.report.hasAtOrAbove(cli.failOn) ? 1 : 0;
+  return failsPolicy(cli, r.report) ? 1 : 0;
 }
 
 /// Feedback-guided iterative re-scheduling: criticality analysis over the
@@ -645,16 +698,71 @@ int runExplore(const Cli& cli, const dfg::Dfg& g) {
   return r.feasibleCount > 0 ? 0 : 1;
 }
 
+/// Synthesize the design with the CLI's scheduler and assemble the full
+/// datapath + controller + ROM triple the validator and the audit consume.
+analysis::BoundDesign synthesizeBound(const Cli& cli, const dfg::Dfg& g,
+                                      const celllib::CellLibrary& lib) {
+  sched::Constraints constraints = cli.constraints;
+  constraints.timeSteps = cli.steps;
+  auto fromDatapath = [](rtl::Datapath d) {
+    analysis::BoundDesign b;
+    b.datapath = std::move(d);
+    b.fsm = rtl::buildController(b.datapath);
+    b.rom = rtl::buildMicrocode(b.datapath, b.fsm);
+    return b;
+  };
+  auto fromSchedule = [&](const sched::Schedule& s) {
+    return fromDatapath(
+        rtl::buildDatapath(g, lib, s, rtl::bindByColumns(g, lib, s)));
+  };
+  if (cli.schedulerName == "mfsa") {
+    core::MfsaOptions o;
+    o.constraints = constraints;
+    o.style = cli.style;
+    o.weights = cli.weights;
+    o.priorityRule = cli.priority;
+    const auto r = core::runMfsa(g, lib, o);
+    if (!r.feasible) die("MFSA failed: " + r.error);
+    return fromDatapath(r.datapath);
+  }
+  if (cli.schedulerName == "mfs") {
+    core::MfsOptions o;
+    o.constraints = constraints;
+    o.mode = cli.mode;
+    o.priorityRule = cli.priority;
+    const auto r = core::runMfs(g, o);
+    if (!r.feasible) die("MFS failed: " + r.error);
+    return fromSchedule(r.schedule);
+  }
+  if (cli.schedulerName == "asap") {
+    const auto r = baseline::runAsap(g, constraints);
+    if (!r.feasible) die("ASAP failed: " + r.error);
+    return fromSchedule(r.schedule);
+  }
+  if (cli.schedulerName == "list") {
+    const auto r = baseline::runListScheduling(g, constraints);
+    if (!r.feasible) die("list scheduling failed: " + r.error);
+    return fromSchedule(r.schedule);
+  }
+  const auto r = baseline::runForceDirected(g, constraints);  // fds
+  if (!r.feasible) die("FDS failed: " + r.error);
+  return fromSchedule(r.schedule);
+}
+
 /// Synthesize (or load a .bind design) and run the translation validator.
+/// The reference-free audit runs first as a fast path: audit errors are
+/// structural defects symbolic execution would only rediscover more slowly
+/// (or miss entirely), so they short-circuit the prover.
 int runProve(const Cli& cli, const dfg::Dfg& g) {
   const celllib::CellLibrary lib = loadLibrary(cli);
   analysis::LintReport report;
   std::string how;
 
+  std::optional<analysis::BoundDesign> bound;
   if (!cli.bindPath.empty()) {
     how = "bind file " + cli.bindPath;
     std::string err;
-    const auto bound =
+    bound =
         analysis::parseBindDesign(g, lib, readFileOrDie(cli.bindPath), &err);
     if (!bound) {
       analysis::Diagnostic d;
@@ -663,47 +771,22 @@ int runProve(const Cli& cli, const dfg::Dfg& g) {
       d.entity = analysis::EntityKind::Design;
       d.message = err;
       report.add(std::move(d));
-    } else {
-      report = analysis::proveDatapath(bound->datapath, bound->fsm, bound->rom);
     }
   } else {
     how = "scheduler " + cli.schedulerName;
-    sched::Constraints constraints = cli.constraints;
-    constraints.timeSteps = cli.steps;
-    auto proveSchedule = [&](const sched::Schedule& s) {
-      const rtl::Datapath d =
-          rtl::buildDatapath(g, lib, s, rtl::bindByColumns(g, lib, s));
-      report = analysis::proveDatapath(d);
-    };
-    if (cli.schedulerName == "mfsa") {
-      core::MfsaOptions o;
-      o.constraints = constraints;
-      o.style = cli.style;
-      o.weights = cli.weights;
-      o.priorityRule = cli.priority;
-      const auto r = core::runMfsa(g, lib, o);
-      if (!r.feasible) die("MFSA failed: " + r.error);
-      report = analysis::proveDatapath(r.datapath);
-    } else if (cli.schedulerName == "mfs") {
-      core::MfsOptions o;
-      o.constraints = constraints;
-      o.mode = cli.mode;
-      o.priorityRule = cli.priority;
-      const auto r = core::runMfs(g, o);
-      if (!r.feasible) die("MFS failed: " + r.error);
-      proveSchedule(r.schedule);
-    } else if (cli.schedulerName == "asap") {
-      const auto r = baseline::runAsap(g, constraints);
-      if (!r.feasible) die("ASAP failed: " + r.error);
-      proveSchedule(r.schedule);
-    } else if (cli.schedulerName == "list") {
-      const auto r = baseline::runListScheduling(g, constraints);
-      if (!r.feasible) die("list scheduling failed: " + r.error);
-      proveSchedule(r.schedule);
-    } else {  // fds
-      const auto r = baseline::runForceDirected(g, constraints);
-      if (!r.feasible) die("FDS failed: " + r.error);
-      proveSchedule(r.schedule);
+    bound = synthesizeBound(cli, g, lib);
+  }
+
+  if (bound) {
+    const analysis::audit::AuditResult audit = analysis::audit::auditDesign(
+        bound->datapath, bound->fsm, bound->rom,
+        {cli.jobs > 0 ? cli.jobs : 1});
+    if (audit.report.hasErrors()) {
+      how += " (audit fast path)";
+      report = audit.report;
+    } else {
+      report =
+          analysis::proveDatapath(bound->datapath, bound->fsm, bound->rom);
     }
   }
 
@@ -715,7 +798,40 @@ int runProve(const Cli& cli, const dfg::Dfg& g) {
                 report.empty() ? "PROVED" : "REFUTED");
     if (!report.empty()) std::printf("%s", report.renderText().c_str());
   }
-  return report.hasAtOrAbove(cli.failOn) ? 1 : 0;
+  return failsPolicy(cli, report) ? 1 : 0;
+}
+
+/// Reference-free RTL audit of a synthesized (or .bind-loaded) design:
+/// symbolic FSM reachability plus the AUD safety analyses.
+int runAudit(const Cli& cli, const dfg::Dfg& g) {
+  const celllib::CellLibrary lib = loadLibrary(cli);
+  std::string how;
+
+  std::optional<analysis::BoundDesign> bound;
+  if (!cli.bindPath.empty()) {
+    how = "bind file " + cli.bindPath;
+    std::string err;
+    bound =
+        analysis::parseBindDesign(g, lib, readFileOrDie(cli.bindPath), &err);
+    if (!bound) die("cannot parse '" + cli.bindPath + "': " + err);
+  } else {
+    how = "scheduler " + cli.schedulerName;
+    bound = synthesizeBound(cli, g, lib);
+  }
+
+  const analysis::audit::AuditResult r = analysis::audit::auditDesign(
+      bound->datapath, bound->fsm, bound->rom,
+      {cli.jobs > 0 ? cli.jobs : 1});
+
+  if (cli.jsonOut) {
+    std::printf("%s", analysis::audit::renderAuditJson(r, g).c_str());
+  } else {
+    std::printf("audit of '%s' via %s: %s\n", g.name().c_str(), how.c_str(),
+                r.clean() ? "CLEAN" : "FINDINGS");
+    std::printf("%s\n", analysis::audit::renderAuditSummary(r).c_str());
+    if (!r.clean()) std::printf("%s", r.report.renderText().c_str());
+  }
+  return failsPolicy(cli, r.report) ? 1 : 0;
 }
 
 int runLint(const Cli& cli) {
@@ -794,7 +910,7 @@ int runLint(const Cli& cli) {
     std::printf("%s", report.renderJson(g.name()).c_str());
   else
     std::printf("%s", report.renderText().c_str());
-  return report.hasAtOrAbove(cli.failOn) ? 1 : 0;
+  return failsPolicy(cli, report) ? 1 : 0;
 }
 
 /// schedule/synth in time-constrained mode without --steps: default the time
@@ -815,7 +931,7 @@ void defaultStepsToCriticalPath(Cli& cli, const dfg::Dfg& g) {
 
 int runCommand(Cli& cli) {
   if (cli.command == "lint") return runLint(cli);
-  if (cli.command == "prove") {
+  if (cli.command == "prove" || cli.command == "audit") {
     // ASAP and list scheduling pace themselves; a .bind file carries its
     // own step count. Everything else needs the time constraint.
     if (cli.steps <= 0 && cli.bindPath.empty() &&
@@ -823,7 +939,7 @@ int runCommand(Cli& cli) {
       die("--steps is required for --scheduler " + cli.schedulerName);
     const dfg::Dfg g = loadDesign(cli.file);
     preflightLint(g);
-    return runProve(cli, g);
+    return cli.command == "prove" ? runProve(cli, g) : runAudit(cli, g);
   }
   if (cli.command == "explore") {
     const dfg::Dfg g = loadDesign(cli.file);
