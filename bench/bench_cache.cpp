@@ -1,0 +1,167 @@
+// Synthesis-cache benchmarks (google-benchmark): cold engine runs vs warm
+// cache replay on the paper designs (the first hit per key pays disk +
+// rehost + full verification; the steady state these loops measure is the
+// in-process memo of verified results plus the content fingerprint that
+// guards it — the honest repeat-hit cost of an iterative flow), plus a
+// Zipf-distributed replay over a pool of random designs — the access
+// pattern of an iterative sweep that keeps revisiting its popular
+// configurations.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "cache/resynth.h"
+#include "cache/store.h"
+#include "celllib/ncr_like.h"
+#include "core/mfs.h"
+#include "core/mfsa.h"
+#include "workloads/benchmarks.h"
+#include "workloads/random_dfg.h"
+
+namespace {
+
+using namespace mframe;
+
+/// A SynthCache on a scratch directory, installed process-wide for the
+/// benchmark's lifetime and wiped on construction so every "cold" claim
+/// starts from an empty store.
+struct ScratchCache {
+  ScratchCache() {
+    dir = (std::filesystem::temp_directory_path() / "mframe_bench_cache")
+              .string();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    cache = std::make_unique<cache::SynthCache>(dir);
+    cache::setActiveCache(cache.get());
+  }
+  ~ScratchCache() {
+    cache::setActiveCache(nullptr);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  std::string dir;
+  std::unique_ptr<cache::SynthCache> cache;
+};
+
+core::MfsOptions suiteMfsOptions(const workloads::BenchmarkCase& bc) {
+  core::MfsOptions o;
+  o.constraints = bc.constraints;
+  o.constraints.timeSteps = bc.timeSweep.front();
+  o.traceLiapunov = false;
+  return o;
+}
+
+// Cold MFS: the full Liapunov scheduling engine, no cache installed.
+void BM_MfsCold(benchmark::State& state) {
+  static const auto suite = workloads::paperSuite();
+  const auto& bc = suite[static_cast<std::size_t>(state.range(0))];
+  const core::MfsOptions o = suiteMfsOptions(bc);
+  for (auto _ : state) {
+    const auto r = core::runMfs(bc.graph, o);
+    benchmark::DoNotOptimize(r.steps);
+  }
+  state.SetLabel(bc.graph.name());
+}
+BENCHMARK(BM_MfsCold)->DenseRange(0, 5)->Unit(benchmark::kMicrosecond);
+
+// Warm MFS: the same request replayed from a populated cache. The ratio
+// against BM_MfsCold is the headline number (ISSUE 8 asks for >= 10x).
+void BM_MfsWarm(benchmark::State& state) {
+  static const auto suite = workloads::paperSuite();
+  const auto& bc = suite[static_cast<std::size_t>(state.range(0))];
+  const core::MfsOptions o = suiteMfsOptions(bc);
+  ScratchCache scratch;
+  (void)cache::cachedRunMfs(bc.graph, o);  // populate
+  for (auto _ : state) {
+    const auto r = cache::cachedRunMfs(bc.graph, o);
+    benchmark::DoNotOptimize(r.steps);
+  }
+  state.SetLabel(bc.graph.name());
+}
+BENCHMARK(BM_MfsWarm)->DenseRange(0, 5)->Unit(benchmark::kMicrosecond);
+
+// Cold vs warm for the full mixed scheduling-allocation pipeline; the warm
+// path re-verifies the datapath and re-evaluates cost, so it is dearer than
+// MFS replay but still far from a fresh Liapunov descent.
+void BM_MfsaCold(benchmark::State& state) {
+  static const auto suite = workloads::paperSuite();
+  static const celllib::CellLibrary lib = celllib::ncrLike();
+  const auto& bc = suite[static_cast<std::size_t>(state.range(0))];
+  core::MfsaOptions o;
+  o.constraints = bc.constraints;
+  o.constraints.timeSteps = bc.timeSweep.front();
+  o.traceLiapunov = false;
+  for (auto _ : state) {
+    const auto r = core::runMfsa(bc.graph, lib, o);
+    benchmark::DoNotOptimize(r.feasible);
+  }
+  state.SetLabel(bc.graph.name());
+}
+BENCHMARK(BM_MfsaCold)->DenseRange(0, 5)->Unit(benchmark::kMicrosecond);
+
+void BM_MfsaWarm(benchmark::State& state) {
+  static const auto suite = workloads::paperSuite();
+  static const celllib::CellLibrary lib = celllib::ncrLike();
+  const auto& bc = suite[static_cast<std::size_t>(state.range(0))];
+  core::MfsaOptions o;
+  o.constraints = bc.constraints;
+  o.constraints.timeSteps = bc.timeSweep.front();
+  o.traceLiapunov = false;
+  ScratchCache scratch;
+  (void)cache::cachedRunMfsa(bc.graph, lib, o);  // populate
+  for (auto _ : state) {
+    const auto r = cache::cachedRunMfsa(bc.graph, lib, o);
+    benchmark::DoNotOptimize(r.feasible);
+  }
+  state.SetLabel(bc.graph.name());
+}
+BENCHMARK(BM_MfsaWarm)->DenseRange(0, 5)->Unit(benchmark::kMicrosecond);
+
+/// A pool of random designs with a Zipf(s=1) popularity rank: design k is
+/// requested with probability proportional to 1/(k+1). An iterative flow
+/// hammers a few hot configurations and occasionally touches the long tail.
+std::vector<dfg::Dfg> designPool(int n) {
+  std::vector<dfg::Dfg> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workloads::RandomDfgOptions opt;
+    opt.seed = 1000 + i;
+    opt.numOps = 60;
+    opt.numInputs = 6;
+    opt.layerWidth = 6;
+    pool.push_back(workloads::randomDfg(opt));
+  }
+  return pool;
+}
+
+// Zipf replay over a pre-populated pool: ~hit-rate-weighted mix of replay
+// and (rare) engine work. Counters report the achieved hit rate.
+void BM_ZipfReplay(benchmark::State& state) {
+  const int poolSize = static_cast<int>(state.range(0));
+  static const std::vector<dfg::Dfg> pool = designPool(32);
+  ScratchCache scratch;
+  core::MfsOptions o;
+  o.constraints.timeSteps = 8;
+  for (int i = 0; i < poolSize; ++i) (void)cache::cachedRunMfs(pool[i], o);
+
+  std::mt19937 rng(7);
+  std::vector<double> weights;
+  for (int k = 0; k < poolSize; ++k) weights.push_back(1.0 / (k + 1));
+  std::discrete_distribution<int> zipf(weights.begin(), weights.end());
+
+  for (auto _ : state) {
+    const auto r = cache::cachedRunMfs(pool[static_cast<std::size_t>(
+                                           zipf(rng))],
+                                       o);
+    benchmark::DoNotOptimize(r.steps);
+  }
+}
+BENCHMARK(BM_ZipfReplay)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "analysis/validate/validate.h"
+#include "cache/resynth.h"
 #include "core/mfs.h"
 #include "dfg/transforms.h"
 #include "explore/thread_pool.h"
@@ -103,7 +104,10 @@ TuneResult tuneDesign(const dfg::Dfg& g, const celllib::CellLibrary& lib,
     }
     initial.constraints.timeSteps = tf->criticalSteps();
   }
-  const core::MfsResult first = core::runMfs(g, initial);
+  // Cache-aware: only the *initial* schedule goes through the cache — the
+  // cone re-schedules below depend on per-iteration observed delays that
+  // would thrash it.
+  const core::MfsResult first = cache::cachedRunMfs(g, initial);
   if (!first.feasible) {
     r.error = "initial schedule infeasible: " + first.error;
     return r;

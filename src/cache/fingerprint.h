@@ -1,0 +1,87 @@
+// Content-addressed fingerprints for the synthesis cache.
+//
+// A cache key is the pair (design digest, environment digest). The design
+// digest is built over hash-consed value identities — the same bottom-up
+// canonicalization the validator's value numbering
+// (analysis::ValueNumbering) interns, computed densely here — so two textual
+// designs that differ only in the operand order of commutative operations —
+// the normalization the prover already exploits — fingerprint identically
+// and share cache entries. The
+// environment digest canonicalizes everything else that shapes a synthesis
+// result: the scheduler options, the constraint bundle and (for MFSA) the
+// cell library. Digests are 64-bit FNV-1a; a colliding or stale entry is
+// harmless because every cache hit is re-verified against the live graph
+// before it is trusted (see cache/resynth.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "celllib/cell_library.h"
+#include "core/mfs.h"
+#include "core/mfsa.h"
+#include "dfg/dfg.h"
+
+namespace mframe::cache {
+
+using Digest = std::uint64_t;
+
+/// Incremental FNV-1a (64-bit) hasher over typed fields.
+class Fnv1a {
+ public:
+  void addBytes(const void* data, std::size_t n);
+  void add(std::string_view s) {
+    addBytes(s.data(), s.size());
+    sep();
+  }
+  /// Fixed-width fields fold as one 64-bit word per multiply rather than
+  /// byte-at-a-time: an 8x shorter serial multiply chain on the hit path,
+  /// with mixing that is ample for cache keys (collisions are caught by
+  /// replay verification, never trusted).
+  void add(std::uint64_t v) {
+    h_ ^= v;
+    h_ *= 0x100000001b3ull;
+  }
+  void add(long v) { add(static_cast<std::uint64_t>(v)); }
+  void add(int v) { add(static_cast<std::uint64_t>(v)); }
+  void add(double v);  ///< hashes the bit pattern, so -0.0 != 0.0 is kept
+  Digest digest() const { return h_; }
+
+ private:
+  void sep() { addBytes("\x1f", 1); }  // field separator: "ab"+"c" != "a"+"bc"
+  Digest h_ = 0xcbf29ce484222325ull;
+};
+
+/// Digest of an arbitrary text blob (used for canonical option strings).
+Digest digestOf(std::string_view text);
+
+/// Structural fingerprint of a DFG (works on full designs and extracted
+/// cones alike): design name, per-node (name, kind, value number, cycles,
+/// delay, width, branch path, const value) in id order, plus the output
+/// markings. Hash-consed value identities canonicalize commutative operand
+/// order.
+Digest fingerprintDfg(const dfg::Dfg& g);
+
+/// Digest of the library contents (name, reg/mux tables, every module with
+/// areas, delays, stages and capabilities), hashed field-by-field — no
+/// serialization on the hot path.
+Digest fingerprintLibrary(const celllib::CellLibrary& lib);
+
+/// The environment half of the cache key: every option field that can change
+/// the synthesized result, hashed directly (doubles by bit pattern, maps and
+/// sets in their sorted order). These are the authoritative keys; the *Text
+/// renderings below exist for the human-readable `env` entry line only.
+Digest mfsEnvDigest(const core::MfsOptions& opt);
+Digest mfsaEnvDigest(const core::MfsaOptions& opt,
+                     const celllib::CellLibrary& lib);
+
+/// Canonical environment strings — the same fields the digests cover,
+/// rendered deterministically (doubles at full precision, maps in sorted
+/// order). Stored verbatim in cache entries for debuggability; built only
+/// when an entry is written, never on the hit path.
+std::string mfsEnvText(const core::MfsOptions& opt);
+std::string mfsaEnvText(const core::MfsaOptions& opt,
+                        const celllib::CellLibrary& lib);
+
+}  // namespace mframe::cache

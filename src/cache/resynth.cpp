@@ -1,0 +1,509 @@
+#include "cache/resynth.h"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cache/fingerprint.h"
+#include "cache/store.h"
+#include "dfg/parser.h"
+#include "dfg/transforms.h"
+#include "rtl/bus.h"
+#include "rtl/controller.h"
+#include "rtl/cost.h"
+#include "rtl/verify.h"
+#include "sched/stitch.h"
+#include "sched/verify.h"
+#include "trace/trace.h"
+#include "util/strings.h"
+
+namespace mframe::cache {
+
+namespace {
+
+using dfg::NodeId;
+
+// ------------------------------------------------------------ entry format
+
+/// Decoded form of one cache entry (both kinds; unused fields stay empty).
+struct Entry {
+  std::string kind;
+  std::string design;
+  int steps = 0;
+  int restarts = 0;
+  std::map<dfg::FuType, int> fuCount;                  // mfs
+  struct Alu {
+    std::string module;
+    int index = 0;
+    std::vector<std::string> ops;
+  };
+  std::vector<Alu> alus;                               // mfsa
+  std::vector<std::tuple<std::string, int, int>> places;  // (signal,step,col)
+  std::string dfgText;
+};
+
+int smallInt(const std::string& tok) {
+  const long v = util::parseLong(tok);
+  return v >= 0 && v <= 1 << 24 ? static_cast<int>(v) : -1;
+}
+
+std::optional<Entry> decodeEntry(const std::string& text) {
+  Entry e;
+  bool sawHeader = false, inDfg = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (inDfg) {
+      if (line == "dfg-end") {
+        inDfg = false;
+        continue;
+      }
+      e.dfgText += line;
+      e.dfgText += '\n';
+      continue;
+    }
+    const auto tok = util::splitWs(line);
+    if (tok.empty()) continue;
+    if (!sawHeader) {
+      if (tok.size() != 4 || tok[0] != "mframe-cache" || tok[1] != "1")
+        return std::nullopt;
+      if (tok[2].rfind("kind=", 0) != 0 || tok[3].rfind("design=", 0) != 0)
+        return std::nullopt;
+      e.kind = tok[2].substr(5);
+      e.design = tok[3].substr(7);
+      sawHeader = true;
+    } else if (tok[0] == "env") {
+      // informational; the filename already encodes the digest
+    } else if (tok[0] == "steps" && tok.size() == 2) {
+      if ((e.steps = smallInt(tok[1])) < 1) return std::nullopt;
+    } else if (tok[0] == "restarts" && tok.size() == 2) {
+      if ((e.restarts = smallInt(tok[1])) < 0) return std::nullopt;
+    } else if (tok[0] == "fu" && tok.size() == 3) {
+      dfg::FuType t;
+      if (!dfg::parseFuType(tok[1], t)) return std::nullopt;
+      const int n = smallInt(tok[2]);
+      if (n < 0) return std::nullopt;
+      e.fuCount[t] = n;
+    } else if (tok[0] == "alu" && tok.size() >= 3) {
+      Entry::Alu a;
+      a.module = tok[1];
+      if ((a.index = smallInt(tok[2])) < 0) return std::nullopt;
+      for (std::size_t i = 3; i < tok.size(); ++i) a.ops.push_back(tok[i]);
+      e.alus.push_back(std::move(a));
+    } else if (tok[0] == "place" && tok.size() == 4) {
+      const int step = smallInt(tok[2]), col = smallInt(tok[3]);
+      if (step < 1 || col < 1) return std::nullopt;
+      e.places.emplace_back(tok[1], step, col);
+    } else if (tok[0] == "dfg-begin") {
+      inDfg = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!sawHeader || inDfg || e.steps < 1) return std::nullopt;
+  return e;
+}
+
+std::string encodeCommon(const dfg::Dfg& g, std::string_view kind, int steps,
+                         int restarts, const std::string& envText) {
+  std::string out =
+      util::format("mframe-cache 1 kind=%s design=%s\n",
+                   std::string(kind).c_str(), g.name().c_str());
+  out += "env " + envText + "\n";
+  out += util::format("steps %d\nrestarts %d\n", steps, restarts);
+  return out;
+}
+
+std::string encodePlaces(const dfg::Dfg& g, const sched::Schedule& s) {
+  std::string out;
+  for (NodeId id : g.operations())  // insertion order: deterministic
+    out += util::format("place %s %d %d\n", g.node(id).name.c_str(),
+                        s.stepOf(id), s.columnOf(id));
+  return out;
+}
+
+/// Constraints to verify a replayed schedule against: the run's own
+/// constraints with the time bound pinned to the entry's step count, so
+/// resource-constrained results (timeSteps == 0 on the way in) verify
+/// against what was actually achieved.
+sched::Constraints verifyConstraints(const core::MfsOptions& opt, int steps) {
+  sched::Constraints c = opt.constraints;
+  if (c.timeSteps == 0) c.timeSteps = steps;
+  return c;
+}
+
+/// Re-host stored (signal, step, column) placements onto `g`. Fails if any
+/// signal is missing/unschedulable or the placement set is incomplete.
+std::optional<sched::Schedule> rehost(const dfg::Dfg& g, const Entry& e) {
+  sched::Schedule s(g);
+  s.setNumSteps(e.steps);
+  for (const auto& [name, step, col] : e.places) {
+    const NodeId id = g.findByName(name);
+    if (id == dfg::kNoNode || !dfg::isSchedulable(g.node(id).kind))
+      return std::nullopt;
+    if (s.isPlaced(id)) return std::nullopt;
+    s.place(id, step, col);
+  }
+  if (s.placedCount() != g.operations().size()) return std::nullopt;
+  return s;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ encode
+
+std::string encodeMfsEntry(const dfg::Dfg& g, const core::MfsResult& r,
+                           const std::string& envText) {
+  std::string out = encodeCommon(g, "mfs", r.steps, r.restarts, envText);
+  for (const auto& [t, n] : r.fuCount)  // std::map: sorted
+    out += util::format("fu %s %d\n", std::string(dfg::fuTypeName(t)).c_str(),
+                        n);
+  out += encodePlaces(g, r.schedule);
+  out += "dfg-begin\n" + dfg::serialize(g) + "dfg-end\n";
+  return out;
+}
+
+std::string encodeMfsaEntry(const dfg::Dfg& g, const core::MfsaResult& r,
+                            const std::string& envText) {
+  std::string out = encodeCommon(g, "mfsa", r.steps, r.restarts, envText);
+  for (const rtl::AluInstance& a : r.datapath.alus) {
+    out += util::format("alu %s %d",
+                        r.datapath.lib->module(a.module).name.c_str(), a.index);
+    for (NodeId id : a.ops) out += " " + g.node(id).name;
+    out += "\n";
+  }
+  out += encodePlaces(g, r.datapath.schedule);
+  out += "dfg-begin\n" + dfg::serialize(g) + "dfg-end\n";
+  return out;
+}
+
+// ------------------------------------------------------------------ replay
+
+std::optional<core::MfsResult> replayMfsEntry(const dfg::Dfg& g,
+                                              const core::MfsOptions& opt,
+                                              const std::string& text) {
+  const auto e = decodeEntry(text);
+  if (!e || e->kind != "mfs") return std::nullopt;
+  auto s = rehost(g, *e);
+  if (!s) return std::nullopt;
+  if (!sched::verifySchedule(*s, verifyConstraints(opt, e->steps)).empty())
+    return std::nullopt;
+  core::MfsResult r;
+  r.feasible = true;
+  r.schedule = std::move(*s);
+  r.steps = e->steps;
+  r.restarts = e->restarts;
+  r.fuCount = e->fuCount.empty() ? r.schedule.fuCount() : e->fuCount;
+  return r;
+}
+
+std::optional<core::MfsaResult> replayMfsaEntry(const dfg::Dfg& g,
+                                                const celllib::CellLibrary& lib,
+                                                const core::MfsaOptions& opt,
+                                                const std::string& text) {
+  const auto e = decodeEntry(text);
+  if (!e || e->kind != "mfsa") return std::nullopt;
+  auto s = rehost(g, *e);
+  if (!s) return std::nullopt;
+  sched::Constraints vc = opt.constraints;
+  if (vc.timeSteps == 0) vc.timeSteps = e->steps;
+  if (!sched::verifySchedule(*s, vc).empty()) return std::nullopt;
+
+  // Resolve module names against the live library and rebuild the binding.
+  std::map<std::string, celllib::ModuleId> byName;
+  for (std::size_t i = 0; i < lib.modules().size(); ++i)
+    byName[lib.modules()[i].name] = static_cast<celllib::ModuleId>(i);
+  std::vector<rtl::AluInstance> insts;
+  std::set<NodeId> bound;
+  for (const Entry::Alu& a : e->alus) {
+    const auto it = byName.find(a.module);
+    if (it == byName.end()) return std::nullopt;
+    rtl::AluInstance inst;
+    inst.module = it->second;
+    inst.index = a.index;
+    for (const std::string& opName : a.ops) {
+      const NodeId id = g.findByName(opName);
+      if (id == dfg::kNoNode || !dfg::isSchedulable(g.node(id).kind))
+        return std::nullopt;
+      if (!bound.insert(id).second) return std::nullopt;
+      inst.ops.push_back(id);
+    }
+    insts.push_back(std::move(inst));
+  }
+  if (bound.size() != g.operations().size()) return std::nullopt;
+
+  core::MfsaResult r;
+  try {
+    r.datapath = rtl::buildDatapath(g, lib, *s, std::move(insts));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!rtl::verifyDatapath(r.datapath, vc, opt.style).empty())
+    return std::nullopt;
+  r.cost = rtl::evaluateCost(r.datapath);
+  if (opt.interconnect == core::InterconnectStyle::Bus) {
+    // Mirror runMfsa's assembly: bus interconnect replaces the mux area.
+    const auto fsm = rtl::buildController(r.datapath);
+    r.busPlan = rtl::planBuses(r.datapath, fsm, opt.busModel);
+    r.cost.muxArea = r.busPlan->totalCost;
+    r.cost.total = r.cost.aluArea + r.cost.regArea + r.cost.muxArea;
+  }
+  r.steps = e->steps;
+  r.restarts = e->restarts;
+  r.feasible = true;
+  return r;
+}
+
+// -------------------------------------------------------------- incremental
+
+namespace {
+
+/// Operations of `g` whose scheduling-relevant attributes or operand wiring
+/// differ from their same-named counterpart in `base`. nullopt when the
+/// graphs aren't name-compatible (different signal sets — fall back to full
+/// synthesis). A changed Input/Const node seeds its schedulable consumers.
+std::optional<std::vector<NodeId>> diffSeeds(const dfg::Dfg& g,
+                                             const dfg::Dfg& base) {
+  if (g.size() != base.size()) return std::nullopt;
+  std::vector<NodeId> seeds;
+  for (const dfg::Node& n : g.nodes()) {
+    const NodeId bid = base.findByName(n.name);
+    if (bid == dfg::kNoNode) return std::nullopt;
+    const dfg::Node& bn = base.node(bid);
+    bool changed = n.kind != bn.kind || n.cycles != bn.cycles ||
+                   n.effectiveDelayNs() != bn.effectiveDelayNs() ||
+                   n.branchPath != bn.branchPath ||
+                   n.inputs.size() != bn.inputs.size();
+    if (!changed)
+      for (std::size_t i = 0; i < n.inputs.size(); ++i)
+        if (g.node(n.inputs[i]).name != base.node(bn.inputs[i]).name) {
+          changed = true;
+          break;
+        }
+    if (!changed) continue;
+    if (dfg::isSchedulable(n.kind)) {
+      seeds.push_back(n.id);
+    } else {
+      // Input/Const attribute changes don't occupy the grid themselves, but
+      // a kind flip (op -> input) reshapes the consumers' dependences.
+      for (NodeId sid : g.succs(n.id))
+        if (dfg::isSchedulable(g.node(sid).kind)) seeds.push_back(sid);
+    }
+  }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  return seeds;
+}
+
+/// The incremental path: diff against the latest stored result for this
+/// design name, re-schedule only the K-hop cone around the changed
+/// operations under the base schedule's FU budget, and stitch (which
+/// re-verifies under the run's constraints). Time-constrained MFS only —
+/// resource-constrained runs minimize latency globally, so a local splice
+/// could silently miss a shorter schedule.
+std::optional<core::MfsResult> tryIncrementalMfs(SynthCache& c,
+                                                 const dfg::Dfg& g,
+                                                 const core::MfsOptions& opt,
+                                                 Digest envDigest) {
+  if (opt.mode != core::MfsLiapunov::Mode::TimeConstrained) return std::nullopt;
+  const auto baseText = c.loadLatest("mfs", digestOf(g.name()), envDigest);
+  if (!baseText) return std::nullopt;
+  const auto e = decodeEntry(*baseText);
+  if (!e || e->kind != "mfs" || e->dfgText.empty()) return std::nullopt;
+  dfg::Dfg base;
+  try {
+    base = dfg::parse(e->dfgText);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const auto seeds = diffSeeds(g, base);
+  if (!seeds) return std::nullopt;
+
+  // Re-host the base placements onto the edited graph. Changed operations
+  // keep their stale placement for now; the stitch replaces every cone
+  // member's placement and re-packs columns.
+  auto full = rehost(g, *e);
+  if (!full) return std::nullopt;
+
+  core::MfsResult r;
+  if (seeds->empty()) {
+    // Attribute-only edit with no scheduling impact (e.g. a constant's
+    // value): the base schedule re-verifies as-is or not at all.
+    if (!sched::verifySchedule(*full, verifyConstraints(opt, e->steps))
+             .empty())
+      return std::nullopt;
+    r.schedule = std::move(*full);
+  } else {
+    const dfg::ConeCut cut =
+        dfg::extractCone(g, *seeds, c.incrementalHops());
+    core::MfsOptions m = opt;
+    m.mode = core::MfsLiapunov::Mode::ResourceConstrained;
+    m.constraints.timeSteps = 0;
+    m.constraints.fuLimit = full->fuCount();  // stay within the base budget
+    m.priorityHint.clear();
+    const core::MfsResult coneRes = core::runMfs(cut.cone, m);
+    if (!coneRes.feasible) return std::nullopt;
+    auto stitched =
+        sched::stitchSchedule(*full, opt.constraints, cut, coneRes.schedule);
+    if (!stitched) return std::nullopt;
+    r.schedule = std::move(stitched->schedule);
+    r.restarts = coneRes.restarts;
+  }
+  r.feasible = true;
+  r.steps = r.schedule.numSteps();
+  r.fuCount = r.schedule.fuCount();
+  return r;
+}
+
+// --------------------------------------------------------- in-process memo
+
+/// Per-store memo of replay results that already passed full verification in
+/// this process. The first hit on a key pays the honest disk + decode +
+/// rehost + verify replay; repeat hits (explore sweeps, iterative flows)
+/// return the memoized result. Results hold references into the caller's
+/// graph (and library), so a memo entry is only served when the caller
+/// passes the *same objects* it was built against — any other caller falls
+/// through to the disk path, which rebuilds against its own objects.
+struct ResultMemo final : SynthCache::Memo {
+  struct MfsHit {
+    const dfg::Dfg* graph = nullptr;
+    core::MfsResult result;
+  };
+  struct MfsaHit {
+    const dfg::Dfg* graph = nullptr;
+    const celllib::CellLibrary* lib = nullptr;
+    core::MfsaResult result;
+  };
+  // Bounded so a long-running process cannot grow without limit; eviction is
+  // a full clear — correctness never depends on memo contents.
+  static constexpr std::size_t kMaxEntries = 4096;
+
+  std::mutex mu;
+  std::map<std::pair<Digest, Digest>, MfsHit> mfs;
+  std::map<std::pair<Digest, Digest>, MfsaHit> mfsa;
+};
+
+ResultMemo& memoOf(SynthCache& c) {
+  if (auto* m = dynamic_cast<ResultMemo*>(c.memo())) return *m;
+  return static_cast<ResultMemo&>(
+      *c.installMemo(std::make_unique<ResultMemo>()));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ entry points
+
+core::MfsResult cachedRunMfs(const dfg::Dfg& g, const core::MfsOptions& opt) {
+  SynthCache* c = activeCache();
+  if (!c) return core::runMfs(g, opt);
+
+  const Digest design = fingerprintDfg(g);
+  const Digest envDigest = mfsEnvDigest(opt);
+  const std::pair<Digest, Digest> key{design, envDigest};
+  ResultMemo& memo = memoOf(*c);
+  {
+    std::lock_guard<std::mutex> lock(memo.mu);
+    const auto it = memo.mfs.find(key);
+    if (it != memo.mfs.end() && it->second.graph == &g) {
+      trace::bump(trace::Counter::CacheHits);
+      return it->second.result;
+    }
+  }
+  if (auto text = c->load("mfs", design, envDigest)) {
+    if (auto r = replayMfsEntry(g, opt, *text)) {
+      trace::bump(trace::Counter::CacheHits);
+      std::lock_guard<std::mutex> lock(memo.mu);
+      if (memo.mfs.size() >= ResultMemo::kMaxEntries) memo.mfs.clear();
+      memo.mfs[key] = {&g, *r};
+      return std::move(*r);
+    }
+    c->invalidate("mfs", design, envDigest);
+    {
+      std::lock_guard<std::mutex> lock(memo.mu);
+      memo.mfs.erase(key);
+    }
+    trace::bump(trace::Counter::CacheInvalidations);
+  }
+  trace::bump(trace::Counter::CacheMisses);
+
+  core::MfsResult r;
+  if (auto inc = tryIncrementalMfs(*c, g, opt, envDigest)) {
+    trace::bump(trace::Counter::CacheIncrementalHits);
+    r = std::move(*inc);
+  } else {
+    r = core::runMfs(g, opt);
+  }
+  if (r.feasible &&
+      sched::verifySchedule(r.schedule, verifyConstraints(opt, r.steps))
+          .empty()) {
+    if (c->store("mfs", design, envDigest, digestOf(g.name()),
+                 encodeMfsEntry(g, r, mfsEnvText(opt))))
+      trace::bump(trace::Counter::CacheStores);
+    std::lock_guard<std::mutex> lock(memo.mu);
+    if (memo.mfs.size() >= ResultMemo::kMaxEntries) memo.mfs.clear();
+    memo.mfs[key] = {&g, r};
+  }
+  return r;
+}
+
+core::MfsaResult cachedRunMfsa(const dfg::Dfg& g,
+                               const celllib::CellLibrary& lib,
+                               const core::MfsaOptions& opt) {
+  SynthCache* c = activeCache();
+  if (!c) return core::runMfsa(g, lib, opt);
+
+  const Digest design = fingerprintDfg(g);
+  const Digest envDigest = mfsaEnvDigest(opt, lib);
+  const std::pair<Digest, Digest> key{design, envDigest};
+  ResultMemo& memo = memoOf(*c);
+  {
+    std::lock_guard<std::mutex> lock(memo.mu);
+    const auto it = memo.mfsa.find(key);
+    if (it != memo.mfsa.end() && it->second.graph == &g &&
+        it->second.lib == &lib) {
+      trace::bump(trace::Counter::CacheHits);
+      return it->second.result;
+    }
+  }
+  if (auto text = c->load("mfsa", design, envDigest)) {
+    if (auto r = replayMfsaEntry(g, lib, opt, *text)) {
+      trace::bump(trace::Counter::CacheHits);
+      std::lock_guard<std::mutex> lock(memo.mu);
+      if (memo.mfsa.size() >= ResultMemo::kMaxEntries) memo.mfsa.clear();
+      memo.mfsa[key] = {&g, &lib, *r};
+      return std::move(*r);
+    }
+    c->invalidate("mfsa", design, envDigest);
+    {
+      std::lock_guard<std::mutex> lock(memo.mu);
+      memo.mfsa.erase(key);
+    }
+    trace::bump(trace::Counter::CacheInvalidations);
+  }
+  trace::bump(trace::Counter::CacheMisses);
+
+  core::MfsaResult r = core::runMfsa(g, lib, opt);
+  if (r.feasible) {
+    sched::Constraints vc = opt.constraints;
+    if (vc.timeSteps == 0) vc.timeSteps = r.steps;
+    if (rtl::verifyDatapath(r.datapath, vc, opt.style).empty()) {
+      if (c->store("mfsa", design, envDigest, digestOf(g.name()),
+                   encodeMfsaEntry(g, r, mfsaEnvText(opt, lib))))
+        trace::bump(trace::Counter::CacheStores);
+      std::lock_guard<std::mutex> lock(memo.mu);
+      if (memo.mfsa.size() >= ResultMemo::kMaxEntries) memo.mfsa.clear();
+      memo.mfsa[key] = {&g, &lib, r};
+    }
+  }
+  return r;
+}
+
+}  // namespace mframe::cache

@@ -1,0 +1,71 @@
+// Cache-aware synthesis entry points and incremental resynthesis.
+//
+// cachedRunMfs / cachedRunMfsa are drop-in replacements for core::runMfs /
+// core::runMfsa that consult the process-wide SynthCache (cache/store.h)
+// when one is installed, and fall through to the engines otherwise. The
+// contract:
+//
+//  * **Hit** — an entry exists for (design fingerprint, environment digest).
+//    The stored placements (and, for MFSA, the ALU binding) are re-hosted
+//    onto the live graph and re-verified with the independent checkers
+//    (sched::verifySchedule / rtl::verifyDatapath). A verified replay
+//    reproduces the engine's result bit-for-bit — same schedule, same FU
+//    counts, same datapath and cost, same restart count — without running
+//    the scheduler. Verification doubles as the collision/stale-entry
+//    guard: a replay that fails is invalidated and treated as a miss.
+//
+//  * **Miss + incremental** — no entry for the current content, but the
+//    cache holds a previous result for the same design *name* under the
+//    same environment (time-constrained MFS only). The old and new graphs
+//    are diffed by signal name; the changed operations seed a K-hop cone
+//    (dfg::extractCone) that is re-scheduled under the base schedule's FU
+//    budget and stitched back (sched::stitchSchedule, which re-verifies).
+//    The result is a *valid* schedule reached in cone-sized work instead of
+//    design-sized work; it is stored like any other entry.
+//
+//  * **Miss** — the engine runs; feasible, verification-clean results are
+//    stored for next time.
+//
+// Results replayed from cache carry an empty Liapunov trace and (MFSA) an
+// empty per-operation term breakdown — those describe the engine's
+// trajectory, not the design, and no CLI output depends on them.
+//
+// Every path bumps the trace counters cache.{hits,misses,stores,
+// invalidations,incrementalHits}, which therefore stay deterministic across
+// --jobs (commutative sums, like every other counter).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/mfs.h"
+#include "core/mfsa.h"
+
+namespace mframe::cache {
+
+core::MfsResult cachedRunMfs(const dfg::Dfg& g, const core::MfsOptions& opt);
+
+core::MfsaResult cachedRunMfsa(const dfg::Dfg& g,
+                               const celllib::CellLibrary& lib,
+                               const core::MfsaOptions& opt);
+
+// ---- exposed for tests ---------------------------------------------------
+
+/// Serialize a feasible MFS/MFSA result into the textual entry format
+/// (`mframe-cache 1 kind=... design=...`; see docs/CACHE.md).
+std::string encodeMfsEntry(const dfg::Dfg& g, const core::MfsResult& r,
+                           const std::string& envText);
+std::string encodeMfsaEntry(const dfg::Dfg& g, const core::MfsaResult& r,
+                            const std::string& envText);
+
+/// Re-host a stored entry onto `g` and re-verify it; nullopt when the entry
+/// is malformed, names don't resolve, or verification finds any violation.
+std::optional<core::MfsResult> replayMfsEntry(const dfg::Dfg& g,
+                                              const core::MfsOptions& opt,
+                                              const std::string& text);
+std::optional<core::MfsaResult> replayMfsaEntry(const dfg::Dfg& g,
+                                                const celllib::CellLibrary& lib,
+                                                const core::MfsaOptions& opt,
+                                                const std::string& text);
+
+}  // namespace mframe::cache

@@ -1,0 +1,136 @@
+#include "cache/store.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "util/strings.h"
+
+namespace mframe::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string hexKey(std::uint64_t a, std::uint64_t b) {
+  return util::format("%016llx-%016llx", static_cast<unsigned long long>(a),
+                      static_cast<unsigned long long>(b));
+}
+
+std::optional<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  if (in.bad()) return std::nullopt;
+  return text;
+}
+
+/// Write-then-rename; readers either see the old complete file or the new
+/// complete file, never a partial write. The temp name carries a process-
+/// unique counter so concurrent writers in one process don't collide.
+bool writeAtomic(const std::string& path, const std::string& text) {
+  static std::atomic<unsigned> seq{0};
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return false;
+  const std::string tmp =
+      path + util::format(".tmp%u", seq.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    out.flush();
+    if (!out) {
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SynthCache::SynthCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    throw std::runtime_error("cache: cannot create directory '" + dir_ +
+                             "': " + ec.message());
+}
+
+SynthCache::Memo* SynthCache::memo() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_.get();
+}
+
+SynthCache::Memo* SynthCache::installMemo(std::unique_ptr<Memo> m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!memo_) memo_ = std::move(m);
+  return memo_.get();
+}
+
+std::string SynthCache::entryPath(std::string_view kind, std::uint64_t design,
+                                  std::uint64_t env) const {
+  return dir_ + "/" + std::string(kind) + "/" + hexKey(design, env) + ".entry";
+}
+
+std::string SynthCache::latestPath(std::string_view kind,
+                                   std::uint64_t nameDigest,
+                                   std::uint64_t env) const {
+  return dir_ + "/" + std::string(kind) + "/latest/" +
+         hexKey(nameDigest, env) + ".entry";
+}
+
+std::optional<std::string> SynthCache::load(std::string_view kind,
+                                            std::uint64_t design,
+                                            std::uint64_t env) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return readFile(entryPath(kind, design, env));
+}
+
+bool SynthCache::store(std::string_view kind, std::uint64_t design,
+                       std::uint64_t env, std::uint64_t nameDigest,
+                       const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!writeAtomic(entryPath(kind, design, env), text)) return false;
+  // The latest-index duplicates the entry text (entries are a few KB) so a
+  // lookup is one read with no indirection to a maybe-evicted file.
+  writeAtomic(latestPath(kind, nameDigest, env), text);
+  return true;
+}
+
+void SynthCache::invalidate(std::string_view kind, std::uint64_t design,
+                            std::uint64_t env) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  fs::remove(entryPath(kind, design, env), ec);
+}
+
+std::optional<std::string> SynthCache::loadLatest(std::string_view kind,
+                                                  std::uint64_t nameDigest,
+                                                  std::uint64_t env) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return readFile(latestPath(kind, nameDigest, env));
+}
+
+namespace {
+std::atomic<SynthCache*> gActiveCache{nullptr};
+}  // namespace
+
+void setActiveCache(SynthCache* c) {
+  gActiveCache.store(c, std::memory_order_release);
+}
+
+SynthCache* activeCache() {
+  return gActiveCache.load(std::memory_order_acquire);
+}
+
+}  // namespace mframe::cache

@@ -1,0 +1,94 @@
+// Persistent content-addressed store for synthesis results.
+//
+// Layout under the cache directory (one file per entry, names are hex
+// digests so the store needs no index):
+//
+//   <dir>/<kind>/<design16>-<env16>.entry          # content-addressed entry
+//   <dir>/<kind>/latest/<name16>-<env16>.entry     # newest entry per design
+//                                                  # *name* (incremental base)
+//
+// `kind` is "mfs" or "mfsa". The content-addressed file is keyed by the
+// structural design fingerprint; the latest-index file is keyed by the digest
+// of the design *name* only, so an edited design still finds its previous
+// result to resynthesize incrementally from. Writes go through a temp file +
+// rename, so concurrent processes and crashed runs never expose a torn
+// entry; a same-key race ends with one winner's complete file, and both
+// contents are equivalent by construction (same key == same inputs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mframe::cache {
+
+class SynthCache {
+ public:
+  /// Opens (and creates if needed) the cache rooted at `dir`. Throws
+  /// std::runtime_error if the directory cannot be created.
+  explicit SynthCache(std::string dir);
+
+  /// Opaque per-store slot for the replay layer's in-process memo of
+  /// already-verified results (see cache/resynth.cpp). Owned by the store so
+  /// its lifetime — and its identity — can never outlive or outlast the
+  /// on-disk state it mirrors.
+  struct Memo {
+    virtual ~Memo() = default;
+  };
+
+  /// The installed memo, or nullptr before the replay layer's first use.
+  Memo* memo() const;
+
+  /// Installs `m` if no memo is present and returns the installed memo
+  /// (the existing one wins a race, and `m` is discarded).
+  Memo* installMemo(std::unique_ptr<Memo> m);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Entry text for (kind, design, env), or nullopt on miss / unreadable.
+  std::optional<std::string> load(std::string_view kind, std::uint64_t design,
+                                  std::uint64_t env) const;
+
+  /// Atomically store an entry and update the latest-index for
+  /// `nameDigest`. Returns false on I/O failure (the cache degrades to
+  /// misses, it never fails a synthesis run).
+  bool store(std::string_view kind, std::uint64_t design, std::uint64_t env,
+             std::uint64_t nameDigest, const std::string& text);
+
+  /// Drop an entry whose replay failed verification (stale or colliding).
+  void invalidate(std::string_view kind, std::uint64_t design,
+                  std::uint64_t env);
+
+  /// Newest entry stored for (design name, env), regardless of the design's
+  /// current content — the base the incremental path diffs against.
+  std::optional<std::string> loadLatest(std::string_view kind,
+                                        std::uint64_t nameDigest,
+                                        std::uint64_t env) const;
+
+  /// Cone radius (dependency hops around each changed operation) for
+  /// incremental resynthesis; see cache/resynth.h.
+  int incrementalHops() const { return incrementalHops_; }
+  void setIncrementalHops(int hops) { incrementalHops_ = hops; }
+
+ private:
+  std::string entryPath(std::string_view kind, std::uint64_t design,
+                        std::uint64_t env) const;
+  std::string latestPath(std::string_view kind, std::uint64_t nameDigest,
+                         std::uint64_t env) const;
+
+  std::string dir_;
+  int incrementalHops_ = 2;
+  std::unique_ptr<Memo> memo_;
+  mutable std::mutex mu_;
+};
+
+/// Install `c` as the process-wide cache consulted by cachedRunMfs /
+/// cachedRunMfsa (nullptr disables caching). The caller keeps ownership;
+/// the CLI installs its cache for the lifetime of the run.
+void setActiveCache(SynthCache* c);
+SynthCache* activeCache();
+
+}  // namespace mframe::cache

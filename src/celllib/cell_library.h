@@ -34,6 +34,12 @@ using ModuleId = int;
 
 class CellLibrary {
  public:
+  /// Library name as declared by the `library <name>` header (or set by a
+  /// builder such as ncrLike). Carried through parse/serialize round-trips
+  /// and used to attribute LibraryError messages.
+  const std::string& name() const { return name_; }
+  void setName(std::string n) { name_ = std::move(n); }
+
   /// Register the module; returns its id. Modules are deduplicated by name.
   ModuleId addModule(Module m);
 
@@ -69,6 +75,7 @@ class CellLibrary {
   const std::vector<std::string>& duplicateNames() const { return duplicateNames_; }
 
  private:
+  std::string name_;
   std::vector<Module> modules_;
   std::vector<std::string> duplicateNames_;
   std::vector<double> muxCost_{0.0, 0.0};

@@ -8,15 +8,47 @@ namespace mframe::celllib {
 
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& msg) {
-  throw LibraryError(util::format("library parse error at line %d: %s", line,
-                                  msg.c_str()));
-}
+/// Parser state shared by the statement handlers: the library name (once the
+/// header has been seen) attributes every error to the offending library.
+struct ParseState {
+  std::string libName;
+
+  [[noreturn]] void fail(int line, const std::string& msg) const {
+    const std::string who =
+        libName.empty() ? "library" : "library '" + libName + "'";
+    throw LibraryError(
+        util::format("%s: parse error at line %d: %s", who.c_str(), line,
+                     msg.c_str()));
+  }
+
+  [[noreturn]] void failFile(const std::string& msg) const {
+    const std::string who =
+        libName.empty() ? "library" : "library '" + libName + "'";
+    throw LibraryError(who + ": " + msg);
+  }
+
+  /// Strict numeric attribute: the whole token must parse and be finite. A
+  /// silently zeroed cost or delay would rewrite chaining decisions and mask
+  /// TIM001 downstream, so garbage is an error here. Negativity is only a
+  /// *parse* error where no lint rule can see it (reg/mux costs); module
+  /// area/delay stay the LIB002/LIB003 rules' business, so the broken.lib
+  /// fixture still parses and lints.
+  double number(int line, const std::string& what, const std::string& val,
+                bool rejectNegative) const {
+    double v = 0.0;
+    if (!util::parseDouble(val, v))
+      fail(line, "bad " + what + " value '" + val + "'");
+    if (rejectNegative && v < 0.0)
+      fail(line, "negative " + what + " value '" + val + "'");
+    return v;
+  }
+};
 
 }  // namespace
 
 CellLibrary parseLibrary(std::string_view text) {
   CellLibrary lib;
+  ParseState st;
   std::istringstream in{std::string(text)};
   std::string raw;
   int lineNo = 0;
@@ -32,70 +64,74 @@ CellLibrary parseLibrary(std::string_view text) {
     if (tok.empty()) continue;
 
     if (tok[0] == "library") {
-      if (tok.size() != 2) fail(lineNo, "expected: library <name>");
+      if (tok.size() != 2) st.fail(lineNo, "expected: library <name>");
+      st.libName = tok[1];
+      lib.setName(tok[1]);
       sawHeader = true;
     } else if (tok[0] == "reg") {
-      if (tok.size() != 2) fail(lineNo, "expected: reg <areaUm2>");
-      lib.setRegCost(std::strtod(tok[1].c_str(), nullptr));
+      if (tok.size() != 2) st.fail(lineNo, "expected: reg <areaUm2>");
+      lib.setRegCost(st.number(lineNo, "reg cost", tok[1], /*rejectNegative=*/true));
       sawReg = true;
     } else if (tok[0] == "mux") {
       std::vector<double> costs;
       for (std::size_t i = 1; i < tok.size(); ++i)
-        costs.push_back(std::strtod(tok[i].c_str(), nullptr));
-      if (costs.size() < 3) fail(lineNo, "mux table needs at least 3 entries");
+        costs.push_back(st.number(lineNo, "mux cost", tok[i], /*rejectNegative=*/true));
+      if (costs.size() < 3) st.fail(lineNo, "mux table needs at least 3 entries");
       if (costs[0] != 0.0 || costs[1] != 0.0)
-        fail(lineNo, "mux costs for 0 and 1 inputs must be 0");
+        st.fail(lineNo, "mux costs for 0 and 1 inputs must be 0");
       lib.setMuxCosts(std::move(costs));
       sawMux = true;
     } else if (tok[0] == "module") {
-      if (tok.size() < 2) fail(lineNo, "expected: module <name> <attrs>");
+      if (tok.size() < 2) st.fail(lineNo, "expected: module <name> <attrs>");
       Module m;
       m.name = tok[1];
       bool sawArea = false, sawCaps = false;
       for (std::size_t i = 2; i < tok.size(); ++i) {
         const auto eq = tok[i].find('=');
         if (eq == std::string::npos)
-          fail(lineNo, "expected key=value, got '" + tok[i] + "'");
+          st.fail(lineNo, "expected key=value, got '" + tok[i] + "'");
         const std::string key = tok[i].substr(0, eq);
         const std::string val = tok[i].substr(eq + 1);
         if (key == "area") {
-          m.areaUm2 = std::strtod(val.c_str(), nullptr);
+          m.areaUm2 = st.number(lineNo, "area", val, /*rejectNegative=*/false);
           sawArea = true;
         } else if (key == "delay") {
-          m.delayNs = std::strtod(val.c_str(), nullptr);
+          m.delayNs = st.number(lineNo, "delay", val, /*rejectNegative=*/false);
         } else if (key == "stages") {
           const long s = util::parseLong(val);
-          if (s < 1) fail(lineNo, "stages must be >= 1");
+          if (s < 0) st.fail(lineNo, "bad stages value '" + val + "'");
+          if (s < 1) st.fail(lineNo, "stages must be >= 1");
           m.stages = static_cast<int>(s);
         } else if (key == "caps") {
           for (const auto& cap : util::split(val, ',')) {
             dfg::FuType t;
             if (!dfg::parseFuType(cap, t))
-              fail(lineNo, "unknown capability '" + cap + "'");
+              st.fail(lineNo, "unknown capability '" + cap + "'");
             m.caps.insert(t);
           }
           sawCaps = true;
         } else {
-          fail(lineNo, "unknown attribute '" + key + "'");
+          st.fail(lineNo, "unknown attribute '" + key + "'");
         }
       }
-      if (!sawArea) fail(lineNo, "module '" + m.name + "' needs area=");
+      if (!sawArea) st.fail(lineNo, "module '" + m.name + "' needs area=");
       if (!sawCaps || m.caps.empty())
-        fail(lineNo, "module '" + m.name + "' needs caps=");
+        st.fail(lineNo, "module '" + m.name + "' needs caps=");
       lib.addModule(std::move(m));
     } else {
-      fail(lineNo, "unknown statement '" + tok[0] + "'");
+      st.fail(lineNo, "unknown statement '" + tok[0] + "'");
     }
   }
-  if (!sawHeader) throw LibraryError("library parse error: missing 'library <name>'");
-  if (!sawReg) throw LibraryError("library '" + std::string("?") + "': missing 'reg'");
-  if (!sawMux) throw LibraryError("library: missing 'mux' cost table");
-  if (lib.modules().empty()) throw LibraryError("library has no modules");
+  if (!sawHeader) st.failFile("missing 'library <name>' header");
+  if (!sawReg) st.failFile("missing 'reg'");
+  if (!sawMux) st.failFile("missing 'mux' cost table");
+  if (lib.modules().empty()) st.failFile("has no modules");
   return lib;
 }
 
 std::string serializeLibrary(const CellLibrary& lib, const std::string& name) {
-  std::string out = "library " + name + "\n";
+  std::string out =
+      "library " + (name.empty() ? lib.name() : name) + "\n";
   out += util::format("reg %g\n", lib.regCost());
   out += "mux 0 0";
   // Emit until increments become the flat extrapolation tail.

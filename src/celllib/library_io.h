@@ -24,11 +24,16 @@ class LibraryError : public std::runtime_error {
   explicit LibraryError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Parse the textual format; throws LibraryError with a line number.
+/// Parse the textual format; throws LibraryError with a line number and the
+/// library name (once the header has been seen). Every numeric token is
+/// decoded strictly: trailing garbage, non-finite and negative values are
+/// parse errors naming the offending token, never a silent 0.
 CellLibrary parseLibrary(std::string_view text);
 
 /// Serialize (round-trips through parseLibrary; mux table emitted up to the
-/// last explicit entry).
-std::string serializeLibrary(const CellLibrary& lib, const std::string& name);
+/// last explicit entry). `name` overrides the library's own name; pass ""
+/// (the default) to emit lib.name().
+std::string serializeLibrary(const CellLibrary& lib,
+                             const std::string& name = "");
 
 }  // namespace mframe::celllib

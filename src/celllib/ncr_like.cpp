@@ -21,6 +21,7 @@ Module mk(std::string name, std::set<FuType> caps, double area, double delay,
 
 CellLibrary ncrLike(const NcrLikeOptions& opt) {
   CellLibrary lib;
+  lib.setName("ncr_like");
   const double k = opt.scale;
 
   lib.setRegCost(1900.0 * k);

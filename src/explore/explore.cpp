@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/resynth.h"
 #include "explore/thread_pool.h"
 #include "sched/timeframes.h"
 #include "trace/trace.h"
@@ -90,7 +91,9 @@ ExploreResult explore(const dfg::Dfg& g, const celllib::CellLibrary& lib,
                 opt.interconnect = cand.interconnect;
                 opt.style = cand.style;
                 opt.traceLiapunov = false;
-                const core::MfsaResult res = core::runMfsa(g, lib, opt);
+                // Cache-aware (no-op without an installed SynthCache): a
+                // re-run sweep replays every candidate from the cache.
+                const core::MfsaResult res = cache::cachedRunMfsa(g, lib, opt);
                 cand.feasible = res.feasible;
                 cand.error = res.error;
                 cand.restarts = res.restarts;

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "util/strings.h"
+
 namespace mframe::lang {
 
 std::vector<Token> tokenize(std::string_view src) {
@@ -53,8 +55,12 @@ std::vector<Token> tokenize(std::string_view src) {
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t b = i;
       while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
-      push(Token::Kind::Number, std::string(src.substr(b, i - b)),
-           std::strtol(std::string(src.substr(b, i - b)).c_str(), nullptr, 10));
+      const std::string lit(src.substr(b, i - b));
+      const long value = util::parseLong(lit);
+      if (value < 0)
+        throw LangError(line, "integer literal '" + lit +
+                                  "' overflows the machine word");
+      push(Token::Kind::Number, lit, value);
       continue;
     }
     auto two = [&](char a, char b2) {

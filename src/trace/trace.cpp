@@ -45,6 +45,11 @@ std::string_view counterName(Counter c) {
     case Counter::AuditReachableStates: return "audit.reachableStates";
     case Counter::AuditRbwChecks: return "audit.rbwChecks";
     case Counter::AuditFindings: return "audit.findings";
+    case Counter::CacheHits: return "cache.hits";
+    case Counter::CacheMisses: return "cache.misses";
+    case Counter::CacheStores: return "cache.stores";
+    case Counter::CacheInvalidations: return "cache.invalidations";
+    case Counter::CacheIncrementalHits: return "cache.incrementalHits";
     case Counter::kCount: break;
   }
   return "?";
@@ -97,6 +102,8 @@ std::vector<std::pair<std::string_view, double>> derivedRates() {
           ? static_cast<double>(counterValue(Counter::ExploreFeasible)) /
                 configs
           : 0.0);
+  out.emplace_back("cache.hitRate",
+                   rateOf(Counter::CacheHits, Counter::CacheMisses));
   return out;
 }
 

@@ -57,6 +57,11 @@ enum class Counter : int {
   AuditReachableStates,   ///< FSM states the audit proved reachable from reset
   AuditRbwChecks,         ///< register-operand definedness checks performed
   AuditFindings,          ///< AUD diagnostics emitted
+  CacheHits,              ///< synthesis-cache entries replayed successfully
+  CacheMisses,            ///< synthesis-cache lookups that ran the engine
+  CacheStores,            ///< entries written to the synthesis cache
+  CacheInvalidations,     ///< entries dropped (replay failed verification)
+  CacheIncrementalHits,   ///< misses resolved by incremental resynthesis
   kCount
 };
 

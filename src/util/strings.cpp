@@ -6,6 +6,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace mframe::util {
 
@@ -84,10 +85,13 @@ std::string padRight(std::string_view s, std::size_t w) {
 
 long parseLong(std::string_view s) {
   if (s.empty()) return -1;
+  constexpr long kMax = std::numeric_limits<long>::max();
   long v = 0;
   for (char c : s) {
     if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
-    v = v * 10 + (c - '0');
+    const long d = c - '0';
+    if (v > (kMax - d) / 10) return -1;  // would wrap: reject, don't truncate
+    v = v * 10 + d;
   }
   return v;
 }

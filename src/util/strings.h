@@ -30,7 +30,8 @@ std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 std::string padLeft(std::string_view s, std::size_t w);
 std::string padRight(std::string_view s, std::size_t w);
 
-/// Parse a non-negative integer; returns -1 on malformed input.
+/// Parse a non-negative integer; returns -1 on malformed input or on a
+/// value that would overflow `long` (overflow is rejected, never wrapped).
 long parseLong(std::string_view s);
 
 /// Parse a signed integer (optional leading '-'); false on malformed input.

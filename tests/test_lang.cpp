@@ -35,6 +35,28 @@ TEST(Lexer, RejectsStrayCharacters) {
   EXPECT_THROW(tokenize("design d; a = $;"), LangError);
 }
 
+// Regression: integer literals used to go through unchecked strtol, so an
+// overflowing constant silently saturated. The lexer now rejects it with a
+// diagnostic naming the literal and carrying the line number.
+TEST(Lexer, RejectsOverflowingIntegerLiterals) {
+  try {
+    tokenize("design d;\na = b + 99999999999999999999999999;\n");
+    FAIL() << "overflowing literal must not tokenize";
+  } catch (const LangError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("99999999999999999999999999"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+  // The largest representable literal still tokenizes.
+  const auto toks = tokenize("design d; a = 9223372036854775807;");
+  bool found = false;
+  for (const auto& t : toks)
+    if (t.kind == Token::Kind::Number && t.number == 9223372036854775807L)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
 TEST(Parser, PrecedenceMatchesC) {
   const Program p = parseProgram("design d;\ninput a, b, c;\nx = a + b * c;\n");
   ASSERT_EQ(p.stmts.size(), 1u);

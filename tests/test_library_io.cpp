@@ -70,6 +70,113 @@ TEST(LibraryIo, ErrorsCarryLineNumbers) {
   }
 }
 
+// Regression: numeric attributes used to flow through bare strtod, so
+// "delay=abc" silently became 0.0 — rewriting chaining decisions and masking
+// TIM001 downstream. Every numeric token is now strict: trailing garbage,
+// non-finite values, overflow and negatives are parse errors naming the
+// offending token.
+TEST(LibraryIo, BadNumericAttributesRejected) {
+  const char* cases[] = {
+      "library t\nreg abc\nmux 0 0 5\nmodule m area=1 caps=add\n",
+      "library t\nreg 1x\nmux 0 0 5\nmodule m area=1 caps=add\n",
+      "library t\nreg 1\nmux 0 0 5z\nmodule m area=1 caps=add\n",
+      "library t\nreg 1\nmux 0 0 nan\nmodule m area=1 caps=add\n",
+      "library t\nreg 1\nmux 0 0 5\nmodule m area=abc caps=add\n",
+      "library t\nreg 1\nmux 0 0 5\nmodule m area=1 delay=abc caps=add\n",
+      "library t\nreg 1\nmux 0 0 5\nmodule m area=1 delay=40ns caps=add\n",
+      "library t\nreg 1\nmux 0 0 5\nmodule m area=1e999 caps=add\n",  // overflow
+      "library t\nreg 1\nmux 0 0 5\nmodule m area=inf caps=add\n",
+      "library t\nreg 1\nmux 0 0 5\nmodule m area=1 caps=add stages=two\n",
+      "library t\nreg 1\nmux 0 0 5\nmodule m area=1 caps=add stages=99999999999999999999\n",
+  };
+  for (const char* text : cases)
+    EXPECT_THROW(parseLibrary(text), LibraryError) << text;
+}
+
+TEST(LibraryIo, BadNumericErrorNamesTheToken) {
+  try {
+    parseLibrary("library t\nreg 1\nmux 0 0 5\n"
+                 "module m area=1 delay=abc caps=add\n");
+    FAIL();
+  } catch (const LibraryError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'abc'"), std::string::npos) << what;
+    EXPECT_NE(what.find("delay"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  }
+}
+
+// Negativity splits between the parser and lint: reg/mux costs have no lint
+// rule, so a negative value is a parse error; module area/delay are the
+// LIB002/LIB003 rules' business, so a well-formed negative still parses
+// (the broken.lib fixture depends on that).
+TEST(LibraryIo, NegativeNumericAttributesSplitParserVsLint) {
+  EXPECT_THROW(
+      parseLibrary("library t\nreg -5\nmux 0 0 5\nmodule m area=1 caps=add\n"),
+      LibraryError);
+  EXPECT_THROW(
+      parseLibrary("library t\nreg 1\nmux 0 0 -5\nmodule m area=1 caps=add\n"),
+      LibraryError);
+  const CellLibrary negArea = parseLibrary(
+      "library t\nreg 1\nmux 0 0 5\nmodule m area=-2 delay=-1 caps=add\n");
+  EXPECT_DOUBLE_EQ(negArea.module(0).areaUm2, -2.0);
+  EXPECT_DOUBLE_EQ(negArea.module(0).delayNs, -1.0);
+}
+
+// The parsed header name attributes every error — no more "library '?'".
+TEST(LibraryIo, ErrorsNameTheLibrary) {
+  try {
+    parseLibrary("library mylib\nreg 1\nmux 0 0 5\n");  // no modules
+    FAIL();
+  } catch (const LibraryError& e) {
+    EXPECT_NE(std::string(e.what()).find("library 'mylib'"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    parseLibrary("library mylib\nreg bad\n");
+    FAIL();
+  } catch (const LibraryError& e) {
+    EXPECT_NE(std::string(e.what()).find("library 'mylib'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LibraryIo, NameSurvivesRoundTrip) {
+  const CellLibrary lib = parseLibrary(kSample);
+  EXPECT_EQ(lib.name(), "tiny");
+  // serializeLibrary's default name argument emits lib.name().
+  const CellLibrary again = parseLibrary(serializeLibrary(lib));
+  EXPECT_EQ(again.name(), "tiny");
+  EXPECT_EQ(ncrLike().name(), "ncr_like");
+}
+
+// Property: serialize ∘ parse is the identity on serialized text — parse the
+// sample, serialize, parse again, serialize again; the two texts must be
+// byte-identical (a canonical form), across a spread of generated libraries.
+TEST(LibraryIo, SerializeParseSerializeIsStable) {
+  for (int variant = 0; variant < 8; ++variant) {
+    CellLibrary lib;
+    lib.setName("gen" + std::to_string(variant));
+    lib.setRegCost(100.0 + 7.0 * variant);
+    lib.setMuxCosts({0.0, 0.0, 50.0 + variant, 80.0 + 2.0 * variant,
+                     100.0 + 3.0 * variant});
+    for (int m = 0; m <= variant % 3; ++m) {
+      Module mod;
+      mod.name = "m" + std::to_string(m);
+      mod.areaUm2 = 1000.0 + 13.0 * m + variant;
+      mod.delayNs = 10.0 + m;
+      mod.stages = 1 + (variant + m) % 2;
+      mod.caps = {m % 2 == 0 ? dfg::FuType::Adder : dfg::FuType::Multiplier};
+      lib.addModule(std::move(mod));
+    }
+    const std::string once = serializeLibrary(lib);
+    const std::string twice = serializeLibrary(parseLibrary(once));
+    EXPECT_EQ(once, twice) << "variant " << variant;
+  }
+}
+
 TEST(LibraryIo, StructuralErrorsRejected) {
   EXPECT_THROW(parseLibrary("reg 1\n"), LibraryError);             // no header
   EXPECT_THROW(parseLibrary("library t\nmux 0 0 5\nmodule m area=1 caps=add\n"),

@@ -106,5 +106,15 @@ TEST(Strings, ParseLong) {
   EXPECT_EQ(parseLong("-3"), -1);
 }
 
+TEST(Strings, ParseLongRejectsOverflowInsteadOfWrapping) {
+  // strtol would saturate (or worse, wrap) here; the digit-accumulation
+  // parser detects the would-overflow multiply and rejects.
+  EXPECT_EQ(parseLong("99999999999999999999999999"), -1);
+  EXPECT_EQ(parseLong("9223372036854775808"), -1);  // LONG_MAX + 1 (LP64)
+  EXPECT_EQ(parseLong("9223372036854775807"),
+            9223372036854775807L);                  // LONG_MAX itself is fine
+  EXPECT_EQ(parseLong("0000000000000000000123"), 123);  // leading zeros ok
+}
+
 }  // namespace
 }  // namespace mframe::util

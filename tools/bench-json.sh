@@ -2,7 +2,7 @@
 # Run the google-benchmark binaries and merge their JSON reports into one
 # BENCH_runtime.json tracking the repo's performance trajectory:
 #   { "runtime": ..., "explore": ..., "analyze": ..., "tune": ...,
-#     "audit": ..., "metrics": ... }
+#     "audit": ..., "cache": ..., "metrics": ... }
 # — one google-benchmark report per binary, plus the pipeline counter
 # metrics of two pinned CLI invocations (extracted from the '{"schema": 1,'
 # marker object that --metrics=json appends to stdout). Counters are
@@ -20,7 +20,8 @@ repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build=${1:-$repo/build}
 out=${2:-$repo/BENCH_runtime.json}
 
-for bin in bench_runtime bench_explore bench_analyze bench_tune bench_audit; do
+for bin in bench_runtime bench_explore bench_analyze bench_tune bench_audit \
+           bench_cache; do
   if [ ! -x "$build/bench/$bin" ]; then
     echo "bench-json.sh: $build/bench/$bin not built" >&2
     exit 1
@@ -50,6 +51,9 @@ trap 'rm -rf "$tmp"' EXIT
 # shellcheck disable=SC2086
 "$build/bench/bench_audit" --benchmark_format=json $minTimeArg \
   > "$tmp/audit.json"
+# shellcheck disable=SC2086
+"$build/bench/bench_cache" --benchmark_format=json $minTimeArg \
+  > "$tmp/cache.json"
 
 # Counter metrics from pinned CLI runs. python3 is only needed for this
 # extraction; without it the report simply lacks the metrics key (and
@@ -65,8 +69,14 @@ if command -v python3 >/dev/null 2>&1 && [ -x "$build/tools/mframe" ]; then
     --metrics=json > "$tmp/tune.out"
   "$build/tools/mframe" audit "$designs/diffeq.mfb" --steps 4 \
     --metrics=json > "$tmp/audit.out"
+  # Cache counters: a cold run populates a scratch cache, the warm rerun's
+  # counters (1 hit, 0 misses) are the pinned, deterministic gate values.
+  "$build/tools/mframe" synth "$designs/diffeq.mfb" --steps 4 \
+    --cache "$tmp/synthcache" --metrics=json > /dev/null
+  "$build/tools/mframe" synth "$designs/diffeq.mfb" --steps 4 \
+    --cache "$tmp/synthcache" --metrics=json > "$tmp/cachewarm.out"
   python3 - "$tmp/synth.out" "$tmp/explore.out" "$tmp/tune.out" \
-    "$tmp/audit.out" > "$tmp/metrics.json" <<'EOF'
+    "$tmp/audit.out" "$tmp/cachewarm.out" > "$tmp/metrics.json" <<'EOF'
 import json
 import sys
 
@@ -82,6 +92,7 @@ print(json.dumps({
     "explore_diffeq": extract(sys.argv[2]),
     "tune_slowchain": extract(sys.argv[3]),
     "audit_diffeq": extract(sys.argv[4]),
+    "synth_diffeq_cache_warm": extract(sys.argv[5]),
 }, indent=1))
 EOF
   haveMetrics=1
@@ -100,6 +111,8 @@ fi
   cat "$tmp/tune.json"
   printf ',\n"audit":\n'
   cat "$tmp/audit.json"
+  printf ',\n"cache":\n'
+  cat "$tmp/cache.json"
   if [ "$haveMetrics" = 1 ]; then
     printf ',\n"metrics":\n'
     cat "$tmp/metrics.json"

@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
 # Full local CI sweep: build and test the tree three times — plain,
 # instrumented with AddressSanitizer+UBSan, and instrumented with
-# ThreadSanitizer (the explorer's worker threads and the audit's parallel
-# per-step scan are the repo's only concurrency, so the TSan tree runs just
-# those tests) — then run clang-tidy
+# ThreadSanitizer (the explorer's worker threads, the audit's parallel
+# per-step scan and the synthesis cache they share are the repo's only
+# concurrency, so the TSan tree runs just those tests) — then run clang-tidy
 # over the sources with warnings promoted to errors. This is the same
 # gauntlet the validator and lint fixtures are developed against; a clean
 # run means "safe to push".
@@ -39,9 +39,9 @@ echo "==== configure build-ci-tsan (-DMFRAME_SANITIZE=thread)"
 cmake -B "$repo/build-ci-tsan" -S "$repo" -DMFRAME_SANITIZE=thread
 echo "==== build build-ci-tsan (mframe_tests)"
 cmake --build "$repo/build-ci-tsan" -j "$jobs" --target mframe_tests
-echo "==== explorer/thread-pool, tune and audit tests under TSan"
+echo "==== explorer/thread-pool, tune, audit and cache tests under TSan"
 "$repo/build-ci-tsan/tests/mframe_tests" \
-  --gtest_filter='Explore*:Tune.*:Audit*' --gtest_brief=1
+  --gtest_filter='Explore*:Tune.*:Audit*:Cache*' --gtest_brief=1
 
 # Perf benches run under the plain tree only (sanitizer overhead would make
 # the numbers meaningless): a short smoke pass of bench_runtime/bench_explore
@@ -81,9 +81,9 @@ BENCH_COMPARE_SKIP_TIME=1 "$repo/tools/bench-compare.sh" \
 # parallel per-step scan are exactly the code the sanitizers should chew
 # on; ctest above already ran the whole suite under ASan/UBSan, but run the
 # determinism tests once more explicitly at a high jobs count.
-echo "==== explorer, tune and audit determinism under ASan/UBSan"
+echo "==== explorer, tune, audit and cache determinism under ASan/UBSan"
 "$repo/build-ci-asan/tests/mframe_tests" \
-  --gtest_filter='Explore*:Tune.*:Audit*' --gtest_brief=1
+  --gtest_filter='Explore*:Tune.*:Audit*:Cache*' --gtest_brief=1
 
 echo "==== clang-tidy (warnings are errors)"
 "$repo/tools/run-tidy.sh" "$repo/build-ci"

@@ -50,12 +50,18 @@
 //   --dot                print Graphviz DOT of the scheduled DFG
 //   --trace FILE         write a Chrome trace-event JSON of the run
 //   --metrics[=json]     print pipeline counters after the run
+//   --cache DIR          persistent synthesis cache: schedule/synth/explore/
+//                        tune/prove/audit replay verified results instead of
+//                        resynthesizing; small edits resynthesize only the
+//                        affected cone (see docs/CACHE.md)
+//   --cache-stats        print hit/miss/store counts to stderr after the run
 //
 // schedule/synth default --steps to the design's critical path when omitted
 // in time-constrained mode (a note goes to stderr).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -65,6 +71,8 @@
 #include "analysis/rules.h"
 #include "analysis/validate/bind_io.h"
 #include "baseline/asap_sched.h"
+#include "cache/resynth.h"
+#include "cache/store.h"
 #include "baseline/fds.h"
 #include "baseline/list_sched.h"
 #include "celllib/library_io.h"
@@ -128,6 +136,8 @@ constexpr const char* kUsage =
     "  (e.g. AUD002), or a rule family prefix (e.g. TIM, AUD); repeatable\n"
     "tracing/metrics: --trace FILE (Chrome trace-event JSON)\n"
     "  --metrics[=json] (pipeline counters after the run)\n"
+    "caching: --cache DIR (persistent synthesis memoization + incremental\n"
+    "  resynthesis) --cache-stats (hit/miss summary on stderr)\n"
     "<file> may be '-' (or omitted) to read the design from stdin\n";
 
 [[noreturn]] void die(const std::string& msg) {
@@ -190,6 +200,9 @@ struct Cli {
   std::string tracePath;        ///< --trace FILE; empty = no tracing
   bool metrics = false;         ///< --metrics[=...]
   bool metricsJsonOut = false;  ///< --metrics=json
+  // caching
+  std::string cachePath;        ///< --cache DIR; empty = no caching
+  bool cacheStats = false;      ///< --cache-stats
 };
 
 Cli parseArgs(int argc, char** argv) {
@@ -345,6 +358,10 @@ Cli parseArgs(int argc, char** argv) {
           c.schedulerName != "fds")
         dieUsage("bad --scheduler '" + c.schedulerName +
                  "' (use mfsa|mfs|asap|list|fds)");
+    } else if (a == "--cache") {
+      c.cachePath = next();
+    } else if (a == "--cache-stats") {
+      c.cacheStats = true;
     } else if (a == "--trace") {
       c.tracePath = next();
     } else if (a == "--metrics") {
@@ -458,7 +475,7 @@ int runSchedule(const Cli& cli, const dfg::Dfg& g) {
   o.constraints.timeSteps = cli.steps;
   o.mode = cli.mode;
   o.priorityRule = cli.priority;
-  const auto r = core::runMfs(g, o);
+  const auto r = cache::cachedRunMfs(g, o);
   if (!r.feasible) die("MFS failed: " + r.error);
   const auto bad = sched::verifySchedule(r.schedule, o.constraints);
   std::printf("%s", r.schedule.toString().c_str());
@@ -497,7 +514,7 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
   o.style = cli.style;
   o.weights = cli.weights;
   o.priorityRule = cli.priority;
-  const auto r = core::runMfsa(g, lib, o);
+  const auto r = cache::cachedRunMfsa(g, lib, o);
   if (!r.feasible) die("MFSA failed: " + r.error);
   const auto bad = rtl::verifyDatapath(r.datapath, o.constraints, cli.style);
 
@@ -721,7 +738,7 @@ analysis::BoundDesign synthesizeBound(const Cli& cli, const dfg::Dfg& g,
     o.style = cli.style;
     o.weights = cli.weights;
     o.priorityRule = cli.priority;
-    const auto r = core::runMfsa(g, lib, o);
+    const auto r = cache::cachedRunMfsa(g, lib, o);
     if (!r.feasible) die("MFSA failed: " + r.error);
     return fromDatapath(r.datapath);
   }
@@ -730,7 +747,7 @@ analysis::BoundDesign synthesizeBound(const Cli& cli, const dfg::Dfg& g,
     o.constraints = constraints;
     o.mode = cli.mode;
     o.priorityRule = cli.priority;
-    const auto r = core::runMfs(g, o);
+    const auto r = cache::cachedRunMfs(g, o);
     if (!r.feasible) die("MFS failed: " + r.error);
     return fromSchedule(r.schedule);
   }
@@ -972,8 +989,21 @@ int runCommand(Cli& cli) {
 int main(int argc, char** argv) {
   Cli cli = parseArgs(argc, argv);
   const bool wantTrace = !cli.tracePath.empty();
-  if (wantTrace || cli.metrics) trace::enableCounters(true);
+  if (wantTrace || cli.metrics || cli.cacheStats) trace::enableCounters(true);
   if (wantTrace) trace::beginTracing();
+
+  // The cache outlives runCommand (results may be stored as the command
+  // unwinds) and is installed process-wide so every synthesis path — the
+  // explorer's worker threads included — goes through it.
+  std::unique_ptr<cache::SynthCache> synthCache;
+  if (!cli.cachePath.empty()) {
+    try {
+      synthCache = std::make_unique<cache::SynthCache>(cli.cachePath);
+    } catch (const std::exception& e) {
+      die(e.what());
+    }
+    cache::setActiveCache(synthCache.get());
+  }
 
   int rc = 2;
   try {
@@ -981,6 +1011,26 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mframe: %s\n", e.what());
   }
+  cache::setActiveCache(nullptr);
+
+  // Stats go to stderr so a warm run's stdout stays byte-identical to the
+  // cold run that populated the cache.
+  if (cli.cacheStats)
+    std::fprintf(
+        stderr,
+        "mframe: cache '%s': %llu hits, %llu misses (%llu incremental), "
+        "%llu stores, %llu invalidations\n",
+        cli.cachePath.c_str(),
+        static_cast<unsigned long long>(
+            trace::counterValue(trace::Counter::CacheHits)),
+        static_cast<unsigned long long>(
+            trace::counterValue(trace::Counter::CacheMisses)),
+        static_cast<unsigned long long>(
+            trace::counterValue(trace::Counter::CacheIncrementalHits)),
+        static_cast<unsigned long long>(
+            trace::counterValue(trace::Counter::CacheStores)),
+        static_cast<unsigned long long>(
+            trace::counterValue(trace::Counter::CacheInvalidations)));
 
   // Flush instrumentation even when the command failed: a trace of the run
   // that died is exactly what the investigation needs. (die() exits directly
