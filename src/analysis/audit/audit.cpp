@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/audit/step_index.h"
 #include "analysis/dataflow/engine.h"
 #include "analysis/rules.h"
 #include "explore/thread_pool.h"
@@ -89,110 +90,67 @@ struct DefState {
   bool operator==(const DefState&) const = default;
 };
 
-// -------------------------------------------------------------- step index
+// --------------------------------------------------- definedness transfer
+// (the per-state fold itself — StepIndex — is shared with the range
+// analysis and lives in step_index.h)
 
-/// The design folded into per-state issue/latch tables plus operand wiring.
-struct StepIndex {
-  const rtl::Datapath* d = nullptr;
-  const rtl::ControllerFsm* fsm = nullptr;
-  std::size_t numRegs = 0;
-  /// microcode issues per state (index = step, row 0 always empty)
-  std::vector<std::vector<const rtl::MicroOp*>> issues;
-  /// register latches per state (index = step; step 0 = input preloads)
-  std::vector<std::vector<const rtl::RegLoad*>> loads;
-
-  explicit StepIndex(const rtl::Datapath& dp, const rtl::ControllerFsm& f)
-      : d(&dp), fsm(&f), numRegs(dp.regs.count()) {
-    const auto n = static_cast<std::size_t>(f.numSteps) + 1;
-    issues.resize(n);
-    loads.resize(n);
-    for (const rtl::MicroOp& m : f.microOps)
-      if (m.step >= 0 && m.step <= f.numSteps)
-        issues[static_cast<std::size_t>(m.step)].push_back(&m);
-    for (const rtl::RegLoad& rl : f.regLoads)
-      if (rl.step >= 0 && rl.step <= f.numSteps)
-        loads[static_cast<std::size_t>(rl.step)].push_back(&rl);
-    // Canonical row order, independent of how .bind edits shuffled the
-    // source vectors: grouping and report order depend on it.
-    for (auto& row : issues)
-      std::sort(row.begin(), row.end(),
-                [](const rtl::MicroOp* a, const rtl::MicroOp* b) {
-                  return std::tie(a->alu, a->op) < std::tie(b->alu, b->op);
-                });
-    for (auto& row : loads)
-      std::sort(row.begin(), row.end(),
-                [](const rtl::RegLoad* a, const rtl::RegLoad* b) {
-                  return std::tie(a->reg, a->signal) <
-                         std::tie(b->reg, b->signal);
-                });
-  }
-
-  /// The wired source carrying `signal` into `op` (either port), or nullptr
-  /// when the interconnect never routes that read (RTL009 turf).
-  const alloc::Source* wiredSource(NodeId op, NodeId signal) const {
-    const auto alu = static_cast<std::size_t>(d->aluOf.at(op));
-    const alloc::Source* s = d->leftPort[alu].sourceFor(op, signal);
-    if (s == nullptr) s = d->rightPort[alu].sourceFor(op, signal);
-    return s;
-  }
-
-  /// Would executing `op` with register facts `in` produce a clean value?
-  /// Chained operands (ALU-output sources) recurse into their producer;
-  /// node ids are topological, so the recursion is bounded by the DAG depth.
-  bool opClean(NodeId op, const DefState& in, int depth = 0) const {
-    if (depth > 64) return false;  // defensive: treat runaway chains as X
-    const dfg::Node& n = d->graph->node(op);
-    for (NodeId sig : n.inputs) {
-      const alloc::Source* src = wiredSource(op, sig);
-      if (src == nullptr) continue;  // unrouted read: not this rule's defect
-      switch (src->kind) {
-        case alloc::Source::Kind::Register:
-          if (!in.clean.test(src->index)) return false;
-          break;
-        case alloc::Source::Kind::AluOut:
-          if (!opClean(sig, in, depth + 1)) return false;
-          break;
-        case alloc::Source::Kind::PrimaryInput:
-        case alloc::Source::Kind::Constant:
-          break;
-      }
+/// Would executing `op` with register facts `in` produce a clean value?
+/// Chained operands (ALU-output sources) recurse into their producer;
+/// node ids are topological, so the recursion is bounded by the DAG depth.
+bool opClean(const StepIndex& idx, NodeId op, const DefState& in,
+             int depth = 0) {
+  if (depth > 64) return false;  // defensive: treat runaway chains as X
+  const dfg::Node& n = idx.d->graph->node(op);
+  for (NodeId sig : n.inputs) {
+    const alloc::Source* src = idx.wiredSource(op, sig);
+    if (src == nullptr) continue;  // unrouted read: not this rule's defect
+    switch (src->kind) {
+      case alloc::Source::Kind::Register:
+        if (!in.clean.test(src->index)) return false;
+        break;
+      case alloc::Source::Kind::AluOut:
+        if (!opClean(idx, sig, in, depth + 1)) return false;
+        break;
+      case alloc::Source::Kind::PrimaryInput:
+      case alloc::Source::Kind::Constant:
+        break;
     }
-    return true;
   }
+  return true;
+}
 
-  /// State-0 facts: primary-input preloads are defined and clean.
-  DefState entry() const {
-    DefState s{Bits::zeros(numRegs), Bits::zeros(numRegs)};
-    for (const rtl::RegLoad* rl : loads[0]) {
-      s.defined.set(rl->reg);
-      s.clean.set(rl->reg);
-    }
-    return s;
+/// State-0 facts: primary-input preloads are defined and clean.
+DefState entryState(const StepIndex& idx) {
+  DefState s{Bits::zeros(idx.numRegs), Bits::zeros(idx.numRegs)};
+  for (const rtl::RegLoad* rl : idx.loads[0]) {
+    s.defined.set(rl->reg);
+    s.clean.set(rl->reg);
   }
+  return s;
+}
 
-  /// Apply state `step`'s latches to the incoming facts. Several writers of
-  /// one register in the same step leave it defined but clean only when
-  /// every writer is clean (the hardware result is any of them).
-  DefState applyWrites(int step, DefState in) const {
-    const auto& ls = loads[static_cast<std::size_t>(step)];
-    for (std::size_t i = 0; i < ls.size();) {
-      std::size_t j = i;
-      bool allClean = true;
-      while (j < ls.size() && ls[j]->reg == ls[i]->reg) {
-        const bool c = ls[j]->fromAlu < 0 || opClean(ls[j]->signal, in);
-        allClean = allClean && c;
-        ++j;
-      }
-      in.defined.set(ls[i]->reg);
-      if (allClean)
-        in.clean.set(ls[i]->reg);
-      else
-        in.clean.clear(ls[i]->reg);
-      i = j;
+/// Apply state `step`'s latches to the incoming facts. Several writers of
+/// one register in the same step leave it defined but clean only when
+/// every writer is clean (the hardware result is any of them).
+DefState applyWrites(const StepIndex& idx, int step, DefState in) {
+  const auto& ls = idx.loads[static_cast<std::size_t>(step)];
+  for (std::size_t i = 0; i < ls.size();) {
+    std::size_t j = i;
+    bool allClean = true;
+    while (j < ls.size() && ls[j]->reg == ls[i]->reg) {
+      const bool c = ls[j]->fromAlu < 0 || opClean(idx, ls[j]->signal, in);
+      allClean = allClean && c;
+      ++j;
     }
-    return in;
+    in.defined.set(ls[i]->reg);
+    if (allClean)
+      in.clean.set(ls[i]->reg);
+    else
+      in.clean.clear(ls[i]->reg);
+    i = j;
   }
-};
+  return in;
+}
 
 // ------------------------------------------------------------ the fixpoint
 
@@ -206,12 +164,12 @@ struct MustDefinedDomain {
   const StepIndex* idx;
 
   Value initial(int node) const {
-    return node == 0 ? idx->entry()
+    return node == 0 ? entryState(*idx)
                      : DefState{Bits::ones(idx->numRegs),
                                 Bits::ones(idx->numRegs)};
   }
   Value transfer(int node, const std::vector<Value>& deps) const {
-    if (node == 0) return idx->entry();
+    if (node == 0) return entryState(*idx);
     if (deps.empty())
       return DefState{Bits::ones(idx->numRegs), Bits::ones(idx->numRegs)};
     DefState in = deps[0];
@@ -219,7 +177,7 @@ struct MustDefinedDomain {
       in.defined.intersect(deps[k].defined);
       in.clean.intersect(deps[k].clean);
     }
-    return idx->applyWrites(node, std::move(in));
+    return applyWrites(*idx, node, std::move(in));
   }
   static Value widen(const Value& previous, const Value& next) {
     // Intersection over a finite bitset only descends; meet of old and new
@@ -299,48 +257,6 @@ struct StepFindings {
   std::vector<Diagnostic> diags;
   std::uint64_t rbwChecks = 0;
 };
-
-/// One issue's reads, resolved through the live mux selects: the effective
-/// physical source per port (route overrides included). Ports whose select
-/// points outside the wiring are skipped — EQV004 owns that defect.
-struct PortRead {
-  const char* port;  ///< "left" / "right"
-  NodeId signal;
-  const alloc::Source* src;
-  int select;  ///< effective select (-1: single-source port, no mux)
-};
-
-std::vector<PortRead> readsOf(const StepIndex& idx, const rtl::MicroOp& m) {
-  std::vector<PortRead> out;
-  const dfg::Node& n = idx.d->graph->node(m.op);
-  if (n.inputs.empty()) return out;
-  const auto alu = static_cast<std::size_t>(m.alu);
-  const auto& arr = idx.d->arrangement[alu];
-  const bool swap = arr.swapped.count(m.op) ? arr.swapped.at(m.op) : false;
-
-  const auto resolve = [&](const alloc::PortWiring& w, int sel, NodeId sig,
-                           const char* port) {
-    const alloc::Source* src = nullptr;
-    int eff = -1;
-    if (w.sources.size() == 1) {
-      src = &w.sources[0];
-    } else if (!w.sources.empty()) {
-      eff = sel;
-      if (sel >= 0 && static_cast<std::size_t>(sel) < w.sources.size())
-        src = &w.sources[static_cast<std::size_t>(sel)];
-    }
-    if (src != nullptr) out.push_back({port, sig, src, eff});
-  };
-
-  const NodeId l =
-      swap && n.inputs.size() == 2 ? n.inputs[1] : n.inputs[0];
-  resolve(idx.d->leftPort[alu], m.leftSelect, l, "left");
-  if (n.inputs.size() >= 2) {
-    const NodeId rsig = swap ? n.inputs[0] : n.inputs[1];
-    resolve(idx.d->rightPort[alu], m.rightSelect, rsig, "right");
-  }
-  return out;
-}
 
 /// AUD002 / AUD003 / AUD005 for one reachable state. Pure in `step`, so the
 /// parallel scan can fill slots in any order.
@@ -446,12 +362,17 @@ StepFindings scanStep(int step, const StepIndex& idx, const ReachResult& reach,
 
 // ----------------------------------------------------------- global checks
 
-/// AUD001: dead FSM states / microcode rows.
+/// AUD001: dead FSM states / microcode rows. States in `provenDead` were
+/// pruned by the range analysis' value proofs and stay quiet.
 void checkUnreachable(const StepIndex& idx, const ReachResult& reach,
+                      const std::vector<char>& provenDead,
                       LintReport& report) {
   const dfg::Dfg& g = *idx.d->graph;
   for (int s = 1; s < reach.numStates; ++s) {
     if (reach.reachable[static_cast<std::size_t>(s)]) continue;
+    if (static_cast<std::size_t>(s) < provenDead.size() &&
+        provenDead[static_cast<std::size_t>(s)])
+      continue;
     const auto& issues = idx.issues[static_cast<std::size_t>(s)];
     const auto& loads = idx.loads[static_cast<std::size_t>(s)];
     Diagnostic d = diag(
@@ -601,7 +522,7 @@ AuditResult auditDesign(const rtl::Datapath& d, const rtl::ControllerFsm& fsm,
               scanStep(step, idx, r.reach, solution.values);
       });
 
-  checkUnreachable(idx, r.reach, r.report);
+  checkUnreachable(idx, r.reach, opt.provenDead, r.report);
   for (int s = 1; s < r.reach.numStates; ++s) {
     auto& slot = slots[static_cast<std::size_t>(s)];
     r.rbwChecks += slot.rbwChecks;

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "analysis/audit/reach.h"
 #include "analysis/diagnostic.h"
@@ -41,6 +42,10 @@ namespace mframe::analysis::audit {
 
 struct AuditOptions {
   int jobs = 1;  ///< worker threads for the per-step scan (results identical)
+  /// States proven unreachable by value analysis (range refinement), indexed
+  /// by state; AUD001 is suppressed for them — they are dead by proof, not
+  /// by a wiring mistake. Empty = none.
+  std::vector<char> provenDead;
 };
 
 struct AuditResult {

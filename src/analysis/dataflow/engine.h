@@ -17,8 +17,10 @@
 //     using Value = ...;
 //     Value initial(const dfg::Node& n) const;
 //     Value transfer(const dfg::Node& n, const std::vector<Value>& deps) const;
-//     static Value widen(const Value& previous, const Value& next);
+//     Value widen(const Value& previous, const Value& next) const;
 //   };
+// (widen may be static — it is invoked through the domain object, so
+// domains that need configuration, like a word mask, can make it a member.)
 // Value must be equality-comparable. `deps` holds, in order, the values of
 // n.inputs (forward) or of the consumers of n (backward).
 #pragma once
@@ -87,7 +89,7 @@ FixpointResult<typename Domain::Value> solve(const dfg::Dfg& g,
     Value next = domain.transfer(node, deps);
     if (next == r.values[id]) continue;
     if (++revisits[id] > kWidenThreshold) {
-      next = Domain::widen(r.values[id], next);
+      next = domain.widen(r.values[id], next);
       r.widened = true;
       if (next == r.values[id]) continue;
     }
@@ -127,10 +129,22 @@ FixpointResult<typename Domain::Value> solve(const dfg::Dfg& g,
 //   };
 // `deps` holds the values of deps[node] in list order. Counters are bumped
 // exactly like solve(), so the work lands in dataflow.worklistIterations.
+//
+// `opt.widenThreshold` lowers the revisit budget before widen() fires —
+// domains with tall lattices (the range analysis' intervals around FSM
+// loops) converge orders of magnitude faster with an early, targeted
+// widening than by climbing one value at a time to the default cap.
+// `opt.widenings` (when non-null) receives the number of nodes whose value
+// was forced up the lattice, for domain-specific counters.
+struct SolveGraphOptions {
+  int widenThreshold = kWidenThreshold;
+  int* widenings = nullptr;
+};
+
 template <typename Domain>
 FixpointResult<typename Domain::Value> solveGraph(
     int numNodes, const std::vector<std::vector<int>>& deps,
-    const Domain& domain) {
+    const Domain& domain, const SolveGraphOptions& opt = {}) {
   using Value = typename Domain::Value;
   const auto n = static_cast<std::size_t>(numNodes);
 
@@ -161,9 +175,10 @@ FixpointResult<typename Domain::Value> solveGraph(
 
     Value next = domain.transfer(v, depVals);
     if (next == r.values[static_cast<std::size_t>(v)]) continue;
-    if (++revisits[static_cast<std::size_t>(v)] > kWidenThreshold) {
-      next = Domain::widen(r.values[static_cast<std::size_t>(v)], next);
+    if (++revisits[static_cast<std::size_t>(v)] > opt.widenThreshold) {
+      next = domain.widen(r.values[static_cast<std::size_t>(v)], next);
       r.widened = true;
+      if (opt.widenings != nullptr) ++*opt.widenings;
       if (next == r.values[static_cast<std::size_t>(v)]) continue;
     }
     r.values[static_cast<std::size_t>(v)] = std::move(next);

@@ -51,6 +51,41 @@ inline int bitsFor(sim::Word v) {
   return bits;
 }
 
+/// Overflow-checked word arithmetic for the interval transfer functions.
+/// Each returns false when the exact result leaves [0, mask]; the caller
+/// saturates the interval to TOP instead of wrapping. Built on the
+/// compiler's checked intrinsics so the bound arithmetic itself can never
+/// overflow, even at the 64-bit word width where `mask` offers no headroom.
+inline bool checkedAdd(sim::Word a, sim::Word b, sim::Word mask,
+                       sim::Word& out) {
+  sim::Word r = 0;
+  if (__builtin_add_overflow(a, b, &r) || r > mask) return false;
+  out = r;
+  return true;
+}
+
+inline bool checkedSub(sim::Word a, sim::Word b, sim::Word& out) {
+  sim::Word r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) return false;
+  out = r;
+  return true;
+}
+
+inline bool checkedMul(sim::Word a, sim::Word b, sim::Word mask,
+                       sim::Word& out) {
+  sim::Word r = 0;
+  if (__builtin_mul_overflow(a, b, &r) || r > mask) return false;
+  out = r;
+  return true;
+}
+
+inline bool checkedShl(sim::Word a, unsigned sh, sim::Word mask,
+                       sim::Word& out) {
+  if (sh >= 64 || a > (mask >> sh)) return false;
+  out = a << sh;
+  return true;
+}
+
 /// Closed interval [lo, hi] of unsigned word values, lo <= hi. The top
 /// element is the full range of the analysis word width; there is no
 /// explicit bottom (the engine's Unknown/initial handling covers it).

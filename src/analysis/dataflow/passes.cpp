@@ -68,7 +68,6 @@ struct RangeDomain {
   }
 
   Value transfer(const dfg::Node& n, const std::vector<Value>& deps) const {
-    const Word mask = sim::maskFor(width);
     const Interval top = Interval::full(width);
     switch (n.kind) {
       case OpKind::Input:
@@ -80,56 +79,7 @@ struct RangeDomain {
     }
     const Interval a = !deps.empty() ? deps[0] : top;
     const Interval b = deps.size() > 1 ? deps[1] : top;
-    switch (n.kind) {
-      case OpKind::Add:
-        if (a.hi > mask - b.hi) return top;  // may wrap the word width
-        return {a.lo + b.lo, a.hi + b.hi};
-      case OpKind::Inc:
-        if (a.hi > mask - 1) return top;
-        return {a.lo + 1, a.hi + 1};
-      case OpKind::Sub:
-        if (a.lo < b.hi) return top;  // may go below zero and wrap
-        return {a.lo - b.hi, a.hi - b.lo};
-      case OpKind::Dec:
-        if (a.lo < 1) return top;
-        return {a.lo - 1, a.hi - 1};
-      case OpKind::Mul:
-        if (b.hi != 0 && a.hi > mask / b.hi) return top;
-        return {a.lo * b.lo, a.hi * b.hi};
-      case OpKind::Div:
-        // A zero divisor yields 0 by convention, so the quotient never
-        // exceeds the dividend either way.
-        if (b.lo == 0) return {0, a.hi};
-        return {a.lo / b.hi, a.hi / b.lo};
-      case OpKind::And: return {0, std::min(a.hi, b.hi)};
-      case OpKind::Or: {
-        const Word bound = sim::maskFor(bitsFor(a.hi | b.hi));
-        return {std::max(a.lo, b.lo), std::min(bound, mask)};
-      }
-      case OpKind::Xor: {
-        const Word bound = sim::maskFor(bitsFor(a.hi | b.hi));
-        return {0, std::min(bound, mask)};
-      }
-      case OpKind::Not: return {mask - a.hi, mask - a.lo};
-      case OpKind::Shl: {
-        if (!b.isConst()) return top;  // evalOp shifts by b % width
-        const Word sh = b.lo % static_cast<Word>(width);
-        if (bitsFor(a.hi) + static_cast<int>(sh) > width) return top;
-        return {a.lo << sh, a.hi << sh};
-      }
-      case OpKind::Shr: {
-        if (!b.isConst()) return {0, a.hi};  // shifting only shrinks
-        const Word sh = b.lo % static_cast<Word>(width);
-        return {a.lo >> sh, a.hi >> sh};
-      }
-      case OpKind::Eq:
-      case OpKind::Ne:
-      case OpKind::Lt:
-      case OpKind::Gt:
-      case OpKind::Le:
-      case OpKind::Ge: return {0, 1};
-      default: return top;
-    }
+    return intervalTransfer(n.kind, a, b, width);
   }
 
   static Value widen(const Value& previous, const Value& next) {
@@ -168,6 +118,72 @@ struct DemandDomain {
 };
 
 }  // namespace
+
+Interval intervalTransfer(dfg::OpKind kind, const Interval& a,
+                          const Interval& b, int width) {
+  const Word mask = sim::maskFor(width);
+  const Interval top = Interval::full(width);
+  Word lo = 0;
+  Word hi = 0;
+  switch (kind) {
+    case OpKind::Add:
+      if (!checkedAdd(a.lo, b.lo, mask, lo) ||
+          !checkedAdd(a.hi, b.hi, mask, hi))
+        return top;  // may wrap the word width
+      return {lo, hi};
+    case OpKind::Inc:
+      if (!checkedAdd(a.lo, 1, mask, lo) || !checkedAdd(a.hi, 1, mask, hi))
+        return top;
+      return {lo, hi};
+    case OpKind::Sub:
+      if (!checkedSub(a.lo, b.hi, lo) || !checkedSub(a.hi, b.lo, hi))
+        return top;  // may go below zero and wrap
+      return {lo, hi};
+    case OpKind::Dec:
+      if (!checkedSub(a.lo, 1, lo) || !checkedSub(a.hi, 1, hi)) return top;
+      return {lo, hi};
+    case OpKind::Mul:
+      if (!checkedMul(a.lo, b.lo, mask, lo) ||
+          !checkedMul(a.hi, b.hi, mask, hi))
+        return top;
+      return {lo, hi};
+    case OpKind::Div:
+      // A zero divisor yields 0 by convention, so the quotient never
+      // exceeds the dividend either way.
+      if (b.lo == 0) return {0, a.hi};
+      return {a.lo / b.hi, a.hi / b.lo};
+    case OpKind::And: return {0, std::min(a.hi, b.hi)};
+    case OpKind::Or: {
+      const Word bound = sim::maskFor(bitsFor(a.hi | b.hi));
+      return {std::max(a.lo, b.lo), std::min(bound, mask)};
+    }
+    case OpKind::Xor: {
+      const Word bound = sim::maskFor(bitsFor(a.hi | b.hi));
+      return {0, std::min(bound, mask)};
+    }
+    case OpKind::Not: return {mask - a.hi, mask - a.lo};
+    case OpKind::Shl: {
+      if (!b.isConst() || width <= 0) return top;  // evalOp: shift b % width
+      const auto sh =
+          static_cast<unsigned>(b.lo % static_cast<Word>(width));
+      if (!checkedShl(a.lo, sh, mask, lo) || !checkedShl(a.hi, sh, mask, hi))
+        return top;
+      return {lo, hi};
+    }
+    case OpKind::Shr: {
+      if (!b.isConst() || width <= 0) return {0, a.hi};  // only shrinks
+      const Word sh = b.lo % static_cast<Word>(width);
+      return {a.lo >> sh, a.hi >> sh};
+    }
+    case OpKind::Eq:
+    case OpKind::Ne:
+    case OpKind::Lt:
+    case OpKind::Gt:
+    case OpKind::Le:
+    case OpKind::Ge: return {0, 1};
+    default: return top;
+  }
+}
 
 std::vector<ConstValue> analyzeConstants(const dfg::Dfg& g, int wordWidth,
                                          int* visits) {

@@ -26,6 +26,15 @@ namespace mframe::analysis::dataflow {
 std::vector<ConstValue> analyzeConstants(const dfg::Dfg& g, int wordWidth = 16,
                                          int* visits = nullptr);
 
+/// One operation's interval transfer at the analysis word width: the
+/// conservative bound arithmetic shared by analyzeRanges and the
+/// FSM×datapath range analysis (src/analysis/range/). Bounds route through
+/// the checked helpers in lattice.h — any step that would leave the word
+/// domain saturates to the full range instead of wrapping. Unary kinds
+/// ignore `b`; Input/Const/LoopSuper never reach this function.
+Interval intervalTransfer(dfg::OpKind kind, const Interval& a,
+                          const Interval& b, int width);
+
 /// Value range of every node, indexed by NodeId. An Input node with a
 /// declared width is assumed to range over [0, 2^width - 1]; declared
 /// widths on operations do NOT constrain ranges (evalOp masks at the

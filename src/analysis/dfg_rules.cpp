@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/rules.h"
+#include "sim/eval.h"
 #include "util/strings.h"
 
 namespace mframe::analysis {
@@ -146,6 +147,22 @@ LintReport lintDfg(const dfg::Dfg& g) {
                      util::format("width=%d outside the supported 1..64 bit range",
                                   node.width),
                      "drop the width= attribute or declare 1..64 bits"));
+
+    // DFG013: a constant literal must fit its own declared width. A negative
+    // literal never fits (the value domain is unsigned), and a positive one
+    // must survive the width mask unchanged.
+    if (node.kind == dfg::OpKind::Const && node.width >= 1 &&
+        node.width <= 64 &&
+        (node.constValue < 0 ||
+         (static_cast<sim::Word>(node.constValue) &
+          ~sim::maskFor(node.width)) != 0))
+      r.add(nodeDiag(kDfgConstWidthOverflow, node,
+                     util::format("constant %ld does not fit width=%d "
+                                  "(max %llu)",
+                                  node.constValue, node.width,
+                                  static_cast<unsigned long long>(
+                                      sim::maskFor(node.width))),
+                     "widen the declaration or shrink the literal"));
 
     // DFG007: branch paths are alternating cond/arm pairs, none empty.
     if (!node.branchPath.empty()) {

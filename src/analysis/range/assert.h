@@ -1,0 +1,22 @@
+// User range assertions over registers — the `.bind` `assert` statement's
+// parsed form. Kept in its own header so the .bind parser (validate/) can
+// carry assertions on a BoundDesign without pulling in the whole range
+// analysis, and the range analysis can check them without seeing the parser.
+#pragma once
+
+#include "sim/eval.h"
+
+namespace mframe::analysis::range {
+
+/// `assert reg=<r> min=<a> max=<b> [width=<w>]`: register `reg` must hold
+/// only values in [min, max] (and fitting `width` bits when declared) in
+/// every reachable controller state where it is defined.
+struct RegAssert {
+  int reg = 0;
+  sim::Word min = 0;
+  sim::Word max = 0;
+  int width = 0;  ///< 0 = no width constraint
+  int line = 0;   ///< 1-based .bind source line (0 = programmatic)
+};
+
+}  // namespace mframe::analysis::range

@@ -31,6 +31,8 @@ const std::vector<RuleInfo>& allRules() {
        "primary output references a nonexistent node"},
       {kDfgBadWidth, "dfg", Severity::Error,
        "declared width outside [1, 64] bits"},
+      {kDfgConstWidthOverflow, "dfg", Severity::Error,
+       "constant literal does not fit its declared width"},
       // Schedule family: the structured re-implementation of verifySchedule.
       {kSchedParseFailure, "sched", Severity::Error,
        "schedule file fails to parse against the design"},
@@ -136,6 +138,21 @@ const std::vector<RuleInfo>& allRules() {
        "two values latched into one register in the same reachable step"},
       {kAudXPropagation, "aud", Severity::Error,
        "undefined (X) value can reach a primary output register"},
+      // WID family: interval abstract interpretation over the FSM×datapath
+      // product (mframe range).
+      {kWidTruncatingWrite, "wid", Severity::Error,
+       "register write truncates: value range needs more bits than the "
+       "register's declared tenants provide"},
+      {kWidSharedLineOverflow, "wid", Severity::Error,
+       "shared ALU output line carries a result wider than the line's "
+       "declared tenants provide"},
+      {kWidDeclaredWidthOverflow, "wid", Severity::Warning,
+       "operation's inferred value range can overflow its declared width"},
+      {kWidValueDeadMuxInput, "wid", Severity::Warning,
+       "mux data input only selected in states value analysis proves "
+       "unreachable"},
+      {kWidAssertViolated, "wid", Severity::Error,
+       "user range assertion violated by the interval fixpoint"},
   };
   return rules;
 }

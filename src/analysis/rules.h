@@ -14,7 +14,7 @@ namespace mframe::analysis {
 struct RuleInfo {
   std::string_view id;       ///< stable id, e.g. "DFG003"
   std::string_view family;   ///< "dfg", "sched", "rtl", "eqv", "lib", "opt",
-                             ///< "tim" or "aud"
+                             ///< "tim", "aud" or "wid"
   Severity severity;         ///< default severity of emissions
   std::string_view summary;  ///< one-line description
 };
@@ -48,6 +48,7 @@ inline constexpr std::string_view kDfgDeadLeaf = "DFG009";
 inline constexpr std::string_view kDfgForwardRef = "DFG010";
 inline constexpr std::string_view kDfgBadOutputRef = "DFG011";
 inline constexpr std::string_view kDfgBadWidth = "DFG012";
+inline constexpr std::string_view kDfgConstWidthOverflow = "DFG013";
 // -- schedule family ---------------------------------------------------------
 inline constexpr std::string_view kSchedParseFailure = "SCH000";
 inline constexpr std::string_view kSchedUnplaced = "SCH001";
@@ -104,5 +105,11 @@ inline constexpr std::string_view kAudBusContention = "AUD003";
 inline constexpr std::string_view kAudDeadMuxInput = "AUD004";
 inline constexpr std::string_view kAudWriteClobber = "AUD005";
 inline constexpr std::string_view kAudXPropagation = "AUD006";
+// -- WID family (interval/width range analysis, src/analysis/range/) ---------
+inline constexpr std::string_view kWidTruncatingWrite = "WID001";
+inline constexpr std::string_view kWidSharedLineOverflow = "WID002";
+inline constexpr std::string_view kWidDeclaredWidthOverflow = "WID003";
+inline constexpr std::string_view kWidValueDeadMuxInput = "WID004";
+inline constexpr std::string_view kWidAssertViolated = "WID005";
 
 }  // namespace mframe::analysis

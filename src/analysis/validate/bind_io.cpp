@@ -32,6 +32,7 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
   std::vector<Load> loads;
   struct Next { int from; int to; dfg::NodeId cond; };
   std::vector<Next> nexts;
+  std::vector<range::RegAssert> asserts;
 
   // Strict numeric decode: malformed text is a parse error naming the
   // offending token, never a silent 0/-1 (the PR 5 .dfg hardening applied
@@ -164,6 +165,38 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
                       "unknown condition signal '" + tok[3].substr(5) + "'");
       }
       nexts.push_back({static_cast<int>(from), static_cast<int>(to), cond});
+    } else if (tok[0] == "assert") {
+      if (tok.size() != 4 && tok.size() != 5)
+        return fail(lineNo,
+                    "expected: assert reg=<r> min=<a> max=<b> [width=<w>]");
+      if (!util::startsWith(tok[1], "reg=") ||
+          !util::startsWith(tok[2], "min=") ||
+          !util::startsWith(tok[3], "max="))
+        return fail(lineNo,
+                    "expected: assert reg=<r> min=<a> max=<b> [width=<w>]");
+      const long reg = num(tok[1].substr(4), "assert reg");
+      if (badNum) return fail(lineNo, badNumMsg);
+      const long mn = num(tok[2].substr(4), "assert min");
+      if (badNum) return fail(lineNo, badNumMsg);
+      const long mx = num(tok[3].substr(4), "assert max");
+      if (badNum) return fail(lineNo, badNumMsg);
+      if (reg < 0) return fail(lineNo, "bad assert register index");
+      if (mn < 0 || mx < 0) return fail(lineNo, "assert bounds must be >= 0");
+      if (mn > mx) return fail(lineNo, "assert min exceeds max");
+      long w = 0;
+      if (tok.size() == 5) {
+        if (!util::startsWith(tok[4], "width="))
+          return fail(lineNo,
+                      "expected: assert reg=<r> min=<a> max=<b> [width=<w>]");
+        w = num(tok[4].substr(6), "assert width");
+        if (badNum) return fail(lineNo, badNumMsg);
+        if (w < 1 || w > 64)
+          return fail(lineNo, "assert width out of range (1..64)");
+      }
+      asserts.push_back({static_cast<int>(reg),
+                         static_cast<sim::Word>(mn),
+                         static_cast<sim::Word>(mx), static_cast<int>(w),
+                         lineNo});
     } else {
       return fail(lineNo, "unknown statement '" + tok[0] + "'");
     }
@@ -248,6 +281,7 @@ std::optional<BoundDesign> parseBindDesign(const dfg::Dfg& g,
   }
 
   b.rom = rtl::buildMicrocode(b.datapath, b.fsm);
+  b.asserts = std::move(asserts);
   return b;
 }
 

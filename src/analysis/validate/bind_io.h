@@ -15,6 +15,11 @@
 //                                  # first `next` for <from> replaces its
 //                                  # linear edge, later ones append (max 2
 //                                  # successors); <to> 0 = halt
+//   assert reg=<r> min=<a> max=<b> [width=<w>]
+//                                  # range assertion for the range analysis
+//                                  # (WID005): register r must stay inside
+//                                  # [a, b] (and fit w bits) in every state
+//                                  # where it holds a defined value
 //
 // Every schedulable operation must be placed. Signals without an explicit
 // `reg` that need storage get fresh registers after the pinned ones. The
@@ -29,6 +34,9 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
+#include "analysis/range/assert.h"
 #include "celllib/cell_library.h"
 #include "dfg/dfg.h"
 #include "rtl/controller.h"
@@ -41,6 +49,7 @@ struct BoundDesign {
   rtl::Datapath datapath;
   rtl::ControllerFsm fsm;
   rtl::MicrocodeRom rom;
+  std::vector<range::RegAssert> asserts;  ///< `assert` statements, file order
 };
 
 /// Parse `text` against design `g` drawing cells from `lib`. Returns

@@ -98,4 +98,27 @@ std::vector<AluInstance> bindByColumns(const dfg::Dfg& g,
   return alus;
 }
 
+std::vector<DeclaredWidth> declaredRegisterWidths(const Datapath& d) {
+  std::vector<DeclaredWidth> w(d.regs.count());
+  // regOfSignal is ordered by NodeId, so ties resolve to the oldest tenant
+  // deterministically.
+  for (const auto& [sig, reg] : d.regOfSignal) {
+    if (reg < 0 || static_cast<std::size_t>(reg) >= w.size()) continue;
+    const int dw = d.graph->node(sig).width;
+    if (dw > 0 && dw > w[static_cast<std::size_t>(reg)].width)
+      w[static_cast<std::size_t>(reg)] = {dw, sig};
+  }
+  return w;
+}
+
+std::vector<DeclaredWidth> declaredAluWidths(const Datapath& d) {
+  std::vector<DeclaredWidth> w(d.alus.size());
+  for (std::size_t a = 0; a < d.alus.size(); ++a)
+    for (dfg::NodeId op : d.alus[a].ops) {
+      const int dw = d.graph->node(op).width;
+      if (dw > 0 && dw > w[a].width) w[a] = {dw, op};
+    }
+  return w;
+}
+
 }  // namespace mframe::rtl

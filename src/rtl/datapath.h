@@ -73,6 +73,27 @@ Datapath buildDatapath(const dfg::Dfg& g, const celllib::CellLibrary& lib,
                        const sched::Schedule& s, std::vector<AluInstance> alus,
                        alloc::RegAllocation regs);
 
+/// How wide a shared line is after declaration-driven sizing: as wide as its
+/// widest declaring tenant. Width 0 means no tenant declares a `width=`
+/// attribute — the line stays word-wide (unsized), and no width proof can
+/// fail against it. `tenant` names the widest declaring tenant, for
+/// provenance in diagnostics.
+struct DeclaredWidth {
+  int width = 0;
+  dfg::NodeId tenant = dfg::kNoNode;
+};
+
+/// Per-register declared widths: a register is sized by the widest declared
+/// width among the signals allocated to it (regOfSignal). A tenant with no
+/// declaration adopts the register's size — which is exactly how an
+/// undeclared wide value gets silently truncated by a narrow co-tenant; the
+/// range analysis (WID001) audits that hazard.
+std::vector<DeclaredWidth> declaredRegisterWidths(const Datapath& d);
+
+/// Per-ALU declared output-line widths: the instance's line is sized by the
+/// widest declared width among the operations bound to it (WID002 turf).
+std::vector<DeclaredWidth> declaredAluWidths(const Datapath& d);
+
 /// Derive an ALU binding from a schedule's (FU type, column) grid: each
 /// occupied column of each type becomes one ALU instance (first-seen order),
 /// implemented by the library's cheapest capable module. Baseline schedulers

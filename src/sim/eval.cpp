@@ -2,24 +2,54 @@
 
 namespace mframe::sim {
 
+namespace {
+
+// Simulator semantics are modular by contract: results wrap at the word
+// width. The wrap is made explicit through the compiler's checked intrinsics
+// (an unsigned Word cannot overflow in the UB sense, but the intrinsic
+// states the intent and keeps this path symmetric with the interval
+// transfer functions, which use the same intrinsics to saturate instead).
+Word wrapAdd(Word a, Word b) {
+  Word r = 0;
+  (void)__builtin_add_overflow(a, b, &r);
+  return r;
+}
+
+Word wrapSub(Word a, Word b) {
+  Word r = 0;
+  (void)__builtin_sub_overflow(a, b, &r);
+  return r;
+}
+
+Word wrapMul(Word a, Word b) {
+  Word r = 0;
+  (void)__builtin_mul_overflow(a, b, &r);
+  return r;
+}
+
+}  // namespace
+
 Word evalOp(dfg::OpKind kind, Word a, Word b, int width) {
   const Word mask = maskFor(width);
+  // Shift amounts reduce modulo the word width; a degenerate width (<= 0
+  // masks everything to zero) must not divide by zero.
+  const Word shiftMod = width > 0 ? static_cast<Word>(width) : 1;
   a &= mask;
   b &= mask;
   using dfg::OpKind;
   switch (kind) {
-    case OpKind::Add: return (a + b) & mask;
-    case OpKind::Sub: return (a - b) & mask;
-    case OpKind::Mul: return (a * b) & mask;
+    case OpKind::Add: return wrapAdd(a, b) & mask;
+    case OpKind::Sub: return wrapSub(a, b) & mask;
+    case OpKind::Mul: return wrapMul(a, b) & mask;
     case OpKind::Div: return b == 0 ? 0 : (a / b) & mask;
-    case OpKind::Inc: return (a + 1) & mask;
-    case OpKind::Dec: return (a - 1) & mask;
+    case OpKind::Inc: return wrapAdd(a, 1) & mask;
+    case OpKind::Dec: return wrapSub(a, 1) & mask;
     case OpKind::And: return a & b;
     case OpKind::Or: return a | b;
     case OpKind::Xor: return a ^ b;
     case OpKind::Not: return ~a & mask;
-    case OpKind::Shl: return (a << (b % static_cast<Word>(width))) & mask;
-    case OpKind::Shr: return a >> (b % static_cast<Word>(width));
+    case OpKind::Shl: return (a << (b % shiftMod)) & mask;
+    case OpKind::Shr: return a >> (b % shiftMod);
     case OpKind::Eq: return a == b ? 1 : 0;
     case OpKind::Ne: return a != b ? 1 : 0;
     case OpKind::Lt: return a < b ? 1 : 0;

@@ -50,6 +50,10 @@ std::string_view counterName(Counter c) {
     case Counter::CacheStores: return "cache.stores";
     case Counter::CacheInvalidations: return "cache.invalidations";
     case Counter::CacheIncrementalHits: return "cache.incrementalHits";
+    case Counter::RangeStates: return "range.states";
+    case Counter::RangeWidenings: return "range.widenings";
+    case Counter::RangeAsserts: return "range.asserts";
+    case Counter::RangeFindings: return "range.findings";
     case Counter::kCount: break;
   }
   return "?";

@@ -62,6 +62,10 @@ enum class Counter : int {
   CacheStores,            ///< entries written to the synthesis cache
   CacheInvalidations,     ///< entries dropped (replay failed verification)
   CacheIncrementalHits,   ///< misses resolved by incremental resynthesis
+  RangeStates,            ///< FSM states the range analysis interpreted
+  RangeWidenings,         ///< loop-head interval widenings applied
+  RangeAsserts,           ///< .bind range assertions checked
+  RangeFindings,          ///< WID diagnostics emitted
   kCount
 };
 

@@ -54,7 +54,8 @@ TEST(LintRules, IdsAreUniqueWellFormedAndFindable) {
     ASSERT_EQ(r.id.size(), 6u) << r.id;
     EXPECT_TRUE(r.family == "dfg" || r.family == "sched" ||
                 r.family == "rtl" || r.family == "eqv" || r.family == "lib" ||
-                r.family == "opt" || r.family == "tim" || r.family == "aud");
+                r.family == "opt" || r.family == "tim" || r.family == "aud" ||
+                r.family == "wid");
     const std::string_view prefix = r.id.substr(0, 3);
     EXPECT_EQ(prefix, r.family == "dfg"     ? "DFG"
                       : r.family == "sched" ? "SCH"
@@ -63,6 +64,7 @@ TEST(LintRules, IdsAreUniqueWellFormedAndFindable) {
                       : r.family == "opt"   ? "OPT"
                       : r.family == "tim"   ? "TIM"
                       : r.family == "aud"   ? "AUD"
+                      : r.family == "wid"   ? "WID"
                                             : "LIB");
     EXPECT_FALSE(r.summary.empty());
     EXPECT_EQ(findRule(r.id), &r);
@@ -73,12 +75,12 @@ TEST(LintRules, IdsAreUniqueWellFormedAndFindable) {
 
 TEST(LintRules, FamilyPrefixesAreDerivedFromIds) {
   for (std::string_view p :
-       {"DFG", "SCH", "RTL", "EQV", "LIB", "OPT", "TIM", "AUD"})
+       {"DFG", "SCH", "RTL", "EQV", "LIB", "OPT", "TIM", "AUD", "WID"})
     EXPECT_TRUE(isRuleFamilyPrefix(p)) << p;
   EXPECT_FALSE(isRuleFamilyPrefix("BOGUS"));
   EXPECT_FALSE(isRuleFamilyPrefix("AUD001"));  // exact ids are not families
   EXPECT_FALSE(isRuleFamilyPrefix(""));
-  EXPECT_EQ(ruleFamilyPrefixes().size(), 8u);
+  EXPECT_EQ(ruleFamilyPrefixes().size(), 9u);
 }
 
 TEST(LintRules, SeverityNamesRoundTrip) {
@@ -245,6 +247,32 @@ TEST(LintDfg, BadWidthFires) {  // DFG012
   dfg::Dfg ok = test::smallDiamond();
   ok.node(ok.findByName("y")).width = 8;
   EXPECT_FALSE(fires(lintDfg(ok), kDfgBadWidth));
+}
+
+TEST(LintDfg, ConstWidthOverflowFires) {  // DFG013
+  // 99 needs 7 bits: it cannot survive a width=4 mask unchanged.
+  const dfg::Dfg g = dfg::parse(
+      "dfg cbad\ninput a\nconst 99 k width=4\nop add t a k\noutput y t\n");
+  const LintReport r = lintDfg(g);
+  ASSERT_TRUE(fires(r, kDfgConstWidthOverflow));
+  const Diagnostic d = r.byRule(kDfgConstWidthOverflow).front();
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.loc.node, "k");
+  EXPECT_NE(d.message.find("max 15"), std::string::npos) << d.toText();
+
+  // A negative literal never fits (the value domain is unsigned).
+  dfg::Dfg neg = dfg::parse(
+      "dfg cneg\ninput a\nconst 0 k width=4\nop add t a k\noutput y t\n");
+  neg.node(neg.findByName("k")).constValue = -1;
+  EXPECT_TRUE(fires(lintDfg(neg), kDfgConstWidthOverflow));
+
+  // The boundary value 15 fits exactly; an unsized literal is never checked.
+  const dfg::Dfg ok = dfg::parse(
+      "dfg cok\ninput a\nconst 15 k width=4\nop add t a k\noutput y t\n");
+  EXPECT_FALSE(fires(lintDfg(ok), kDfgConstWidthOverflow));
+  const dfg::Dfg unsized = dfg::parse(
+      "dfg cun\ninput a\nconst 99 k\nop add t a k\noutput y t\n");
+  EXPECT_FALSE(fires(lintDfg(unsized), kDfgConstWidthOverflow));
 }
 
 TEST(LintDfg, LenientParseFeedsTheLinter) {

@@ -2,7 +2,7 @@
 # Run the google-benchmark binaries and merge their JSON reports into one
 # BENCH_runtime.json tracking the repo's performance trajectory:
 #   { "runtime": ..., "explore": ..., "analyze": ..., "tune": ...,
-#     "audit": ..., "cache": ..., "metrics": ... }
+#     "audit": ..., "cache": ..., "range": ..., "metrics": ... }
 # — one google-benchmark report per binary, plus the pipeline counter
 # metrics of two pinned CLI invocations (extracted from the '{"schema": 1,'
 # marker object that --metrics=json appends to stdout). Counters are
@@ -21,7 +21,7 @@ build=${1:-$repo/build}
 out=${2:-$repo/BENCH_runtime.json}
 
 for bin in bench_runtime bench_explore bench_analyze bench_tune bench_audit \
-           bench_cache; do
+           bench_cache bench_range; do
   if [ ! -x "$build/bench/$bin" ]; then
     echo "bench-json.sh: $build/bench/$bin not built" >&2
     exit 1
@@ -54,6 +54,9 @@ trap 'rm -rf "$tmp"' EXIT
 # shellcheck disable=SC2086
 "$build/bench/bench_cache" --benchmark_format=json $minTimeArg \
   > "$tmp/cache.json"
+# shellcheck disable=SC2086
+"$build/bench/bench_range" --benchmark_format=json $minTimeArg \
+  > "$tmp/range.json"
 
 # Counter metrics from pinned CLI runs. python3 is only needed for this
 # extraction; without it the report simply lacks the metrics key (and
@@ -69,6 +72,8 @@ if command -v python3 >/dev/null 2>&1 && [ -x "$build/tools/mframe" ]; then
     --metrics=json > "$tmp/tune.out"
   "$build/tools/mframe" audit "$designs/diffeq.mfb" --steps 4 \
     --metrics=json > "$tmp/audit.out"
+  "$build/tools/mframe" range "$designs/chained.dfg" --steps 6 \
+    --metrics=json > "$tmp/range.out"
   # Cache counters: a cold run populates a scratch cache, the warm rerun's
   # counters (1 hit, 0 misses) are the pinned, deterministic gate values.
   "$build/tools/mframe" synth "$designs/diffeq.mfb" --steps 4 \
@@ -76,7 +81,8 @@ if command -v python3 >/dev/null 2>&1 && [ -x "$build/tools/mframe" ]; then
   "$build/tools/mframe" synth "$designs/diffeq.mfb" --steps 4 \
     --cache "$tmp/synthcache" --metrics=json > "$tmp/cachewarm.out"
   python3 - "$tmp/synth.out" "$tmp/explore.out" "$tmp/tune.out" \
-    "$tmp/audit.out" "$tmp/cachewarm.out" > "$tmp/metrics.json" <<'EOF'
+    "$tmp/audit.out" "$tmp/cachewarm.out" "$tmp/range.out" \
+    > "$tmp/metrics.json" <<'EOF'
 import json
 import sys
 
@@ -93,6 +99,7 @@ print(json.dumps({
     "tune_slowchain": extract(sys.argv[3]),
     "audit_diffeq": extract(sys.argv[4]),
     "synth_diffeq_cache_warm": extract(sys.argv[5]),
+    "range_chained": extract(sys.argv[6]),
 }, indent=1))
 EOF
   haveMetrics=1
@@ -113,6 +120,8 @@ fi
   cat "$tmp/audit.json"
   printf ',\n"cache":\n'
   cat "$tmp/cache.json"
+  printf ',\n"range":\n'
+  cat "$tmp/range.json"
   if [ "$haveMetrics" = 1 ]; then
     printf ',\n"metrics":\n'
     cat "$tmp/metrics.json"

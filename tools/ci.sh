@@ -1,17 +1,18 @@
 #!/usr/bin/env sh
-# Full local CI sweep: build and test the tree three times — plain,
-# instrumented with AddressSanitizer+UBSan, and instrumented with
-# ThreadSanitizer (the explorer's worker threads, the audit's parallel
-# per-step scan and the synthesis cache they share are the repo's only
-# concurrency, so the TSan tree runs just those tests) — then run clang-tidy
-# over the sources with warnings promoted to errors. This is the same
-# gauntlet the validator and lint fixtures are developed against; a clean
-# run means "safe to push".
+# Full local CI sweep: build and test the tree four times — plain,
+# instrumented with AddressSanitizer+UBSan, instrumented with
+# ThreadSanitizer (the explorer's worker threads, the audit/range parallel
+# per-state scans and the synthesis cache they share are the repo's only
+# concurrency, so the TSan tree runs just those tests), and instrumented
+# with UBSan alone for the checked-arithmetic interval code — then run
+# clang-tidy over the sources with warnings promoted to errors. This is the
+# same gauntlet the validator and lint fixtures are developed against; a
+# clean run means "safe to push".
 #
 # Usage: tools/ci.sh [jobs]
 #
-# Build trees land in build-ci/ (plain), build-ci-asan/ and build-ci-tsan/
-# (sanitized) so an existing build/ tree is left alone.
+# Build trees land in build-ci/ (plain), build-ci-asan/, build-ci-tsan/ and
+# build-ci-ubsan/ (sanitized) so an existing build/ tree is left alone.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -39,9 +40,24 @@ echo "==== configure build-ci-tsan (-DMFRAME_SANITIZE=thread)"
 cmake -B "$repo/build-ci-tsan" -S "$repo" -DMFRAME_SANITIZE=thread
 echo "==== build build-ci-tsan (mframe_tests)"
 cmake --build "$repo/build-ci-tsan" -j "$jobs" --target mframe_tests
-echo "==== explorer/thread-pool, tune, audit and cache tests under TSan"
+echo "==== explorer/thread-pool, tune, audit, range and cache tests under TSan"
 "$repo/build-ci-tsan/tests/mframe_tests" \
-  --gtest_filter='Explore*:Tune.*:Audit*:Cache*' --gtest_brief=1
+  --gtest_filter='Explore*:Tune.*:Audit*:Range*:Cache*' --gtest_brief=1
+
+# UndefinedBehaviorSanitizer-only tree: the interval lattice and the
+# constant folder lean on checked arithmetic (__builtin_*_overflow plus
+# explicit shift guards), and UBSan alone — without ASan redzones slowing
+# everything down — is the cheapest way to prove every wrap really is
+# checked. Run the interval/dataflow and range suites, where all of that
+# arithmetic lives.
+echo "==== configure build-ci-ubsan (-DMFRAME_SANITIZE=undefined)"
+cmake -B "$repo/build-ci-ubsan" -S "$repo" -DMFRAME_SANITIZE=undefined
+echo "==== build build-ci-ubsan (mframe_tests)"
+cmake --build "$repo/build-ci-ubsan" -j "$jobs" --target mframe_tests
+echo "==== interval, dataflow and range arithmetic under UBSan"
+"$repo/build-ci-ubsan/tests/mframe_tests" \
+  --gtest_filter='Range*:Ranges*:ConstProp*:DataflowEngine*:Bind*' \
+  --gtest_brief=1
 
 # Perf benches run under the plain tree only (sanitizer overhead would make
 # the numbers meaningless): a short smoke pass of bench_runtime/bench_explore
@@ -81,9 +97,9 @@ BENCH_COMPARE_SKIP_TIME=1 "$repo/tools/bench-compare.sh" \
 # parallel per-step scan are exactly the code the sanitizers should chew
 # on; ctest above already ran the whole suite under ASan/UBSan, but run the
 # determinism tests once more explicitly at a high jobs count.
-echo "==== explorer, tune, audit and cache determinism under ASan/UBSan"
+echo "==== explorer, tune, audit, range and cache determinism under ASan/UBSan"
 "$repo/build-ci-asan/tests/mframe_tests" \
-  --gtest_filter='Explore*:Tune.*:Audit*:Cache*' --gtest_brief=1
+  --gtest_filter='Explore*:Tune.*:Audit*:Range*:Cache*' --gtest_brief=1
 
 echo "==== clang-tidy (warnings are errors)"
 "$repo/tools/run-tidy.sh" "$repo/build-ci"

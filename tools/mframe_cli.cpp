@@ -7,6 +7,7 @@
 //   mframe lint     <file> [options]                structural diagnostics
 //   mframe prove    <file> [options]                translation validation
 //   mframe audit    <file> [options]                reference-free RTL audit
+//   mframe range    <file> [options]                interval width/overflow proofs
 //
 // <file> is either the behavioral language (.mfb, 'design ...') or the
 // textual DFG format (.dfg, 'dfg ...'); the format is sniffed from the first
@@ -67,6 +68,7 @@
 
 #include "analysis/audit/audit.h"
 #include "analysis/criticality/tune.h"
+#include "analysis/range/range.h"
 #include "analysis/lint.h"
 #include "analysis/rules.h"
 #include "analysis/validate/bind_io.h"
@@ -106,7 +108,7 @@ namespace {
 using namespace mframe;
 
 constexpr const char* kUsage =
-    "usage: mframe <schedule|synth|analyze|tune|explore|lint|prove|audit> <file> [options]\n"
+    "usage: mframe <schedule|synth|analyze|tune|explore|lint|prove|audit|range> <file> [options]\n"
     "  schedule <file> --steps N    MFS scheduling\n"
     "  synth    <file> --steps N    MFSA scheduling-allocation\n"
     "  analyze  <file>              dataflow analysis + static timing (OPT/TIM)\n"
@@ -115,11 +117,12 @@ constexpr const char* kUsage =
     "  lint     <file>              structural diagnostics (no scheduling)\n"
     "  prove    <file>              synthesize and validate the translation\n"
     "  audit    <file>              reference-free RTL safety audit (AUD)\n"
+    "  range    <file>              interval width/overflow proofs (WID)\n"
     "common options: --resource T=K,... --mode time|resource --chaining\n"
     "  --clock NS --latency L --pipelined-mults --priority RULE --report --dot\n"
     "synth options:  --style 1|2 --weights T,A,M,R --library FILE --verilog\n"
     "  --controller --microcode --testability --testbench --rtl-dot --timing\n"
-    "  --sim a=1,b=2 [--vcd FILE] --prove --audit\n"
+    "  --sim a=1,b=2 [--vcd FILE] --prove --audit --range\n"
     "analyze options: --json --fail-on SEV --fix --no-timing --steps N\n"
     "  --chaining --clock NS --library FILE\n"
     "explore options: --jobs N (worker threads, default: hardware) --json\n"
@@ -131,7 +134,11 @@ constexpr const char* kUsage =
     "prove options:  --scheduler mfsa|mfs|asap|list|fds --bind FILE --json\n"
     "  --fail-on WHAT --library FILE\n"
     "audit options:  --scheduler mfsa|mfs|asap|list|fds --bind FILE --json\n"
-    "  --fail-on WHAT --jobs N --library FILE\n"
+    "  --fail-on WHAT --jobs N --library FILE --ranges (refine reachability\n"
+    "  with the interval analysis before auditing; adds WID findings)\n"
+    "range options:  --scheduler mfsa|mfs|asap|list|fds --bind FILE --json\n"
+    "  --fail-on WHAT --jobs N --library FILE (.bind assert statements\n"
+    "  become WID005 obligations; see docs/RANGE.md)\n"
     "--fail-on WHAT: a severity (error|warning|note), an exact rule id\n"
     "  (e.g. AUD002), or a rule family prefix (e.g. TIM, AUD); repeatable\n"
     "tracing/metrics: --trace FILE (Chrome trace-event JSON)\n"
@@ -191,6 +198,9 @@ struct Cli {
   std::string schedulerName = "mfsa";
   // audit options
   bool doAudit = false;  ///< synth --audit
+  // range options
+  bool doRange = false;     ///< synth --range
+  bool withRanges = false;  ///< audit --ranges
   // explore options
   int jobs = 0;  ///< 0 = hardware concurrency
   // tune options
@@ -211,7 +221,8 @@ Cli parseArgs(int argc, char** argv) {
   c.command = argv[1];
   if (c.command != "schedule" && c.command != "synth" && c.command != "lint" &&
       c.command != "prove" && c.command != "explore" &&
-      c.command != "analyze" && c.command != "tune" && c.command != "audit")
+      c.command != "analyze" && c.command != "tune" && c.command != "audit" &&
+      c.command != "range")
     dieUsage("unknown command '" + c.command + "'");
 
   // A missing file argument (or an explicit "-") reads the design from
@@ -343,6 +354,10 @@ Cli parseArgs(int argc, char** argv) {
       c.doProve = true;
     } else if (a == "--audit") {
       c.doAudit = true;
+    } else if (a == "--range") {
+      c.doRange = true;
+    } else if (a == "--ranges") {
+      c.withRanges = true;
     } else if (a == "--fix") {
       c.doFix = true;
     } else if (a == "--no-timing") {
@@ -535,6 +550,19 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
       auditFailed = failsPolicy(cli, audit.report);
     }
   }
+  bool rangeFailed = false;
+  if (cli.doRange) {
+    const auto rom = rtl::buildMicrocode(r.datapath, fsm);
+    analysis::range::RangeOptions ro;
+    ro.jobs = cli.jobs > 0 ? cli.jobs : 1;
+    const analysis::range::RangeResult ranges =
+        analysis::range::analyzeDesignRanges(r.datapath, fsm, rom, ro);
+    std::printf("%s\n", analysis::range::renderRangeSummary(ranges).c_str());
+    if (!ranges.clean()) {
+      std::printf("%s", ranges.report.renderText().c_str());
+      rangeFailed = failsPolicy(cli, ranges.report);
+    }
+  }
   bool proveFailed = false;
   if (cli.doProve) {
     const auto rom = rtl::buildMicrocode(r.datapath, fsm);
@@ -600,7 +628,10 @@ int runSynth(const Cli& cli, const dfg::Dfg& g) {
     }
     if (!allMatch) return 1;
   }
-  return bad.empty() && !auditFailed && !proveFailed && !timingFailed ? 0 : 1;
+  return bad.empty() && !auditFailed && !rangeFailed && !proveFailed &&
+                 !timingFailed
+             ? 0
+             : 1;
 }
 
 /// Run the dataflow passes and (unless --no-timing) a schedule + datapath +
@@ -836,9 +867,30 @@ int runAudit(const Cli& cli, const dfg::Dfg& g) {
     bound = synthesizeBound(cli, g, lib);
   }
 
-  const analysis::audit::AuditResult r = analysis::audit::auditDesign(
-      bound->datapath, bound->fsm, bound->rom,
-      {cli.jobs > 0 ? cli.jobs : 1});
+  const int jobs = cli.jobs > 0 ? cli.jobs : 1;
+  analysis::audit::AuditResult r;
+  std::string rangeSummary;
+  if (cli.withRanges) {
+    // Refine reachability with the interval analysis first: AUD findings
+    // that only live on value-dead paths disappear, and the WID width
+    // proofs ride along in the combined report.
+    analysis::range::RangeOptions ro;
+    ro.jobs = jobs;
+    ro.asserts = bound->asserts;
+    const analysis::range::RangeResult rr = analysis::range::analyzeDesignRanges(
+        bound->datapath, bound->fsm, bound->rom, ro);
+    analysis::audit::AuditOptions ao;
+    ao.jobs = jobs;
+    r = analysis::range::auditRefined(rr, bound->datapath, bound->rom, ao);
+    r.report.merge(rr.report);
+    rangeSummary = analysis::range::renderRangeSummary(rr);
+    how += " (range-refined)";
+  } else {
+    analysis::audit::AuditOptions ao;
+    ao.jobs = jobs;
+    r = analysis::audit::auditDesign(bound->datapath, bound->fsm, bound->rom,
+                                     ao);
+  }
 
   if (cli.jsonOut) {
     std::printf("%s", analysis::audit::renderAuditJson(r, g).c_str());
@@ -846,6 +898,43 @@ int runAudit(const Cli& cli, const dfg::Dfg& g) {
     std::printf("audit of '%s' via %s: %s\n", g.name().c_str(), how.c_str(),
                 r.clean() ? "CLEAN" : "FINDINGS");
     std::printf("%s\n", analysis::audit::renderAuditSummary(r).c_str());
+    if (!rangeSummary.empty()) std::printf("%s\n", rangeSummary.c_str());
+    if (!r.clean()) std::printf("%s", r.report.renderText().c_str());
+  }
+  return failsPolicy(cli, r.report) ? 1 : 0;
+}
+
+/// Interval range analysis of a synthesized (or .bind-loaded) design:
+/// per-state width/overflow proofs (WID) over the refined step graph, with
+/// `.bind` assert statements checked as WID005 obligations.
+int runRange(const Cli& cli, const dfg::Dfg& g) {
+  const celllib::CellLibrary lib = loadLibrary(cli);
+  std::string how;
+
+  std::optional<analysis::BoundDesign> bound;
+  if (!cli.bindPath.empty()) {
+    how = "bind file " + cli.bindPath;
+    std::string err;
+    bound =
+        analysis::parseBindDesign(g, lib, readFileOrDie(cli.bindPath), &err);
+    if (!bound) die("cannot parse '" + cli.bindPath + "': " + err);
+  } else {
+    how = "scheduler " + cli.schedulerName;
+    bound = synthesizeBound(cli, g, lib);
+  }
+
+  analysis::range::RangeOptions ro;
+  ro.jobs = cli.jobs > 0 ? cli.jobs : 1;
+  ro.asserts = bound->asserts;
+  const analysis::range::RangeResult r = analysis::range::analyzeDesignRanges(
+      bound->datapath, bound->fsm, bound->rom, ro);
+
+  if (cli.jsonOut) {
+    std::printf("%s", analysis::range::renderRangeJson(r, g).c_str());
+  } else {
+    std::printf("range analysis of '%s' via %s: %s\n", g.name().c_str(),
+                how.c_str(), r.clean() ? "CLEAN" : "FINDINGS");
+    std::printf("%s\n", analysis::range::renderRangeSummary(r).c_str());
     if (!r.clean()) std::printf("%s", r.report.renderText().c_str());
   }
   return failsPolicy(cli, r.report) ? 1 : 0;
@@ -948,7 +1037,8 @@ void defaultStepsToCriticalPath(Cli& cli, const dfg::Dfg& g) {
 
 int runCommand(Cli& cli) {
   if (cli.command == "lint") return runLint(cli);
-  if (cli.command == "prove" || cli.command == "audit") {
+  if (cli.command == "prove" || cli.command == "audit" ||
+      cli.command == "range") {
     // ASAP and list scheduling pace themselves; a .bind file carries its
     // own step count. Everything else needs the time constraint.
     if (cli.steps <= 0 && cli.bindPath.empty() &&
@@ -956,7 +1046,9 @@ int runCommand(Cli& cli) {
       die("--steps is required for --scheduler " + cli.schedulerName);
     const dfg::Dfg g = loadDesign(cli.file);
     preflightLint(g);
-    return cli.command == "prove" ? runProve(cli, g) : runAudit(cli, g);
+    return cli.command == "prove"   ? runProve(cli, g)
+           : cli.command == "audit" ? runAudit(cli, g)
+                                    : runRange(cli, g);
   }
   if (cli.command == "explore") {
     const dfg::Dfg g = loadDesign(cli.file);
