@@ -8,12 +8,13 @@ namespace mframe::alloc {
 
 namespace {
 
-bool contains(const std::vector<dfg::NodeId>& v, dfg::NodeId x) {
-  return std::find(v.begin(), v.end(), x) != v.end();
+bool contains(const std::unordered_set<dfg::NodeId>& s, dfg::NodeId x) {
+  return s.find(x) != s.end();
 }
 
-void addUnique(std::vector<dfg::NodeId>& v, dfg::NodeId x) {
-  if (!contains(v, x)) v.push_back(x);
+void addUnique(std::vector<dfg::NodeId>& v, std::unordered_set<dfg::NodeId>& s,
+               dfg::NodeId x) {
+  if (s.insert(x).second) v.push_back(x);
 }
 
 }  // namespace
@@ -27,12 +28,14 @@ MuxArrangement arrangeInputs(const dfg::Dfg& g,
   for (dfg::NodeId id : ops) {
     const dfg::Node& n = g.node(id);
     if (dfg::isCommutative(n.kind) && n.inputs.size() == 2) continue;
-    if (n.inputs.size() >= 1) addUnique(a.left, n.inputs[0]);
-    if (n.inputs.size() >= 2) addUnique(a.right, n.inputs[1]);
+    if (n.inputs.size() >= 1) addUnique(a.left, a.leftSet, n.inputs[0]);
+    if (n.inputs.size() >= 2) addUnique(a.right, a.rightSet, n.inputs[1]);
     a.swapped[id] = false;
   }
   a.pinnedLeft = a.left;
   a.pinnedRight = a.right;
+  a.pinnedLeftSet = a.leftSet;
+  a.pinnedRightSet = a.rightSet;
   // Pass 2: each commutative operation picks the orientation that adds the
   // fewest new signals (ties keep the natural order).
   for (dfg::NodeId id : ops) {
@@ -40,11 +43,13 @@ MuxArrangement arrangeInputs(const dfg::Dfg& g,
     if (!dfg::isCommutative(n.kind) || n.inputs.size() != 2) continue;
     const dfg::NodeId x = n.inputs[0];
     const dfg::NodeId y = n.inputs[1];
-    const int costNatural = (contains(a.left, x) ? 0 : 1) + (contains(a.right, y) ? 0 : 1);
-    const int costSwapped = (contains(a.left, y) ? 0 : 1) + (contains(a.right, x) ? 0 : 1);
+    const int costNatural =
+        (contains(a.leftSet, x) ? 0 : 1) + (contains(a.rightSet, y) ? 0 : 1);
+    const int costSwapped =
+        (contains(a.leftSet, y) ? 0 : 1) + (contains(a.rightSet, x) ? 0 : 1);
     const bool swap = costSwapped < costNatural;
-    addUnique(a.left, swap ? y : x);
-    addUnique(a.right, swap ? x : y);
+    addUnique(a.left, a.leftSet, swap ? y : x);
+    addUnique(a.right, a.rightSet, swap ? x : y);
     a.swapped[id] = swap;
   }
   return a;
@@ -62,14 +67,14 @@ MuxDelta arrangeInputsDelta(const dfg::Dfg& g, const MuxArrangement& base,
     const dfg::NodeId x = n.inputs[0];
     const dfg::NodeId y = n.inputs[1];
     const int costNatural =
-        (contains(base.left, x) ? 0 : 1) + (contains(base.right, y) ? 0 : 1);
+        (contains(base.leftSet, x) ? 0 : 1) + (contains(base.rightSet, y) ? 0 : 1);
     const int costSwapped =
-        (contains(base.left, y) ? 0 : 1) + (contains(base.right, x) ? 0 : 1);
+        (contains(base.leftSet, y) ? 0 : 1) + (contains(base.rightSet, x) ? 0 : 1);
     d.swapped = costSwapped < costNatural;
     const dfg::NodeId l = d.swapped ? y : x;
     const dfg::NodeId r = d.swapped ? x : y;
-    d.left = base.left.size() + (contains(base.left, l) ? 0 : 1);
-    d.right = base.right.size() + (contains(base.right, r) ? 0 : 1);
+    d.left = base.left.size() + (contains(base.leftSet, l) ? 0 : 1);
+    d.right = base.right.size() + (contains(base.rightSet, r) ? 0 : 1);
     trace::bump(trace::Counter::MuxDeltaIncremental);
     return d;
   }
@@ -77,9 +82,9 @@ MuxDelta arrangeInputsDelta(const dfg::Dfg& g, const MuxArrangement& base,
   // which case the batch run's pass-1 state — and so every pass-2 decision —
   // is unchanged and the op adds no signals.
   const bool leftPinned =
-      n.inputs.empty() || contains(base.pinnedLeft, n.inputs[0]);
+      n.inputs.empty() || contains(base.pinnedLeftSet, n.inputs[0]);
   const bool rightPinned =
-      n.inputs.size() < 2 || contains(base.pinnedRight, n.inputs[1]);
+      n.inputs.size() < 2 || contains(base.pinnedRightSet, n.inputs[1]);
   if (leftPinned && rightPinned) {
     d.left = base.left.size();
     d.right = base.right.size();
@@ -93,6 +98,75 @@ MuxDelta arrangeInputsDelta(const dfg::Dfg& g, const MuxArrangement& base,
   d.left = full.left.size();
   d.right = full.right.size();
   d.rebuilt = true;
+  return d;
+}
+
+bool appendToArrangement(const dfg::Dfg& g, MuxArrangement& a, dfg::NodeId op) {
+  const dfg::Node& n = g.node(op);
+  if (dfg::isCommutative(n.kind) && n.inputs.size() == 2) {
+    // Same argument as arrangeInputsDelta: appended last, the op is decided
+    // last in pass 2 against exactly the current port sets, and no earlier
+    // decision can change — commit its orientation choice directly.
+    const dfg::NodeId x = n.inputs[0];
+    const dfg::NodeId y = n.inputs[1];
+    const int costNatural =
+        (contains(a.leftSet, x) ? 0 : 1) + (contains(a.rightSet, y) ? 0 : 1);
+    const int costSwapped =
+        (contains(a.leftSet, y) ? 0 : 1) + (contains(a.rightSet, x) ? 0 : 1);
+    const bool swap = costSwapped < costNatural;
+    addUnique(a.left, a.leftSet, swap ? y : x);
+    addUnique(a.right, a.rightSet, swap ? x : y);
+    a.swapped[op] = swap;
+    return true;
+  }
+  const bool leftPinned =
+      n.inputs.empty() || contains(a.pinnedLeftSet, n.inputs[0]);
+  const bool rightPinned =
+      n.inputs.size() < 2 || contains(a.pinnedRightSet, n.inputs[1]);
+  a.swapped[op] = false;
+  if (leftPinned && rightPinned) {
+    // Pass-1 state unchanged, so every pass-2 decision replays identically:
+    // the op joins without moving any signal.
+    return true;
+  }
+  // Fresh pass-1 pins: commit them greedily. A from-scratch re-arrangement
+  // would have seen these pins before the batch's commutative decisions and
+  // might have re-oriented some of them, so the result is valid but not
+  // provably minimal (see the header contract).
+  if (n.inputs.size() >= 1) {
+    addUnique(a.left, a.leftSet, n.inputs[0]);
+    addUnique(a.pinnedLeft, a.pinnedLeftSet, n.inputs[0]);
+  }
+  if (n.inputs.size() >= 2) {
+    addUnique(a.right, a.rightSet, n.inputs[1]);
+    addUnique(a.pinnedRight, a.pinnedRightSet, n.inputs[1]);
+  }
+  return false;
+}
+
+MuxDelta appendDelta(const dfg::Dfg& g, const MuxArrangement& base,
+                     dfg::NodeId op) {
+  const dfg::Node& n = g.node(op);
+  MuxDelta d;
+  trace::bump(trace::Counter::MuxDeltaIncremental);
+  if (dfg::isCommutative(n.kind) && n.inputs.size() == 2) {
+    const dfg::NodeId x = n.inputs[0];
+    const dfg::NodeId y = n.inputs[1];
+    const int costNatural =
+        (contains(base.leftSet, x) ? 0 : 1) + (contains(base.rightSet, y) ? 0 : 1);
+    const int costSwapped =
+        (contains(base.leftSet, y) ? 0 : 1) + (contains(base.rightSet, x) ? 0 : 1);
+    d.swapped = costSwapped < costNatural;
+    const dfg::NodeId l = d.swapped ? y : x;
+    const dfg::NodeId r = d.swapped ? x : y;
+    d.left = base.left.size() + (contains(base.leftSet, l) ? 0 : 1);
+    d.right = base.right.size() + (contains(base.rightSet, r) ? 0 : 1);
+    return d;
+  }
+  d.left = base.left.size() +
+           (n.inputs.empty() || contains(base.leftSet, n.inputs[0]) ? 0 : 1);
+  d.right = base.right.size() +
+            (n.inputs.size() < 2 || contains(base.rightSet, n.inputs[1]) ? 0 : 1);
   return d;
 }
 

@@ -188,7 +188,8 @@ TuneResult tuneDesign(const dfg::Dfg& g, const celllib::CellLibrary& lib,
             dfg::Dfg gObs = g;
             for (dfg::NodeId op : g.operations())
               if (crit.observedDelayNs[op] > 0)
-                gObs.node(op).delayNs = crit.observedDelayNs[op];
+                gObs.mutableNode(op).delayNs = crit.observedDelayNs[op];
+            gObs.freeze();
             m.priorityHint = crit.ranked;
             const core::MfsResult res = core::runMfs(gObs, m);
             if (!res.feasible) return;
@@ -204,8 +205,9 @@ TuneResult tuneDesign(const dfg::Dfg& g, const celllib::CellLibrary& lib,
                 continue;
               double d = crit.observedDelayNs[full];
               if (i == 1) d *= 1.25;
-              if (d > 0) cone.node(cid).delayNs = d;
+              if (d > 0) cone.mutableNode(cid).delayNs = d;
             }
+            cone.freeze();
             if (i == 2) m.constraints.allowChaining = false;
             m.priorityHint = coneHint;
             const core::MfsResult res = core::runMfs(cone, m);

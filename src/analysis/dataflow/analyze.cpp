@@ -189,6 +189,7 @@ dfg::Dfg applyFixes(const dfg::Dfg& g, const DataflowResult& analysis) {
   }
   for (const auto& [id, ext] : g.outputs())
     if (id < n && remap[id] != dfg::kNoNode) fixed.markOutput(remap[id], ext);
+  fixed.freeze();
   return fixed;
 }
 

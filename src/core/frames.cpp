@@ -6,21 +6,20 @@ namespace mframe::core {
 
 FrameCalculator::DepCheck FrameCalculator::depOk(const sched::Schedule& s,
                                                  dfg::NodeId n, int step) const {
-  const dfg::Node& node = g_->node(n);
+  const int cycles = g_->cyclesOf(n);
   DepCheck out;
   double off = 0.0;
   for (dfg::NodeId p : g_->opPreds(n)) {
     if (!s.isPlaced(p)) continue;  // scheduled later; ASAP already bounds us
-    const dfg::Node& pn = g_->node(p);
-    const int pEnd = s.stepOf(p) + pn.cycles - 1;
+    const int pEnd = s.stepOf(p) + g_->cyclesOf(p) - 1;
     if (pEnd < step) continue;
     if (pEnd > step) return {};  // predecessor still busy after our start
     // Predecessor finishes exactly in our step: only a chain can save this.
-    if (!c_->allowChaining || pn.cycles > 1 || node.cycles > 1) return {};
+    if (!c_->allowChaining || g_->cyclesOf(p) > 1 || cycles > 1) return {};
     off = std::max(off, chainOffsetOf(p));
   }
-  if (c_->allowChaining && node.cycles == 1) {
-    if (off + node.effectiveDelayNs() > c_->clockNs) return {};
+  if (c_->allowChaining && cycles == 1) {
+    if (off + g_->delayOf(n) > c_->clockNs) return {};
   } else if (off > 0.0) {
     return {};  // multicycle ops start on step boundaries
   }
@@ -29,19 +28,50 @@ FrameCalculator::DepCheck FrameCalculator::depOk(const sched::Schedule& s,
   return out;
 }
 
-void FrameCalculator::recordPlacement(const sched::Schedule& s, dfg::NodeId n,
-                                      int step) {
-  const dfg::Node& node = g_->node(n);
-  const DepCheck d = depOk(s, n, step);
-  if (c_->allowChaining && node.cycles == 1)
-    chainOff_[n] = d.startOffsetNs + node.effectiveDelayNs();
-  else
-    chainOff_[n] = 0.0;  // result lands on a step boundary
+FrameCalculator::DepWindow FrameCalculator::depWindow(const sched::Schedule& s,
+                                                      dfg::NodeId n) const {
+  const int cycles = g_->cyclesOf(n);
+  DepWindow w;
+  bool boundaryChainable = true;  // every pred ending at the boundary chains
+  for (dfg::NodeId p : g_->opPreds(n)) {
+    if (!s.isPlaced(p)) continue;
+    const int pEnd = s.stepOf(p) + g_->cyclesOf(p) - 1;
+    if (pEnd > w.boundaryStep) {
+      w.boundaryStep = pEnd;
+      w.boundaryOff = 0.0;
+      boundaryChainable = true;
+    }
+    if (pEnd == w.boundaryStep) {
+      if (g_->cyclesOf(p) > 1)
+        boundaryChainable = false;
+      else
+        w.boundaryOff = std::max(w.boundaryOff, chainOffsetOf(p));
+    }
+  }
+  const bool chainable = c_->allowChaining && cycles == 1;
+  // Above the boundary no pred constrains the start; only an op whose own
+  // delay never fits the clock stays infeasible.
+  w.aboveOk = !chainable || g_->delayOf(n) <= c_->clockNs;
+  if (w.boundaryStep == 0) {
+    // No placed predecessor: there is no boundary case, every step behaves
+    // like the "above" zone.
+    w.boundaryOk = false;
+    return w;
+  }
+  w.boundaryOk = c_->allowChaining && boundaryChainable && cycles == 1 &&
+                 w.boundaryOff + g_->delayOf(n) <= c_->clockNs;
+  if (!w.boundaryOk) w.boundaryOff = 0.0;
+  return w;
 }
 
-double FrameCalculator::chainOffsetOf(dfg::NodeId n) const {
-  auto it = chainOff_.find(n);
-  return it == chainOff_.end() ? 0.0 : it->second;
+void FrameCalculator::recordPlacement(const sched::Schedule& s, dfg::NodeId n,
+                                      int step) {
+  const DepCheck d = depOk(s, n, step);
+  if (n >= chainOff_.size()) chainOff_.resize(g_->size(), 0.0);
+  if (c_->allowChaining && g_->cyclesOf(n) == 1)
+    chainOff_[n] = d.startOffsetNs + g_->delayOf(n);
+  else
+    chainOff_[n] = 0.0;  // result lands on a step boundary
 }
 
 FrameCalculator::Frames FrameCalculator::compute(const sched::Schedule& s,

@@ -9,7 +9,6 @@
 // delay still fits the clock period.
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "core/grid.h"
@@ -22,7 +21,7 @@ class FrameCalculator {
  public:
   FrameCalculator(const dfg::Dfg& g, const sched::Constraints& c,
                   const sched::TimeFrames& tf)
-      : g_(&g), c_(&c), tf_(&tf) {}
+      : g_(&g), c_(&c), tf_(&tf), chainOff_(g.size(), 0.0) {}
 
   /// Outcome of the dependency test for starting `n` at `step`.
   struct DepCheck {
@@ -34,12 +33,51 @@ class FrameCalculator {
   /// predecessors in `s`. Handles the chaining relaxation.
   DepCheck depOk(const sched::Schedule& s, dfg::NodeId n, int step) const;
 
+  /// depOk for every step at once, in one O(preds) pass. depOk(step) is a
+  /// three-zone function of the step: always false below the latest placed
+  /// predecessor's end step (`boundaryStep`), a single chaining-dependent
+  /// verdict exactly at it, and one uniform verdict above it (a chainable
+  /// op whose own delay exceeds the clock fails everywhere). The frontier
+  /// schedulers use this to find the earliest feasible step without
+  /// re-walking the predecessor list per candidate step.
+  struct DepWindow {
+    int boundaryStep = 0;      ///< latest placed-pred end step (0 = none)
+    bool boundaryOk = false;   ///< may start exactly at boundaryStep
+    double boundaryOff = 0.0;  ///< chained start offset at boundaryStep
+    bool aboveOk = true;       ///< may start at any step > boundaryStep
+
+    /// First dependency-feasible step in [lo, hi]; 0 when none.
+    int firstStep(int lo, int hi) const {
+      int s;
+      if (lo <= boundaryStep) {
+        if (boundaryOk)
+          s = boundaryStep;
+        else if (aboveOk)
+          s = boundaryStep + 1;
+        else
+          return 0;
+      } else {
+        if (!aboveOk) return 0;
+        s = lo;
+      }
+      return s <= hi ? s : 0;
+    }
+    /// Dependency-feasible step after `s` (itself feasible); 0 past `hi`.
+    int nextStep(int s, int hi) const {
+      if (s == boundaryStep && !aboveOk) return 0;
+      return s + 1 <= hi ? s + 1 : 0;
+    }
+  };
+  DepWindow depWindow(const sched::Schedule& s, dfg::NodeId n) const;
+
   /// Record that `n` was placed at `step` (predecessors must already be
   /// recorded); maintains the chain-offset map.
   void recordPlacement(const sched::Schedule& s, dfg::NodeId n, int step);
-  void reset() { chainOff_.clear(); }
+  void reset() { chainOff_.assign(g_->size(), 0.0); }
 
-  double chainOffsetOf(dfg::NodeId n) const;
+  double chainOffsetOf(dfg::NodeId n) const {
+    return n < chainOff_.size() ? chainOff_[n] : 0.0;
+  }
 
   /// The frames of one operation at one scheduling iteration.
   struct Frames {
@@ -61,7 +99,7 @@ class FrameCalculator {
   const dfg::Dfg* g_;
   const sched::Constraints* c_;
   const sched::TimeFrames* tf_;
-  std::map<dfg::NodeId, double> chainOff_;
+  std::vector<double> chainOff_;  ///< by node; 0 = step-boundary result
 };
 
 }  // namespace mframe::core

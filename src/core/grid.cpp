@@ -6,22 +6,31 @@
 namespace mframe::core {
 
 void ColumnOccupancy::setPipelined(int col, bool pipelined) {
-  if (pipelined)
-    pipelined_.insert(col);
-  else
-    pipelined_.erase(col);
+  const auto i = static_cast<std::size_t>(col);
+  if (i >= pipelined_.size()) {
+    if (!pipelined) return;
+    pipelined_.resize(i + 1, 0);
+  }
+  pipelined_[i] = pipelined ? 1 : 0;
 }
 
-std::vector<std::pair<int, int>> ColumnOccupancy::cellsFor(dfg::NodeId n,
-                                                           int col,
-                                                           int step) const {
-  std::vector<std::pair<int, int>> cells;
+void ColumnOccupancy::ensureNode(dfg::NodeId n) {
+  if (n >= whereCol_.size()) {
+    whereCol_.resize(n + 1, 0);
+    whereStep_.resize(n + 1, 0);
+  }
+}
+
+std::vector<std::uint64_t> ColumnOccupancy::cellsFor(dfg::NodeId n, int col,
+                                                     int step) const {
+  std::vector<std::uint64_t> cells;
   if (isPipelined(col)) {
     // One initiation per (folded) step; later stages overlap freely.
-    cells.emplace_back(col, fold(step));
+    cells.push_back(key(col, fold(step)));
   } else {
-    const int cycles = g_->node(n).cycles;
-    for (int s = step; s < step + cycles; ++s) cells.emplace_back(col, fold(s));
+    const int cycles = g_->cyclesOf(n);
+    cells.reserve(static_cast<std::size_t>(cycles));
+    for (int s = step; s < step + cycles; ++s) cells.push_back(key(col, fold(s)));
   }
   // Folding can alias several steps of one multicycle op onto one cell.
   std::sort(cells.begin(), cells.end());
@@ -30,53 +39,72 @@ std::vector<std::pair<int, int>> ColumnOccupancy::cellsFor(dfg::NodeId n,
 }
 
 bool ColumnOccupancy::canPlace(dfg::NodeId n, int col, int step) const {
-  for (const auto& key : cellsFor(n, col, step)) {
-    auto it = cell_.find(key);
-    if (it == cell_.end()) continue;
+  auto cellFree = [&](std::uint64_t k) {
+    const auto it = cell_.find(k);
+    if (it == cell_.end()) return true;
     for (dfg::NodeId other : it->second) {
       if (other == n) continue;
       if (!g_->mutuallyExclusive(n, other)) return false;
     }
+    return true;
+  };
+  if (plainCells(col)) {
+    // No folding, no pipelining: the keys are distinct consecutive steps —
+    // probe them directly without materializing a key list.
+    const int cycles = g_->cyclesOf(n);
+    for (int s = step; s < step + cycles; ++s)
+      if (!cellFree(key(col, s))) return false;
+    return true;
   }
+  for (std::uint64_t k : cellsFor(n, col, step))
+    if (!cellFree(k)) return false;
   // A multicycle op folded tighter than its own duration would overlap its
   // next initiation (functional pipelining): reject when cycles > latency.
-  if (latency_ > 0 && !isPipelined(col) && g_->node(n).cycles > latency_)
+  if (latency_ > 0 && !isPipelined(col) && g_->cyclesOf(n) > latency_)
     return false;
   return true;
 }
 
 void ColumnOccupancy::place(dfg::NodeId n, int col, int step) {
   assert(!isPlaced(n));
-  for (const auto& key : cellsFor(n, col, step)) cell_[key].push_back(n);
-  where_[n] = {col, step};
+  for (std::uint64_t k : cellsFor(n, col, step)) cell_[k].push_back(n);
+  ensureNode(n);
+  whereCol_[n] = col;
+  whereStep_[n] = step;
+  const auto c = static_cast<std::size_t>(col);
+  if (c >= opsPerCol_.size()) opsPerCol_.resize(c + 1, 0);
+  ++opsPerCol_[c];
 }
 
 void ColumnOccupancy::remove(dfg::NodeId n) {
-  auto it = where_.find(n);
-  if (it == where_.end()) return;
-  const auto [col, step] = it->second;
-  for (const auto& key : cellsFor(n, col, step)) {
-    auto& v = cell_[key];
+  if (!isPlaced(n)) return;
+  const int col = whereCol_[n];
+  const int step = whereStep_[n];
+  for (std::uint64_t k : cellsFor(n, col, step)) {
+    auto& v = cell_[k];
     v.erase(std::remove(v.begin(), v.end(), n), v.end());
-    if (v.empty()) cell_.erase(key);
+    if (v.empty()) cell_.erase(k);
   }
-  where_.erase(it);
+  whereCol_[n] = 0;
+  whereStep_[n] = 0;
+  --opsPerCol_[static_cast<std::size_t>(col)];
 }
 
 void ColumnOccupancy::clear() {
   cell_.clear();
-  where_.clear();
+  whereCol_.assign(whereCol_.size(), 0);
+  whereStep_.assign(whereStep_.size(), 0);
+  opsPerCol_.assign(opsPerCol_.size(), 0);
 }
 
 int ColumnOccupancy::maxColumnUsed() const {
-  int mx = 0;
-  for (const auto& [key, ops] : cell_)
-    if (!ops.empty()) mx = std::max(mx, key.first);
-  return mx;
+  for (std::size_t c = opsPerCol_.size(); c > 0; --c)
+    if (opsPerCol_[c - 1] > 0) return static_cast<int>(c - 1);
+  return 0;
 }
 
 std::vector<dfg::NodeId> ColumnOccupancy::at(int col, int step) const {
-  auto it = cell_.find({col, fold(step)});
+  const auto it = cell_.find(key(col, fold(step)));
   return it == cell_.end() ? std::vector<dfg::NodeId>{} : it->second;
 }
 
@@ -93,11 +121,11 @@ Grid::Grid(const dfg::Dfg& g, const sched::Constraints& c) : g_(&g) {
 }
 
 bool Grid::canPlace(dfg::NodeId n, int col, int step) const {
-  return table(dfg::fuTypeOf(g_->node(n).kind)).canPlace(n, col, step);
+  return table(dfg::fuTypeOf(g_->kindOf(n))).canPlace(n, col, step);
 }
 
 void Grid::place(dfg::NodeId n, int col, int step) {
-  table(dfg::fuTypeOf(g_->node(n).kind)).place(n, col, step);
+  table(dfg::fuTypeOf(g_->kindOf(n))).place(n, col, step);
 }
 
 void Grid::clear() {

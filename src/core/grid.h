@@ -13,12 +13,18 @@
 //    "operations scheduled into control step t + k*L run concurrently"
 //    (Section 5.5.2).
 //
+// Storage is flat: cells are keyed by a packed (column, folded step) word in
+// a hash map, per-node placements live in id-indexed arrays, and the
+// pipelined flag is a per-column bit — the schedulers probe canPlace()
+// millions of times on large graphs and the old std::map-of-pairs layout
+// spent the run chasing red-black-tree pointers.
+//
 // MFS composes one ColumnOccupancy per FU type (class Grid); MFSA reuses
 // ColumnOccupancy with one column per allocated ALU instance.
 #pragma once
 
-#include <map>
-#include <set>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "dfg/dfg.h"
@@ -33,7 +39,10 @@ class ColumnOccupancy {
 
   /// Mark a column as structurally pipelined (start-step conflicts only).
   void setPipelined(int col, bool pipelined);
-  bool isPipelined(int col) const { return pipelined_.count(col) > 0; }
+  bool isPipelined(int col) const {
+    const auto i = static_cast<std::size_t>(col);
+    return i < pipelined_.size() && pipelined_[i] != 0;
+  }
 
   /// Can `n` start at `step` on `col` without an occupancy conflict?
   bool canPlace(dfg::NodeId n, int col, int step) const;
@@ -42,7 +51,9 @@ class ColumnOccupancy {
   void remove(dfg::NodeId n);
   void clear();
 
-  bool isPlaced(dfg::NodeId n) const { return where_.count(n) > 0; }
+  bool isPlaced(dfg::NodeId n) const {
+    return n < whereCol_.size() && whereCol_[n] != 0;
+  }
 
   /// Highest column holding at least one operation (0 when empty).
   int maxColumnUsed() const;
@@ -51,15 +62,25 @@ class ColumnOccupancy {
   std::vector<dfg::NodeId> at(int col, int step) const;
 
  private:
+  static std::uint64_t key(int col, int foldedStep) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(col)) << 32) |
+           static_cast<std::uint32_t>(foldedStep);
+  }
   /// Cell keys this op occupies if started at `step` on `col`.
-  std::vector<std::pair<int, int>> cellsFor(dfg::NodeId n, int col, int step) const;
+  std::vector<std::uint64_t> cellsFor(dfg::NodeId n, int col, int step) const;
   int fold(int step) const { return latency_ > 0 ? (step - 1) % latency_ : step; }
+  /// True when the op's cells are (col, step)..(col, step+cycles-1) with no
+  /// folding aliasing — the hot case that needs no materialized key list.
+  bool plainCells(int col) const { return latency_ <= 0 && !isPipelined(col); }
+  void ensureNode(dfg::NodeId n);
 
   const dfg::Dfg* g_;
   int latency_;
-  std::set<int> pipelined_;
-  std::map<std::pair<int, int>, std::vector<dfg::NodeId>> cell_;
-  std::map<dfg::NodeId, std::pair<int, int>> where_;  ///< node -> (col, start step)
+  std::vector<char> pipelined_;                              ///< by column
+  std::unordered_map<std::uint64_t, std::vector<dfg::NodeId>> cell_;
+  std::vector<int> whereCol_;   ///< by node; 0 = not placed
+  std::vector<int> whereStep_;  ///< by node; start step when placed
+  std::vector<int> opsPerCol_;  ///< ops currently resident per column
 };
 
 /// MFS's 3-D space: one column table per FU type.

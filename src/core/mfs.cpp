@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "core/frames.h"
 #include "core/grid.h"
@@ -29,36 +30,44 @@ std::optional<std::vector<NodeId>> topoConsistentOrder(
     std::string* error) {
   std::vector<NodeId> out;
   out.reserve(priority.size());
-  std::vector<bool> emitted(g.size(), false);
   std::vector<bool> taken(g.size(), false);
+  // Un-emitted operation predecessors per node (duplicate operands counted
+  // twice, mirroring the duplicate CSR edges): a node is ready exactly when
+  // its count reaches zero. Replaces the per-visit O(preds) emitted[] walk.
+  std::vector<int> unmet(g.size(), 0);
+  for (const dfg::Node& n : g.nodes())
+    unmet[n.id] = static_cast<int>(g.opPreds(n.id).size());
+
+  // Sweep the not-yet-taken suffix in priority order, compacting it in
+  // place, until the list drains. Readiness is evaluated at visit time, so
+  // a node emitted earlier in the same sweep unblocks its successors within
+  // that sweep — the exact semantics of the original full-list rescan,
+  // without the O(n) passes over already-taken entries.
+  std::vector<NodeId> remaining = priority;
   while (out.size() < priority.size()) {
+    std::size_t kept = 0;
     bool progress = false;
-    for (NodeId id : priority) {
-      if (taken[id]) continue;
-      bool ready = true;
-      for (NodeId p : g.opPreds(id))
-        if (!emitted[p]) {
-          ready = false;
-          break;
-        }
-      if (!ready) continue;
+    for (NodeId id : remaining) {
+      if (taken[id]) continue;  // duplicate occurrence in the list
+      if (unmet[id] != 0) {
+        remaining[kept++] = id;
+        continue;
+      }
       out.push_back(id);
-      emitted[id] = taken[id] = true;
+      taken[id] = true;
       progress = true;
+      for (NodeId sc : g.opSuccs(id)) --unmet[sc];
     }
+    remaining.resize(kept);
     if (!progress) {
       // Stuck: some listed operation waits on a predecessor that is never
       // emitted (missing from the list, or part of a cycle). Returning the
       // truncated order would silently drop operations downstream.
-      if (error) {
-        for (NodeId id : priority) {
-          if (taken[id]) continue;
-          *error = util::format(
-              "inconsistent priority order: '%s' waits on a predecessor "
-              "missing from the list (or the graph has a cycle)",
-              g.node(id).name.c_str());
-          break;
-        }
+      if (error && !remaining.empty()) {
+        *error = util::format(
+            "inconsistent priority order: '%s' waits on a predecessor "
+            "missing from the list (or the graph has a cycle)",
+            g.node(remaining.front()).name.c_str());
       }
       return std::nullopt;
     }
@@ -80,6 +89,13 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
     res.steps = 0;
     return res;
   }
+  // One graph snapshot per run, shared by every placement attempt — a fresh
+  // Schedule(g) per attempt deep-copied the whole graph on each restart.
+  const auto snap = std::make_shared<const dfg::Dfg>(g);
+  const bool frontier =
+      opt.frameMode == MoveFrameMode::Frontier ||
+      (opt.frameMode == MoveFrameMode::Auto &&
+       g.size() >= kFrontierAutoThreshold);
 
   const bool timeMode = opt.mode == MfsLiapunov::Mode::TimeConstrained;
   sched::Constraints c = opt.constraints;
@@ -146,7 +162,7 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
       merged.reserve(priority.size());
       for (NodeId id : opt.priorityHint) {
         if (id >= g.size() || hinted[id] ||
-            !dfg::isSchedulable(g.node(id).kind))
+            !dfg::isSchedulable(g.kindOf(id)))
           continue;
         hinted[id] = 1;
         merged.push_back(id);
@@ -166,7 +182,7 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
       for (const auto& ts : types) columnBound = std::max(columnBound, ts.maxCols);
       const MfsLiapunov energy(opt.mode, columnBound, cs);
 
-      sched::Schedule s(g);
+      sched::Schedule s(snap);
       s.setNumSteps(cs);
       Grid grid(g, c);
       FrameCalculator fc(g, c, *tf);
@@ -175,7 +191,7 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
       double v = 0.0;
       std::vector<double> worstOf(g.size(), 0.0);
       for (NodeId id : *order) {
-        const auto t = static_cast<std::size_t>(dfg::fuTypeOf(g.node(id).kind));
+        const auto t = static_cast<std::size_t>(dfg::fuTypeOf(g.kindOf(id)));
         worstOf[id] = energy.worstValue(types[t].maxCols, cs);
         v += worstOf[id];
       }
@@ -183,23 +199,67 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
 
       bool restart = false;
       for (NodeId id : *order) {
-        const auto t = static_cast<std::size_t>(dfg::fuTypeOf(g.node(id).kind));
+        const auto t = static_cast<std::size_t>(dfg::fuTypeOf(g.kindOf(id)));
         const auto& occ = grid.table(static_cast<FuType>(t));
-        const auto frames =
-            fc.compute(s, occ, id, types[t].current, types[t].maxCols);
+        const int colHi = std::min(types[t].current, types[t].maxCols);
 
-        const sched::Placement* best = nullptr;
+        // Minimum-energy cell of the move frame. Ties break toward the
+        // earlier step, then the lower column — the first-wins order of the
+        // exhaustive step-major scan, stated explicitly so the frontier
+        // paths share the exact same selection rule.
+        bool found = false;
         double bestV = 0.0;
-        trace::bump(trace::Counter::LiapunovCellEvals,
-                    frames.moveFrame.size());
-        for (const auto& cell : frames.moveFrame) {
-          const double cv = energy.value(cell.column, cell.step);
-          if (!best || cv < bestV) {
-            best = &cell;
+        int bestStep = 0, bestCol = 0;
+        auto consider = [&](int step, int col) {
+          const double cv = energy.value(col, step);
+          if (!found || cv < bestV ||
+              (cv == bestV &&
+               (step < bestStep || (step == bestStep && col < bestCol)))) {
+            found = true;
             bestV = cv;
+            bestStep = step;
+            bestCol = col;
           }
+        };
+
+        if (!frontier) {
+          const auto frames =
+              fc.compute(s, occ, id, types[t].current, types[t].maxCols);
+          trace::bump(trace::Counter::LiapunovCellEvals,
+                      frames.moveFrame.size());
+          for (const auto& cell : frames.moveFrame)
+            consider(cell.step, cell.column);
+        } else if (timeMode) {
+          // V = x + n*y strictly increases with the step for any column in
+          // bounds, so the earliest dependency- and occupancy-feasible step
+          // dominates every later one; within it, the lowest free column.
+          const auto w = fc.depWindow(s, id);
+          for (int step = w.firstStep(tf->asap(id), tf->alap(id));
+               step != 0 && !found; step = w.nextStep(step, tf->alap(id)))
+            for (int col = 1; col <= colHi; ++col) {
+              trace::bump(trace::Counter::LiapunovCellEvals);
+              if (occ.canPlace(id, col, step)) {
+                consider(step, col);
+                break;
+              }
+            }
+        } else {
+          // V = cs*x + y strictly increases with the column for any step in
+          // bounds, so the lowest column holding any feasible step
+          // dominates; within it, the earliest such step.
+          const auto w = fc.depWindow(s, id);
+          for (int col = 1; col <= colHi && !found; ++col)
+            for (int step = w.firstStep(tf->asap(id), tf->alap(id));
+                 step != 0; step = w.nextStep(step, tf->alap(id))) {
+              trace::bump(trace::Counter::LiapunovCellEvals);
+              if (occ.canPlace(id, col, step)) {
+                consider(step, col);
+                break;
+              }
+            }
         }
-        if (!best) {
+
+        if (!found) {
           // Empty/occupied move frame: widen current_j and locally
           // reschedule (Section 3.2 step 4).
           if (types[t].current < types[t].maxCols) {
@@ -229,9 +289,9 @@ MfsResult runMfs(const dfg::Dfg& g, const MfsOptions& opt) {
           break;
         }
 
-        grid.place(id, best->column, best->step);
-        s.place(id, best->step, best->column);
-        fc.recordPlacement(s, id, best->step);
+        grid.place(id, bestCol, bestStep);
+        s.place(id, bestStep, bestCol);
+        fc.recordPlacement(s, id, bestStep);
         trace::bump(trace::Counter::LiapunovUpdates);
         v -= worstOf[id] - bestV;  // each move strictly decreases the energy
         if (opt.traceLiapunov) res.liapunovTrace.push_back(v);

@@ -28,6 +28,10 @@ struct MfsOptions {
 
   sched::PriorityRule priorityRule = sched::PriorityRule::Mobility;
 
+  /// Move-frame search strategy; Auto = Exhaustive on small graphs,
+  /// Frontier (same result, far fewer probes) on large ones.
+  MoveFrameMode frameMode = MoveFrameMode::Auto;
+
   /// Operations to place first, ahead of the computed priority order (the
   /// tune loop seeds this with its criticality ranking so the critical cone
   /// ops grab the best grid slots). Unknown/duplicate ids are ignored; the

@@ -102,6 +102,21 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       g, sched::priorityOrder(g, *tf, opt.priorityRule), &res.error);
   if (!order) return res;
 
+  // One graph snapshot shared by every restart's Schedule — deep-copying a
+  // large graph per local-rescheduling round dominated big runs.
+  const auto snap = std::make_shared<const dfg::Dfg>(g);
+  // Frontier search is exact only where the per-(ALU, module) contribution
+  // is non-decreasing in the step: f_MUX/f_ALU step-independent (mux
+  // interconnect), f_TIME and f_REG non-decreasing (non-negative weights
+  // and costs). Anything else keeps the exhaustive scan.
+  const bool frontier =
+      (opt.frameMode == MoveFrameMode::Frontier ||
+       (opt.frameMode == MoveFrameMode::Auto &&
+        g.size() >= kFrontierAutoThreshold)) &&
+      opt.interconnect == InterconnectStyle::Mux && opt.weights.time >= 0.0 &&
+      opt.weights.alu >= 0.0 && opt.weights.mux >= 0.0 &&
+      opt.weights.reg >= 0.0 && C >= 0.0 && lib.regCost() >= 0.0;
+
   // Steps 2-3 of MFS, shared by MFSA: per-type column budgets. current_j
   // starts at the balanced minimum ceil(N_j / cs) and grows only when a move
   // frame comes up empty (local rescheduling).
@@ -127,8 +142,12 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       static_cast<int>(g.size()) * static_cast<int>(dfg::kNumFuTypes) * 8 + 64;
   int restarts = 0;
 
+  // f_REG bookkeeping: latest cross-step consumer seen per signal, 0 = none
+  // recorded yet (placed steps are >= 1, so 0 is free as the sentinel).
+  std::vector<int> maxUse(g.size(), 0);
+
   while (true) {  // local-rescheduling loop
-    sched::Schedule s(g);
+    sched::Schedule s(snap);
     s.setNumSteps(cs);
     ColumnOccupancy occ(g, c);
     FrameCalculator fc(g, c, *tf);
@@ -136,12 +155,10 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
     res.termsOf.clear();
     res.liapunovTrace.clear();
 
-    // f_REG bookkeeping: latest cross-step consumer seen per signal.
-    std::map<NodeId, int> maxUse;
+    maxUse.assign(g.size(), 0);
     auto producerEnd = [&](NodeId sig) {
-      const dfg::Node& n = g.node(sig);
-      if (!dfg::isSchedulable(n.kind)) return 0;  // inputs: before step 1
-      return s.isPlaced(sig) ? s.stepOf(sig) + n.cycles - 1 : 0;
+      if (!dfg::isSchedulable(g.kindOf(sig))) return 0;  // inputs: before step 1
+      return s.isPlaced(sig) ? s.stepOf(sig) + g.cyclesOf(sig) - 1 : 0;
     };
     // Per-input (producerEnd, latest-use) pairs for the operation under
     // consideration, computed once before the candidate loops; neither value
@@ -195,8 +212,8 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       for (NodeId in : n.inputs) {
         if (g.node(in).kind == dfg::OpKind::Const) continue;  // hardwired
         const int pe = producerEnd(in);
-        auto it = maxUse.find(in);
-        inState.push_back({pe, it == maxUse.end() ? pe : it->second});
+        const int used = maxUse[in];
+        inState.push_back({pe, used == 0 ? pe : used});
       }
       auto newRegsAt = [&](int step) {
         int count = 0;
@@ -208,11 +225,14 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       };
 
       // f_MUX of a fresh ALU is the same for every capable module: the
-      // arrangement of {id} alone. Compute it once per operation.
+      // arrangement of {id} alone — one signal per populated port. Frontier
+      // mode prices it arithmetically; exhaustive mode keeps the literal
+      // single-op arrangement (and its mux.fullArrangements bump).
       const double freshMux =
-          opt.interconnect == InterconnectStyle::Mux
-              ? alloc::muxCostOf(lib, alloc::arrangeInputs(g, {id}))
-              : 0.0;
+          opt.interconnect != InterconnectStyle::Mux ? 0.0
+          : frontier ? lib.muxCost(n.inputs.empty() ? 0 : 1) +
+                           lib.muxCost(n.inputs.size() < 2 ? 0 : 1)
+                     : alloc::muxCostOf(lib, alloc::arrangeInputs(g, {id}));
 
       struct Candidate {
         int alu = -1;                 ///< existing ALU index, or -1 = fresh
@@ -222,6 +242,11 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
         double f = 0.0;
       };
       std::vector<Candidate> cands;
+
+      // Frontier mode: one dependency window per op replaces the per-step
+      // depOk pred walks across every candidate ALU.
+      const auto dw = frontier ? fc.depWindow(s, id)
+                               : FrameCalculator::DepWindow{};
 
       auto pushSteps = [&](AluState* owner, celllib::ModuleId module,
                            double fAlu) {
@@ -236,6 +261,13 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
         if (opt.interconnect == InterconnectStyle::Mux) {
           if (owner == nullptr) {
             fMux = freshMux;
+          } else if (frontier) {
+            // O(1) probe pricing the O(1) greedy commit below; no memo —
+            // each op probes an ALU at most once per pass, so the map was
+            // pure allocation churn at scale.
+            const auto d = alloc::appendDelta(g, owner->arrangement, id);
+            fMux = lib.muxCost(static_cast<int>(d.left)) +
+                   lib.muxCost(static_cast<int>(d.right)) - owner->muxCost;
           } else if (!opt.incrementalMux) {
             std::vector<NodeId> after = owner->ops;
             after.push_back(id);
@@ -254,9 +286,7 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
             owner->muxDeltaMemo.emplace(id, fMux);
           }
         }
-        for (int step = tf->asap(id); step <= tf->alap(id); ++step) {
-          if (!fc.depOk(s, id, step).ok) continue;
-          if (aluIdx >= 0 && !occ.canPlace(id, aluIdx + 1, step)) continue;
+        auto pushOne = [&](int step) {
           Candidate cd;
           cd.alu = aluIdx;
           cd.module = module;
@@ -269,43 +299,62 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
           cd.terms.fReg = lib.regCost() * newRegsAt(step);
           cd.f = cd.terms.weighted(opt.weights);
           cands.push_back(cd);
+        };
+        if (frontier) {
+          // The contribution is non-decreasing in the step for this fixed
+          // (ALU, module) and the tie-break prefers the earlier step, so
+          // the earliest feasible step dominates all later ones.
+          for (int step = dw.firstStep(tf->asap(id), tf->alap(id)); step != 0;
+               step = dw.nextStep(step, tf->alap(id))) {
+            if (aluIdx >= 0 && !occ.canPlace(id, aluIdx + 1, step)) continue;
+            pushOne(step);
+            break;
+          }
+          return;
+        }
+        for (int step = tf->asap(id); step <= tf->alap(id); ++step) {
+          if (!fc.depOk(s, id, step).ok) continue;
+          if (aluIdx >= 0 && !occ.canPlace(id, aluIdx + 1, step)) continue;
+          pushOne(step);
         }
       };
 
-      const bool budgetOpen = support[ti] < current[ti];
-      for (AluState& a : alus) {
-        const celllib::Module& m = lib.module(a.module);
-        if (opt.style == rtl::DesignStyle::NoSelfLoop) {
-          // Section 4.2 style 2: an operation may not share an ALU with a
-          // predecessor or successor.
-          bool clash = false;
-          for (NodeId p : g.opPreds(id))
-            if (std::find(a.ops.begin(), a.ops.end(), p) != a.ops.end())
-              clash = true;
-          for (NodeId sc : g.opSuccs(id))
-            if (std::find(a.ops.begin(), a.ops.end(), sc) != a.ops.end())
-              clash = true;
-          if (clash) continue;
-        }
-        if (m.supports(type)) {
-          pushSteps(&a, a.module, /*fAlu=*/0.0);
-        } else if (budgetOpen) {
-          // Merge by upgrading the ALU to a multifunction superset:
-          // f_ALU = the area increment of the richer module.
-          std::set<FuType> caps = m.caps;
-          caps.insert(type);
-          if (auto up = cheapestCovering(lib, caps, m.stages)) {
-            const double delta = lib.module(*up).areaUm2 - m.areaUm2;
-            pushSteps(&a, *up, delta);
+      auto generate = [&] {
+        cands.clear();
+        const bool budgetOpen = support[ti] < current[ti];
+        for (AluState& a : alus) {
+          const celllib::Module& m = lib.module(a.module);
+          if (opt.style == rtl::DesignStyle::NoSelfLoop) {
+            // Section 4.2 style 2: an operation may not share an ALU with a
+            // predecessor or successor.
+            bool clash = false;
+            for (NodeId p : g.opPreds(id))
+              if (std::find(a.ops.begin(), a.ops.end(), p) != a.ops.end())
+                clash = true;
+            for (NodeId sc : g.opSuccs(id))
+              if (std::find(a.ops.begin(), a.ops.end(), sc) != a.ops.end())
+                clash = true;
+            if (clash) continue;
+          }
+          if (m.supports(type)) {
+            pushSteps(&a, a.module, /*fAlu=*/0.0);
+          } else if (budgetOpen) {
+            // Merge by upgrading the ALU to a multifunction superset:
+            // f_ALU = the area increment of the richer module.
+            std::set<FuType> caps = m.caps;
+            caps.insert(type);
+            if (auto up = cheapestCovering(lib, caps, m.stages)) {
+              const double delta = lib.module(*up).areaUm2 - m.areaUm2;
+              pushSteps(&a, *up, delta);
+            }
           }
         }
-      }
-      if (budgetOpen) {
-        for (celllib::ModuleId m : lib.capableModules(type))
-          pushSteps(nullptr, m, lib.module(m).areaUm2);
-      }
-
-      trace::bump(trace::Counter::MfsaCandidates, cands.size());
+        if (budgetOpen) {
+          for (celllib::ModuleId m : lib.capableModules(type))
+            pushSteps(nullptr, m, lib.module(m).areaUm2);
+        }
+        trace::bump(trace::Counter::MfsaCandidates, cands.size());
+      };
 
       // On an exact Liapunov tie, prefer the earlier step, then *reuse* —
       // an existing instance (lowest index) beats opening a fresh ALU.
@@ -317,11 +366,43 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
         return std::make_tuple(cd.step, cd.alu < 0 ? 1 : 0,
                                cd.alu < 0 ? 0 : cd.alu);
       };
-      const Candidate* chosen = nullptr;
-      for (const Candidate& cd : cands)
-        if (!chosen || cd.f < chosen->f ||
-            (cd.f == chosen->f && rankOf(cd) < rankOf(*chosen)))
-          chosen = &cd;
+      auto pick = [&]() -> const Candidate* {
+        const Candidate* best = nullptr;
+        for (const Candidate& cd : cands)
+          if (!best || cd.f < best->f ||
+              (cd.f == best->f && rankOf(cd) < rankOf(*best)))
+            best = &cd;
+        return best;
+      };
+
+      generate();
+      const Candidate* chosen = pick();
+      if (!chosen && frontier &&
+          (current[ti] < maxCols[ti] || !userLimited[ti])) {
+        // Frontier local rescheduling: widen the column budget in place and
+        // retry this one operation — the widening opens a fresh-ALU
+        // candidate at the dependency window's first step, so earlier
+        // placements stay valid and the pass never re-runs from scratch.
+        // (The exhaustive path below keeps the full restart: re-placing
+        // every op from scratch is what the small-benchmark goldens pin
+        // down, but it multiplies total work by the restart count, which
+        // dominated 10^5-op runs.) If even a fresh ALU has no feasible
+        // step, the dependency window itself is empty and only a full
+        // restart can help, so fall through.
+        if (++restarts > maxRestarts) {
+          res.error = "MFSA restart budget exhausted";
+          return res;
+        }
+        trace::bump(trace::Counter::MfsaRestarts);
+        if (current[ti] < maxCols[ti]) {
+          ++current[ti];
+        } else {
+          ++maxCols[ti];
+          ++current[ti];
+        }
+        generate();
+        chosen = pick();
+      }
 
       if (!chosen) {
         // Empty move frame: widen the type's column budget and reschedule
@@ -365,8 +446,18 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       }
       AluState& a = alus[static_cast<std::size_t>(aluIdx)];
       a.module = chosen->module;  // fresh assignment or upgrade
+      // Frontier mode commits the op into the cached arrangement in O(1)
+      // (exact in the commutative / already-pinned cases, greedy with
+      // bounded drift otherwise — re-arranging the whole op list per commit
+      // is quadratic in ops-per-ALU). Exhaustive mode rebuilds from the
+      // complete op list, keeping the legacy mux.fullArrangements counter
+      // and the provably minimal arrangement.
       a.ops.push_back(id);
-      a.arrangement = alloc::arrangeInputs(g, a.ops);
+      if (frontier) {
+        alloc::appendToArrangement(g, a.arrangement, id);
+      } else {
+        a.arrangement = alloc::arrangeInputs(g, a.ops);
+      }
       a.muxCost = alloc::muxCostOf(lib, a.arrangement);
       if (!a.muxDeltaMemo.empty())
         trace::bump(trace::Counter::MuxMemoInvalidations);
@@ -383,12 +474,8 @@ MfsaResult runMfsa(const dfg::Dfg& g, const celllib::CellLibrary& lib,
       }
       for (NodeId in : n.inputs) {
         if (g.node(in).kind == dfg::OpKind::Const) continue;
-        if (chosen->step > producerEnd(in)) {
-          auto it = maxUse.find(in);
-          maxUse[in] = it == maxUse.end()
-                           ? chosen->step
-                           : std::max(it->second, chosen->step);
-        }
+        if (chosen->step > producerEnd(in))
+          maxUse[in] = std::max(maxUse[in], chosen->step);
       }
 
       res.termsOf[id] = chosen->terms;

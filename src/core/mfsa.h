@@ -51,6 +51,12 @@ struct MfsaOptions {
   InterconnectStyle interconnect = InterconnectStyle::Mux;
   rtl::BusCostModel busModel;  ///< consulted when interconnect == Bus
 
+  /// Move-frame search strategy. Frontier (earliest feasible step per ALU ×
+  /// module, provably the argmin) only applies under mux interconnect with
+  /// non-negative weights — the bus term is not monotone in the step — and
+  /// otherwise silently falls back to Exhaustive.
+  MoveFrameMode frameMode = MoveFrameMode::Auto;
+
   /// Evaluate each candidate's f_MUX with the incremental
   /// alloc::arrangeInputsDelta against the ALU's cached arrangement
   /// (memoized per ALU × op) instead of re-running the full two-pass

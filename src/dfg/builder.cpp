@@ -32,7 +32,7 @@ NodeId Builder::op(OpKind kind, std::vector<NodeId> inputs, std::string name,
   return g_.addNode(std::move(n));
 }
 
-void Builder::setWidth(NodeId id, int width) { g_.node(id).width = width; }
+void Builder::setWidth(NodeId id, int width) { g_.mutableNode(id).width = width; }
 
 void Builder::pushBranch(const std::string& condId, const std::string& armId) {
   if (!branchScope_.empty()) branchScope_ += '.';
@@ -49,6 +49,7 @@ void Builder::popBranch() {
 
 Dfg Builder::build() && {
   if (auto err = g_.validate()) throw DfgError(g_.name() + ": " + *err);
+  g_.freeze();
   return std::move(g_);
 }
 

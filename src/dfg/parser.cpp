@@ -187,6 +187,7 @@ Dfg parseImpl(std::string_view text, std::vector<ParseIssue>* issues) {
   }
   if (!issues)
     if (auto err = g.validate()) throw DfgError(g.name() + ": " + *err);
+  g.freeze();
   return g;
 }
 

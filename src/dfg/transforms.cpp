@@ -60,6 +60,7 @@ Dfg rebuildMerged(const Dfg& g, const std::map<NodeId, NodeId>& replaceBy,
     if (it != replaceBy.end()) target = it->second;
     out.markOutput(newId[target], ext);
   }
+  out.freeze();
   return out;
 }
 
@@ -112,8 +113,9 @@ Dfg foldLoopNest(const LoopNest& nest, const BodyScheduler& sched) {
                                "' has no LoopSuper node named '" + folded.name() + "'");
     if (body.node(super).kind != OpKind::LoopSuper)
       throw std::runtime_error("node '" + folded.name() + "' is not a LoopSuper node");
-    body.node(super).cycles = steps;
+    body.mutableNode(super).cycles = steps;
   }
+  body.freeze();
   return body;
 }
 
@@ -145,6 +147,7 @@ NodeId addLoopBookkeeping(Dfg& body, const std::string& counterSignal,
   const NodeId cmpId = body.addNode(std::move(cmp));
   body.markOutput(cmpId, counterSignal + "_continue");
   body.markOutput(incId, counterSignal + "_next");
+  body.freeze();
   return cmpId;
 }
 
@@ -241,6 +244,7 @@ ConeCut extractCone(const Dfg& g, const std::vector<NodeId>& seeds, int hops) {
     }
     if (isOut) cut.cone.markOutput(cid, g.node(full).name);
   }
+  cut.cone.freeze();
   return cut;
 }
 

@@ -74,10 +74,6 @@ ExploreResult explore(const dfg::Dfg& g, const celllib::CellLibrary& lib,
 
   r.candidates = enumerateConfigs(spec, r.criticalSteps);
 
-  // Warm the DFG's lazy successor cache before the graph is shared across
-  // worker threads; afterwards every access is a const read.
-  if (!g.nodes().empty()) (void)g.opSuccs(g.nodes().front().id);
-
   trace::bump(trace::Counter::ExploreConfigs, r.candidates.size());
 
   parallelFor(static_cast<int>(r.candidates.size()), std::max(1, jobs),

@@ -1,5 +1,7 @@
 #include "lang/parser.h"
 
+#include <string>
+
 namespace mframe::lang {
 
 namespace {
@@ -45,7 +47,28 @@ class Parser {
     return s;
   }
 
+  /// Bounds the recursive descent (expression nesting, nested blocks): each
+  /// level on the call stack holds one of these, and crossing
+  /// kMaxNestingDepth surfaces a parse error at the offending token's line
+  /// instead of overflowing the stack on mechanically generated input.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxNestingDepth)
+        throw LangError(p_.cur().line,
+                        "nesting deeper than " +
+                            std::to_string(kMaxNestingDepth) +
+                            " levels; simplify the expression");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& p_;
+  };
+
   StmtPtr statement() {
+    const DepthGuard guard(*this);
     if (at(Token::Kind::KwIf)) return ifStatement();
     if (at(Token::Kind::KwLoop)) return loopStatement();
     return assignStatement();
@@ -171,6 +194,7 @@ class Parser {
   }
 
   ExprPtr expression(int minPrec = 1) {
+    const DepthGuard guard(*this);
     ExprPtr lhs = unary();
     while (true) {
       const int prec = precOf(cur().kind);
@@ -191,6 +215,7 @@ class Parser {
   }
 
   ExprPtr unary() {
+    const DepthGuard guard(*this);
     if (at(Token::Kind::Bang)) {
       const int line = cur().line;
       advance();
@@ -229,6 +254,7 @@ class Parser {
 
   std::vector<Token> toks_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< current recursive-descent depth (see DepthGuard)
 };
 
 }  // namespace

@@ -8,6 +8,13 @@
 
 namespace mframe::lang {
 
+/// Maximum combined statement/expression nesting depth the parser accepts.
+/// The descent recurses per nesting level, so an unbounded mechanically
+/// generated input (thousands of '(' or nested blocks) would overflow the
+/// stack; past this limit the parser raises a LangError with the offending
+/// line instead.
+inline constexpr int kMaxNestingDepth = 256;
+
 /// Parse a whole program. Throws LangError with line numbers.
 Program parseProgram(std::string_view source);
 

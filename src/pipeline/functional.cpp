@@ -54,6 +54,7 @@ dfg::Dfg buildTwoInstanceDfg(const dfg::Dfg& g, int latency) {
     out.markOutput(map1[id], ext + "_i1");
     out.markOutput(map2[id], ext + "_i2");
   }
+  out.freeze();
   return out;
 }
 

@@ -12,7 +12,7 @@ namespace {
 int predReadyStep(const dfg::Dfg& g, const TimeFrames& tf, dfg::NodeId id) {
   int ready = 0;
   for (dfg::NodeId p : g.opPreds(id))
-    ready = std::max(ready, tf.asap(p) + g.node(p).cycles - 1);
+    ready = std::max(ready, tf.asap(p) + g.cyclesOf(p) - 1);
   return ready;
 }
 
@@ -20,7 +20,8 @@ int predReadyStep(const dfg::Dfg& g, const TimeFrames& tf, dfg::NodeId id) {
 
 std::vector<dfg::NodeId> priorityOrder(const dfg::Dfg& g, const TimeFrames& tf,
                                        PriorityRule rule) {
-  std::vector<dfg::NodeId> ops = g.operations();
+  const auto opsSpan = g.operations();
+  std::vector<dfg::NodeId> ops(opsSpan.begin(), opsSpan.end());
   if (rule == PriorityRule::InsertionOrder) return ops;
 
   const bool reverseRule = rule == PriorityRule::Mobility;
@@ -30,8 +31,8 @@ std::vector<dfg::NodeId> priorityOrder(const dfg::Dfg& g, const TimeFrames& tf,
 
     const int ma = tf.mobility(a);
     const int mb = tf.mobility(b);
-    const int ca = g.node(a).cycles;
-    const int cb = g.node(b).cycles;
+    const int ca = g.cyclesOf(a);
+    const int cb = g.cyclesOf(b);
     if (ma != mb) {
       // Section 5.3: for two multicycle operations whose mobility gap is
       // smaller than their duration, reverse the mobility rule.

@@ -68,9 +68,20 @@ std::map<dfg::NodeId, int> Schedule::stepMap() const {
 std::string Schedule::toString() const {
   std::string out = util::format("schedule of '%s' in %d steps\n",
                                  graph_->name().c_str(), numSteps_);
+  // Bucket occupied steps in one pass — opsInStep() per step is O(n) and
+  // made the dump quadratic on deep schedules. Walking nodes in id order
+  // per bucket preserves the exact legacy line layout.
+  std::vector<std::vector<dfg::NodeId>> byStep(
+      static_cast<std::size_t>(std::max(numSteps_, 0)) + 1);
+  for (const dfg::Node& n : graph_->nodes()) {
+    if (!dfg::isSchedulable(n.kind) || !placed_[n.id]) continue;
+    for (int s = place_[n.id].step;
+         s < place_[n.id].step + n.cycles && s <= numSteps_; ++s)
+      if (s >= 1) byStep[static_cast<std::size_t>(s)].push_back(n.id);
+  }
   for (int s = 1; s <= numSteps_; ++s) {
     out += util::format("  step %2d:", s);
-    for (dfg::NodeId id : opsInStep(s)) {
+    for (dfg::NodeId id : byStep[static_cast<std::size_t>(s)]) {
       const dfg::Node& n = graph_->node(id);
       out += util::format(" %s(%s)@%d", n.name.c_str(),
                           std::string(dfg::kindSymbol(n.kind)).c_str(),

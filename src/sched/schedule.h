@@ -64,6 +64,14 @@ class Schedule {
         place_(g.size()),
         placed_(g.size(), false) {}
 
+  /// Share an existing snapshot instead of deep-copying the graph. The
+  /// schedulers take one snapshot per run and hand it to every restart —
+  /// copying a 100k-node graph hundreds of times dominated large runs.
+  explicit Schedule(std::shared_ptr<const dfg::Dfg> g)
+      : graph_(std::move(g)),
+        place_(graph_->size()),
+        placed_(graph_->size(), false) {}
+
   const dfg::Dfg& graph() const { return *graph_; }
   std::shared_ptr<const dfg::Dfg> sharedGraph() const { return graph_; }
 

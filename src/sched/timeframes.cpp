@@ -1,7 +1,6 @@
 #include "sched/timeframes.h"
 
 #include <algorithm>
-#include <functional>
 
 #include "trace/trace.h"
 #include "util/strings.h"
@@ -27,20 +26,22 @@ struct AsapEntry {
 
 /// Generic ASAP over an arbitrary precedence relation, used forwards for
 /// ASAP and on the reversed graph for ALAP. `order` must list schedulable
-/// nodes so that every node appears after all nodes `predsOf` returns for it.
+/// nodes so that every node appears after all nodes `predsOf` returns for
+/// it. Statically polymorphic over the accessor so the CSR span walks stay
+/// allocation-free.
+template <typename PredsOf>
 std::vector<AsapEntry> asapCore(const dfg::Dfg& g,
                                 const std::vector<dfg::NodeId>& order,
-                                const std::function<std::vector<dfg::NodeId>(dfg::NodeId)>& predsOf,
-                                const Constraints& c) {
+                                const PredsOf& predsOf, const Constraints& c) {
   std::vector<AsapEntry> entry(g.size());
   for (dfg::NodeId id : order) {
-    const dfg::Node& n = g.node(id);
+    const int cycles = g.cyclesOf(id);
     Avail ready{1, 0.0};
     for (dfg::NodeId p : predsOf(id)) ready = std::max(ready, entry[p].avail);
 
-    const double delay = n.effectiveDelayNs();
+    const double delay = g.delayOf(id);
     AsapEntry e;
-    const bool chainable = c.allowChaining && n.cycles == 1 && delay <= c.clockNs;
+    const bool chainable = c.allowChaining && cycles == 1 && delay <= c.clockNs;
     if (chainable && ready.offsetNs + delay <= c.clockNs) {
       // Fits behind its predecessors within the same step.
       e.start = ready.step;
@@ -54,7 +55,7 @@ std::vector<AsapEntry> asapCore(const dfg::Dfg& g,
         e.avail = {e.start, delay};
         if (e.avail.offsetNs >= c.clockNs) e.avail = {e.start + 1, 0.0};
       } else {
-        e.avail = {e.start + n.cycles, 0.0};
+        e.avail = {e.start + cycles, 0.0};
       }
     }
     entry[id] = e;
@@ -83,14 +84,14 @@ std::optional<TimeFrames> computeTimeFrames(const dfg::Dfg& g,
   }
   std::vector<dfg::NodeId> fwd;
   for (dfg::NodeId id : *maybeOrder)
-    if (dfg::isSchedulable(g.node(id).kind)) fwd.push_back(id);
+    if (dfg::isSchedulable(g.kindOf(id))) fwd.push_back(id);
 
   const auto asap = asapCore(
       g, fwd, [&](dfg::NodeId id) { return g.opPreds(id); }, c);
 
   int critical = 1;
   for (dfg::NodeId id : fwd)
-    critical = std::max(critical, asap[id].start + g.node(id).cycles - 1);
+    critical = std::max(critical, asap[id].start + g.cyclesOf(id) - 1);
   tf.criticalSteps_ = critical;
 
   const int cs = c.timeSteps > 0 ? c.timeSteps : critical;
@@ -110,7 +111,7 @@ std::optional<TimeFrames> computeTimeFrames(const dfg::Dfg& g,
   for (dfg::NodeId id : fwd) {
     const dfg::Node& n = g.node(id);
     tf.frames_[id].asap = asap[id].start;
-    tf.frames_[id].alap = cs - rasap[id].start - n.cycles + 2;
+    tf.frames_[id].alap = cs - rasap[id].start - g.cyclesOf(id) + 2;
     if (tf.frames_[id].alap < tf.frames_[id].asap) {
       // The ALAP mirror disagrees with ASAP — a chaining-asymmetric packing
       // would make every downstream mobility negative. No such input is
@@ -130,9 +131,8 @@ std::optional<TimeFrames> computeTimeFrames(const dfg::Dfg& g,
     std::vector<std::vector<int>> perStep(dfg::kNumFuTypes,
                                           std::vector<int>(cs + 2, 0));
     for (dfg::NodeId id : fwd) {
-      const dfg::Node& n = g.node(id);
-      const auto t = static_cast<std::size_t>(dfg::fuTypeOf(n.kind));
-      for (int s = startOf(id); s < startOf(id) + n.cycles && s <= cs; ++s)
+      const auto t = static_cast<std::size_t>(dfg::fuTypeOf(g.kindOf(id)));
+      for (int s = startOf(id); s < startOf(id) + g.cyclesOf(id) && s <= cs; ++s)
         ++perStep[t][s];
     }
     for (std::size_t t = 0; t < dfg::kNumFuTypes; ++t)

@@ -54,6 +54,8 @@ std::string_view counterName(Counter c) {
     case Counter::RangeWidenings: return "range.widenings";
     case Counter::RangeAsserts: return "range.asserts";
     case Counter::RangeFindings: return "range.findings";
+    case Counter::DfgFreezes: return "dfg.freezes";
+    case Counter::DfgCsrEdges: return "dfg.csrEdges";
     case Counter::kCount: break;
   }
   return "?";

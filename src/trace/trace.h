@@ -66,6 +66,8 @@ enum class Counter : int {
   RangeWidenings,         ///< loop-head interval widenings applied
   RangeAsserts,           ///< .bind range assertions checked
   RangeFindings,          ///< WID diagnostics emitted
+  DfgFreezes,             ///< Dfg::freeze index builds
+  DfgCsrEdges,            ///< CSR edges laid out across all freezes
   kCount
 };
 

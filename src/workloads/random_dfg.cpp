@@ -7,7 +7,10 @@
 
 namespace mframe::workloads {
 
-dfg::Dfg randomDfg(const RandomDfgOptions& opt) {
+namespace {
+
+/// The legacy generator: random layer widths, operands from the whole pool.
+dfg::Dfg layeredDfg(const RandomDfgOptions& opt) {
   std::mt19937 rng(opt.seed);
   auto pct = [&](int p) {
     return std::uniform_int_distribution<int>(0, 99)(rng) < p;
@@ -64,6 +67,154 @@ dfg::Dfg randomDfg(const RandomDfgOptions& opt) {
   // Mark sinks as outputs so lifetimes reach the end of the schedule.
   b.output(pool.back(), "out");
   return std::move(b).build();
+}
+
+/// Shared per-op attribute roll for the structured topologies.
+struct OpRoll {
+  dfg::OpKind kind;
+  int cycles;
+  double delay;
+};
+
+OpRoll rollOp(const RandomDfgOptions& opt, std::mt19937& rng,
+              dfg::OpKind preferred, int preferredPercent) {
+  auto pct = [&](int p) {
+    return std::uniform_int_distribution<int>(0, 99)(rng) < p;
+  };
+  const dfg::OpKind alt[] = {dfg::OpKind::Add, dfg::OpKind::Sub,
+                             dfg::OpKind::And, dfg::OpKind::Xor};
+  OpRoll r;
+  r.kind = pct(preferredPercent)
+               ? preferred
+               : alt[std::uniform_int_distribution<int>(0, 3)(rng)];
+  r.cycles = r.kind == dfg::OpKind::Mul && pct(opt.twoCyclePercent) ? 2 : 1;
+  r.delay = opt.randomDelays && r.cycles == 1
+                ? static_cast<double>(
+                      std::uniform_int_distribution<int>(10, 60)(rng))
+                : -1.0;
+  return r;
+}
+
+/// Conv: fixed-width layers, op k of a layer reads prev[k] and prev[k+1]
+/// (mod width) — every previous-layer output fans out to ~2 consumers and
+/// the graph depth is numOps / width.
+dfg::Dfg convDfg(const RandomDfgOptions& opt) {
+  std::mt19937 rng(opt.seed);
+  dfg::Builder b(util::format("conv_%u_%d", opt.seed, opt.numOps));
+  const int width = std::max(1, opt.layerWidth);
+  std::vector<dfg::NodeId> prev;
+  for (int i = 0; i < std::max(2, opt.numInputs); ++i)
+    prev.push_back(b.input(util::format("in%d", i)));
+
+  int made = 0;
+  while (made < opt.numOps) {
+    std::vector<dfg::NodeId> layer;
+    layer.reserve(static_cast<std::size_t>(width));
+    const std::size_t pw = prev.size();
+    for (int k = 0; k < width && made < opt.numOps; ++k, ++made) {
+      const OpRoll r = rollOp(opt, rng, dfg::OpKind::Mul, opt.mulPercent);
+      const dfg::NodeId x = prev[static_cast<std::size_t>(k) % pw];
+      const dfg::NodeId y = prev[(static_cast<std::size_t>(k) + 1) % pw];
+      layer.push_back(
+          b.op(r.kind, {x, y}, util::format("n%d", made), r.cycles, r.delay));
+    }
+    prev = std::move(layer);
+  }
+  b.output(prev.back(), "out");
+  return std::move(b).build();
+}
+
+/// Lstm: C = max(1, width/4) parallel cells, each carrying a cell chain c
+/// and a hidden chain h; every timestep spends four ops per cell
+/// (gate, cell update, output gate, hidden update), so the dependency
+/// chains are numOps / (4*C) deep.
+dfg::Dfg lstmDfg(const RandomDfgOptions& opt) {
+  std::mt19937 rng(opt.seed);
+  dfg::Builder b(util::format("lstm_%u_%d", opt.seed, opt.numOps));
+  const int cells = std::max(1, opt.layerWidth / 4);
+  std::vector<dfg::NodeId> ins;
+  for (int i = 0; i < std::max(2, opt.numInputs); ++i)
+    ins.push_back(b.input(util::format("in%d", i)));
+
+  std::vector<dfg::NodeId> c(static_cast<std::size_t>(cells));
+  std::vector<dfg::NodeId> h(static_cast<std::size_t>(cells));
+  for (int j = 0; j < cells; ++j) {
+    c[static_cast<std::size_t>(j)] = ins[static_cast<std::size_t>(j) % ins.size()];
+    h[static_cast<std::size_t>(j)] =
+        ins[(static_cast<std::size_t>(j) + 1) % ins.size()];
+  }
+
+  int made = 0;
+  auto emit = [&](dfg::OpKind kind, dfg::NodeId x, dfg::NodeId y) {
+    const OpRoll r = rollOp(opt, rng, kind, 100);
+    return b.op(r.kind, {x, y}, util::format("n%d", made++), r.cycles, r.delay);
+  };
+  while (made < opt.numOps) {
+    for (int j = 0; j < cells && made < opt.numOps; ++j) {
+      const auto ji = static_cast<std::size_t>(j);
+      const dfg::NodeId x = ins[static_cast<std::size_t>(
+          std::uniform_int_distribution<int>(
+              0, static_cast<int>(ins.size()) - 1)(rng))];
+      // gate = h (+) x; cell' = cell (*) gate; out = h (^) x;
+      // hidden' = cell' (+) out — the recurrence runs through cell'/hidden'.
+      const dfg::NodeId gate = emit(dfg::OpKind::Add, h[ji], x);
+      if (made >= opt.numOps) break;
+      const dfg::NodeId cNew = emit(dfg::OpKind::Mul, c[ji], gate);
+      c[ji] = cNew;
+      if (made >= opt.numOps) break;
+      const dfg::NodeId out = emit(dfg::OpKind::Xor, h[ji], x);
+      if (made >= opt.numOps) break;
+      h[ji] = emit(dfg::OpKind::Add, cNew, out);
+    }
+  }
+  b.output(c.back(), "out");
+  return std::move(b).build();
+}
+
+/// Transformer: dense width-sized blocks; every op reads two uniformly
+/// random outputs of the previous block. Even blocks are mul-heavy
+/// (attention-score flavor), odd blocks add-heavy (feed-forward flavor).
+dfg::Dfg transformerDfg(const RandomDfgOptions& opt) {
+  std::mt19937 rng(opt.seed);
+  dfg::Builder b(util::format("xfmr_%u_%d", opt.seed, opt.numOps));
+  const int width = std::max(1, opt.layerWidth);
+  std::vector<dfg::NodeId> prev;
+  for (int i = 0; i < std::max(2, opt.numInputs); ++i)
+    prev.push_back(b.input(util::format("in%d", i)));
+
+  int made = 0;
+  int block = 0;
+  while (made < opt.numOps) {
+    const dfg::OpKind preferred =
+        block % 2 == 0 ? dfg::OpKind::Mul : dfg::OpKind::Add;
+    std::vector<dfg::NodeId> layer;
+    layer.reserve(static_cast<std::size_t>(width));
+    auto pickPrev = [&]() {
+      return prev[std::uniform_int_distribution<std::size_t>(
+          0, prev.size() - 1)(rng)];
+    };
+    for (int k = 0; k < width && made < opt.numOps; ++k, ++made) {
+      const OpRoll r = rollOp(opt, rng, preferred, 70);
+      layer.push_back(b.op(r.kind, {pickPrev(), pickPrev()},
+                           util::format("n%d", made), r.cycles, r.delay));
+    }
+    prev = std::move(layer);
+    ++block;
+  }
+  b.output(prev.back(), "out");
+  return std::move(b).build();
+}
+
+}  // namespace
+
+dfg::Dfg randomDfg(const RandomDfgOptions& opt) {
+  switch (opt.topology) {
+    case DfgTopology::Conv: return convDfg(opt);
+    case DfgTopology::Lstm: return lstmDfg(opt);
+    case DfgTopology::Transformer: return transformerDfg(opt);
+    case DfgTopology::Layered: break;
+  }
+  return layeredDfg(opt);
 }
 
 }  // namespace mframe::workloads

@@ -8,27 +8,41 @@
 
 namespace mframe::workloads {
 
+/// Shape of the generated DAG. Layered is the legacy generator (random
+/// layer widths, operands drawn from the whole pool). The other three are
+/// NN-inspired structures for the 10^5..10^6-op scale benches:
+///  * Conv — fixed-width layers where op k reads a sliding window of the
+///    previous layer, giving every layer output a wide fan-out;
+///  * Lstm — a few parallel cell/hidden chains updated step by step, giving
+///    recurrence-deep dependency chains (graph depth ~ numOps / width);
+///  * Transformer — dense blocks where each op reads two random outputs of
+///    the previous block, alternating mul-heavy and add-heavy blocks.
+enum class DfgTopology { Layered, Conv, Lstm, Transformer };
+
 struct RandomDfgOptions {
   std::uint32_t seed = 1;
   int numOps = 20;
   int numInputs = 4;
+  DfgTopology topology = DfgTopology::Layered;
   /// Average number of operations per dependency layer (controls width vs
-  /// depth).
+  /// depth). For Conv/Transformer this is the exact layer/block width; for
+  /// Lstm, the number of parallel cell chains is max(1, layerWidth / 4).
   int layerWidth = 4;
   /// Probability (percent) that an eligible binary op is a multiplication.
   int mulPercent = 25;
   /// Probability (percent) that a multiplication takes two cycles.
   int twoCyclePercent = 0;
   /// Probability (percent) that an op lands in one of two branch arms of a
-  /// conditional (mutual exclusion coverage).
+  /// conditional (mutual exclusion coverage). Layered topology only.
   int branchPercent = 0;
   /// When true, single-cycle ops get random combinational delays in
   /// [10, 60] ns so chaining under a 100 ns clock has real structure.
   bool randomDelays = false;
 };
 
-/// Build a random layered DAG: every op reads from earlier layers or primary
-/// inputs, so the result always validates. Deterministic in the options.
+/// Build a random DAG of the requested topology: every op reads from
+/// earlier layers or primary inputs, so the result always validates (node
+/// ids are topological by construction). Deterministic in the options.
 dfg::Dfg randomDfg(const RandomDfgOptions& opt);
 
 }  // namespace mframe::workloads

@@ -102,7 +102,8 @@ TEST(CacheFingerprint, ContentChangesTheDigest) {
   EXPECT_NE(fingerprintDfg(a), fingerprintDfg(b));
 
   dfg::Dfg c = dfg::parse(kDesign);
-  c.node(c.findByName("t1")).cycles = 2;
+  c.mutableNode(c.findByName("t1")).cycles = 2;
+  c.freeze();
   EXPECT_NE(fingerprintDfg(a), fingerprintDfg(c));
 }
 

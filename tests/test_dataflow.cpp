@@ -74,7 +74,8 @@ TEST(DataflowEngine, WideningTerminatesOnCyclicGraphs) {
   b.name = "inc1";
   b.inputs = {ia};
   const auto ib = g.addNode(b);
-  g.node(ia).inputs = {ib};
+  g.mutableNode(ia).inputs = {ib};
+  g.freeze();
 
   int visits = 0;
   const auto ranges = analyzeRanges(g, 16, &visits);

@@ -306,5 +306,54 @@ cont = x1 < a;
   EXPECT_EQ(e.outputs.at("u1"), (9u - 54u - 15u) & 0xFFFF);
 }
 
+// Regression: the recursive descent had unbounded nesting recursion, so a
+// mechanically generated expression with thousands of '(' overflowed the
+// stack and crashed the process. The parser now counts nesting levels and
+// raises a LangError with the offending line past kMaxNestingDepth.
+//
+// Depth accounting, pinned here so the boundary tests stay exact: parsing
+// "y = (((...a...)));" enters statement (1), expression (2), unary (3), and
+// each '(' recurses expression + unary (+2). With k parens the peak depth is
+// 3 + 2k, so k = (kMaxNestingDepth - 3) / 2 is the deepest accepted input
+// and k + 1 must diagnose.
+std::string nestedParens(int k) {
+  std::string src = "design d;\ninput a;\ny = ";
+  src.append(static_cast<std::size_t>(k), '(');
+  src += "a";
+  src.append(static_cast<std::size_t>(k), ')');
+  src += ";\n";
+  return src;
+}
+
+TEST(ParserDepth, AcceptsNestingAtTheLimit) {
+  constexpr int kAtLimit = (kMaxNestingDepth - 3) / 2;
+  const Program p = parseProgram(nestedParens(kAtLimit));
+  ASSERT_EQ(p.stmts.size(), 1u);
+  EXPECT_EQ(p.stmts[0]->target, "y");
+}
+
+TEST(ParserDepth, DiagnosesNestingJustPastTheLimit) {
+  constexpr int kPastLimit = (kMaxNestingDepth - 3) / 2 + 1;
+  try {
+    parseProgram(nestedParens(kPastLimit));
+    FAIL() << "over-deep nesting must not parse";
+  } catch (const LangError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nesting deeper than"), std::string::npos) << what;
+    // The expression sits on line 3 of the generated source.
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+}
+
+TEST(ParserDepth, DeeplyNestedBlocksDiagnoseInsteadOfCrashing) {
+  // 5000 nested if-blocks: far past any plausible real input, previously a
+  // guaranteed stack overflow.
+  std::string src = "design d;\ninput a;\n";
+  for (int i = 0; i < 5000; ++i) src += "if (a) {\n";
+  src += "y = a;\n";
+  for (int i = 0; i < 5000; ++i) src += "}\n";
+  EXPECT_THROW(parseProgram(src), LangError);
+}
+
 }  // namespace
 }  // namespace mframe::lang

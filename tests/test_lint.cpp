@@ -142,7 +142,7 @@ TEST(LintRtl, CleanSynthesisIsSilentForEveryRtlRule) {
 
 TEST(LintDfg, DanglingInputFires) {  // DFG001
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("y")).inputs.push_back(99);
+  g.mutableNode(g.findByName("y")).inputs.push_back(99);
   const LintReport r = lintDfg(g);
   ASSERT_TRUE(fires(r, kDfgDanglingInput));
   EXPECT_EQ(r.byRule(kDfgDanglingInput).front().loc.node, "y");
@@ -150,14 +150,14 @@ TEST(LintDfg, DanglingInputFires) {  // DFG001
 
 TEST(LintDfg, ArityMismatchFires) {  // DFG002
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("y")).inputs.pop_back();
+  g.mutableNode(g.findByName("y")).inputs.pop_back();
   EXPECT_TRUE(fires(lintDfg(g), kDfgArityMismatch));
 }
 
 TEST(LintDfg, CycleFiresWithOffendingPath) {  // DFG003
   dfg::Dfg g = test::smallDiamond();
   // s feeds y; rewire s to read y back: s -> y -> s.
-  g.node(g.findByName("s")).inputs[0] = g.findByName("y");
+  g.mutableNode(g.findByName("s")).inputs[0] = g.findByName("y");
   const LintReport r = lintDfg(g);
   const auto cyc = r.byRule(kDfgCycle);
   ASSERT_EQ(cyc.size(), 1u);
@@ -167,7 +167,7 @@ TEST(LintDfg, CycleFiresWithOffendingPath) {  // DFG003
 
 TEST(LintDfg, ForwardReferenceFires) {  // DFG010
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("s")).inputs[0] = g.findByName("y");
+  g.mutableNode(g.findByName("s")).inputs[0] = g.findByName("y");
   EXPECT_TRUE(fires(lintDfg(g), kDfgForwardRef));
 }
 
@@ -193,29 +193,29 @@ TEST(LintDfg, NoOutputsAtAllIsDesignLevel) {  // DFG004 (design)
 
 TEST(LintDfg, BadCyclesFires) {  // DFG005
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("y")).cycles = 0;
+  g.mutableNode(g.findByName("y")).cycles = 0;
   EXPECT_TRUE(fires(lintDfg(g), kDfgBadCycles));
 }
 
 TEST(LintDfg, BadDelayOverrideFires) {  // DFG006
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("y")).delayNs = 0.0;  // "free" chaining
+  g.mutableNode(g.findByName("y")).delayNs = 0.0;  // "free" chaining
   EXPECT_TRUE(fires(lintDfg(g), kDfgBadDelayOverride));
 
   dfg::Dfg h = test::smallDiamond();
-  h.node(h.findByName("a")).delayNs = 5.0;  // delay on an Input node
+  h.mutableNode(h.findByName("a")).delayNs = 5.0;  // delay on an Input node
   EXPECT_TRUE(fires(lintDfg(h), kDfgBadDelayOverride));
 }
 
 TEST(LintDfg, BadBranchPathFires) {  // DFG007
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("y")).branchPath = "c1";  // odd component count
+  g.mutableNode(g.findByName("y")).branchPath = "c1";  // odd component count
   EXPECT_TRUE(fires(lintDfg(g), kDfgBadBranchPath));
 }
 
 TEST(LintDfg, DuplicateNameFires) {  // DFG008
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("t")).name = "s";
+  g.mutableNode(g.findByName("t")).name = "s";
   EXPECT_TRUE(fires(lintDfg(g), kDfgDuplicateName));
 }
 
@@ -237,15 +237,15 @@ TEST(LintDfg, BadOutputRefFires) {  // DFG011
 
 TEST(LintDfg, BadWidthFires) {  // DFG012
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("y")).width = 65;
+  g.mutableNode(g.findByName("y")).width = 65;
   EXPECT_TRUE(fires(lintDfg(g), kDfgBadWidth));
 
   dfg::Dfg h = test::smallDiamond();
-  h.node(h.findByName("a")).width = -3;
+  h.mutableNode(h.findByName("a")).width = -3;
   EXPECT_TRUE(fires(lintDfg(h), kDfgBadWidth));
 
   dfg::Dfg ok = test::smallDiamond();
-  ok.node(ok.findByName("y")).width = 8;
+  ok.mutableNode(ok.findByName("y")).width = 8;
   EXPECT_FALSE(fires(lintDfg(ok), kDfgBadWidth));
 }
 
@@ -263,7 +263,7 @@ TEST(LintDfg, ConstWidthOverflowFires) {  // DFG013
   // A negative literal never fits (the value domain is unsigned).
   dfg::Dfg neg = dfg::parse(
       "dfg cneg\ninput a\nconst 0 k width=4\nop add t a k\noutput y t\n");
-  neg.node(neg.findByName("k")).constValue = -1;
+  neg.mutableNode(neg.findByName("k")).constValue = -1;
   EXPECT_TRUE(fires(lintDfg(neg), kDfgConstWidthOverflow));
 
   // The boundary value 15 fits exactly; an unsized literal is never checked.
@@ -614,8 +614,8 @@ TEST(LintReportTest, CountsAndThresholds) {
 
 TEST(LintReportTest, LegacyMessagesPreserveOrder) {
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("y")).cycles = 0;
-  g.node(g.findByName("t")).name = "s";
+  g.mutableNode(g.findByName("y")).cycles = 0;
+  g.mutableNode(g.findByName("t")).name = "s";
   const LintReport r = lintDfg(g);
   const auto msgs = r.messages();
   ASSERT_EQ(msgs.size(), r.size());
@@ -641,8 +641,8 @@ TEST(LintReportTest, ToTextCarriesRuleAndLocation) {
 
 TEST(LintJson, RoundTripPreservesEveryDiagnostic) {
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("s")).inputs[0] = g.findByName("y");  // cycle + fwd ref
-  g.node(g.findByName("f")).branchPath = "c1";
+  g.mutableNode(g.findByName("s")).inputs[0] = g.findByName("y");  // cycle + fwd ref
+  g.mutableNode(g.findByName("f")).branchPath = "c1";
   g.markOutput(999, "bogus");
   const LintReport r = lintDfg(g);
   ASSERT_GE(r.size(), 3u);
@@ -680,7 +680,7 @@ TEST(LintJson, MalformedInputIsRejected) {
 
 TEST(LintJson, RenderedJsonCarriesCounts) {
   dfg::Dfg g = test::smallDiamond();
-  g.node(g.findByName("y")).cycles = 0;
+  g.mutableNode(g.findByName("y")).cycles = 0;
   const LintReport r = lintDfg(g);
   const std::string json = r.renderJson("diamond");
   EXPECT_NE(json.find("\"design\""), std::string::npos);

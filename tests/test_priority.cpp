@@ -82,7 +82,9 @@ TEST(Priority, InsertionOrderAblationIsIdentity) {
   Constraints c;
   c.timeSteps = 4;
   const auto tf = *computeTimeFrames(g, c);
-  EXPECT_EQ(priorityOrder(g, tf, PriorityRule::InsertionOrder), g.operations());
+  const auto opsSpan = g.operations();
+  EXPECT_EQ(priorityOrder(g, tf, PriorityRule::InsertionOrder),
+            std::vector<dfg::NodeId>(opsSpan.begin(), opsSpan.end()));
 }
 
 TEST(Priority, CoversEveryOperationExactlyOnce) {
@@ -92,7 +94,8 @@ TEST(Priority, CoversEveryOperationExactlyOnce) {
   const auto tf = *computeTimeFrames(g, c);
   auto order = priorityOrder(g, tf);
   std::sort(order.begin(), order.end());
-  auto ops = g.operations();
+  const auto opsSpan = g.operations();
+  std::vector<dfg::NodeId> ops(opsSpan.begin(), opsSpan.end());
   std::sort(ops.begin(), ops.end());
   EXPECT_EQ(order, ops);
 }

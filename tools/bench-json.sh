@@ -2,7 +2,7 @@
 # Run the google-benchmark binaries and merge their JSON reports into one
 # BENCH_runtime.json tracking the repo's performance trajectory:
 #   { "runtime": ..., "explore": ..., "analyze": ..., "tune": ...,
-#     "audit": ..., "cache": ..., "range": ..., "metrics": ... }
+#     "audit": ..., "cache": ..., "range": ..., "scale": ..., "metrics": ... }
 # — one google-benchmark report per binary, plus the pipeline counter
 # metrics of two pinned CLI invocations (extracted from the '{"schema": 1,'
 # marker object that --metrics=json appends to stdout). Counters are
@@ -21,7 +21,7 @@ build=${1:-$repo/build}
 out=${2:-$repo/BENCH_runtime.json}
 
 for bin in bench_runtime bench_explore bench_analyze bench_tune bench_audit \
-           bench_cache bench_range; do
+           bench_cache bench_range bench_scale; do
   if [ ! -x "$build/bench/$bin" ]; then
     echo "bench-json.sh: $build/bench/$bin not built" >&2
     exit 1
@@ -57,6 +57,9 @@ trap 'rm -rf "$tmp"' EXIT
 # shellcheck disable=SC2086
 "$build/bench/bench_range" --benchmark_format=json $minTimeArg \
   > "$tmp/range.json"
+# shellcheck disable=SC2086
+"$build/bench/bench_scale" --benchmark_format=json $minTimeArg \
+  > "$tmp/scale.json"
 
 # Counter metrics from pinned CLI runs. python3 is only needed for this
 # extraction; without it the report simply lacks the metrics key (and
@@ -122,6 +125,8 @@ fi
   cat "$tmp/cache.json"
   printf ',\n"range":\n'
   cat "$tmp/range.json"
+  printf ',\n"scale":\n'
+  cat "$tmp/scale.json"
   if [ "$haveMetrics" = 1 ]; then
     printf ',\n"metrics":\n'
     cat "$tmp/metrics.json"

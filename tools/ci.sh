@@ -40,9 +40,17 @@ echo "==== configure build-ci-tsan (-DMFRAME_SANITIZE=thread)"
 cmake -B "$repo/build-ci-tsan" -S "$repo" -DMFRAME_SANITIZE=thread
 echo "==== build build-ci-tsan (mframe_tests)"
 cmake --build "$repo/build-ci-tsan" -j "$jobs" --target mframe_tests
-echo "==== explorer/thread-pool, tune, audit, range and cache tests under TSan"
+echo "==== explorer/thread-pool, tune, audit, range, cache and DFG concurrency tests under TSan"
 "$repo/build-ci-tsan/tests/mframe_tests" \
-  --gtest_filter='Explore*:Tune.*:Audit*:Range*:Cache*' --gtest_brief=1
+  --gtest_filter='Explore*:Tune.*:Audit*:Range*:Cache*:DfgConcurrency*' \
+  --gtest_brief=1
+
+# Scale smoke under TSan: a 10k-op synthesis drives the frontier scheduler's
+# span walks over the shared frozen graph with sanitizer bookkeeping on.
+echo "==== 10k-op synth smoke under TSan"
+cmake --build "$repo/build-ci-tsan" -j "$jobs" --target mframe
+"$repo/build-ci-tsan/tools/mframe" synth \
+  random:conv,ops=10000,width=64 --metrics > /dev/null
 
 # UndefinedBehaviorSanitizer-only tree: the interval lattice and the
 # constant folder lean on checked arithmetic (__builtin_*_overflow plus
@@ -58,6 +66,21 @@ echo "==== interval, dataflow and range arithmetic under UBSan"
 "$repo/build-ci-ubsan/tests/mframe_tests" \
   --gtest_filter='Range*:Ranges*:ConstProp*:DataflowEngine*:Bind*' \
   --gtest_brief=1
+
+# Scale smoke in the plain tree: a 100k-op random DFG through the full
+# synth and analyze pipelines must stay in single-digit seconds (ISSUE-10
+# acceptance bound; `timeout` turns a quadratic regression into a hard
+# failure instead of a hung CI run).
+echo "==== 100k-op synth + analyze smoke (plain tree)"
+timeout 120 "$repo/build-ci/tools/mframe" synth \
+  random:conv,ops=100000,width=64 --metrics > /dev/null
+timeout 120 "$repo/build-ci/tools/mframe" analyze \
+  random:conv,ops=100000,width=64 > /dev/null
+
+# And a 10k-op pass under ASan/UBSan, where redzones would make 100k crawl.
+echo "==== 10k-op synth smoke under ASan/UBSan"
+"$repo/build-ci-asan/tools/mframe" synth \
+  random:conv,ops=10000,width=64 --metrics > /dev/null
 
 # Perf benches run under the plain tree only (sanitizer overhead would make
 # the numbers meaningless): a short smoke pass of bench_runtime/bench_explore

@@ -13,6 +13,10 @@
 // textual DFG format (.dfg, 'dfg ...'); the format is sniffed from the first
 // keyword. Passing "-" (or omitting the file) reads the design from stdin,
 // so designs can be piped straight in: `echo "..." | mframe lint`.
+// A `random:<topology>[,key=value...]` pseudo-path generates a synthetic
+// workload instead (topologies layered|conv|lstm|transformer; keys ops,
+// seed, width, inputs, mul, twocycle), e.g.
+// `mframe analyze random:conv,ops=100000,width=64`.
 // Every command runs the DFG lint rules up front; `lint` runs them
 // alone (plus schedule rules with --schedule) and reports structured
 // diagnostics as text or JSON (see docs/LINT.md). Common options:
@@ -60,6 +64,7 @@
 // schedule/synth default --steps to the design's critical path when omitted
 // in time-constrained mode (a note goes to stderr).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -102,6 +107,7 @@
 #include "sim/rtl_sim.h"
 #include "trace/trace.h"
 #include "util/strings.h"
+#include "workloads/random_dfg.h"
 
 namespace {
 
@@ -458,8 +464,48 @@ dfg::Dfg compileBehavioral(const std::string& text) {
   return std::move(c.nest.body);
 }
 
+/// `random:<topology>[,key=value...]` pseudo-paths synthesize a generated
+/// workload instead of reading a file — the scale smoke tests drive the
+/// full CLI on 10^5-op graphs without shipping megabyte design files.
+/// Topologies: layered, conv, lstm, transformer. Keys: ops, seed, width,
+/// inputs, mul, twocycle (percent of two-cycle muls).
+dfg::Dfg makeRandomDesign(const std::string& spec) {
+  workloads::RandomDfgOptions o;
+  const auto parts = util::split(spec.substr(7), ',');
+  if (parts.empty() || parts[0].empty())
+    die("random: spec needs a topology (layered|conv|lstm|transformer)");
+  if (parts[0] == "layered") o.topology = workloads::DfgTopology::Layered;
+  else if (parts[0] == "conv") o.topology = workloads::DfgTopology::Conv;
+  else if (parts[0] == "lstm") o.topology = workloads::DfgTopology::Lstm;
+  else if (parts[0] == "transformer")
+    o.topology = workloads::DfgTopology::Transformer;
+  else
+    die("unknown random topology '" + parts[0] + "'");
+  o.numOps = 1000;
+  o.layerWidth = 32;
+  o.numInputs = 8;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const auto eq = parts[i].find('=');
+    if (eq == std::string::npos)
+      die("random: option '" + parts[i] + "' is not key=value");
+    const std::string key = parts[i].substr(0, eq);
+    const int val = std::atoi(parts[i].c_str() + eq + 1);
+    if (val <= 0 && key != "mul" && key != "twocycle")
+      die("random: option '" + parts[i] + "' needs a positive value");
+    if (key == "ops") o.numOps = val;
+    else if (key == "seed") o.seed = static_cast<std::uint32_t>(val);
+    else if (key == "width") o.layerWidth = val;
+    else if (key == "inputs") o.numInputs = val;
+    else if (key == "mul") o.mulPercent = val;
+    else if (key == "twocycle") o.twoCyclePercent = val;
+    else die("unknown random: option '" + key + "'");
+  }
+  return workloads::randomDfg(o);
+}
+
 dfg::Dfg loadDesign(const std::string& path) {
   const trace::Span span("parse");
+  if (path.rfind("random:", 0) == 0) return makeRandomDesign(path);
   const std::string text = readFileOrDie(path);
   if (sniffFirstWord(text) == "design") return compileBehavioral(text);
   return dfg::parse(text);
